@@ -1,0 +1,213 @@
+(* The `repro` command-line driver.
+
+     repro table <1..7|all>     regenerate the paper's tables
+     repro validate [bench]     full-mode validation at reduced sizes
+     repro dump <bench> [-O]    print the (memory-annotated) IR
+     repro prove-nw             show the Fig. 9 non-overlap proof
+*)
+
+open Cmdliner
+
+type bench = {
+  name : string;
+  table_no : int;
+  table : unit -> Benchsuite.Runner.outcome;
+  prog : Ir.Ast.prog;
+  small_args : Ir.Value.t list Lazy.t;
+}
+
+let benches : bench list =
+  [
+    {
+      name = "nw";
+      table_no = 1;
+      table = Benchsuite.Nw.table;
+      prog = Benchsuite.Nw.prog;
+      small_args = lazy (Benchsuite.Nw.small_args ~q:3 ~b:4);
+    };
+    {
+      name = "lud";
+      table_no = 2;
+      table = Benchsuite.Lud.table;
+      prog = Benchsuite.Lud.prog;
+      small_args = lazy (Benchsuite.Lud.small_args ~q:3 ~b:4);
+    };
+    {
+      name = "hotspot";
+      table_no = 3;
+      table = Benchsuite.Hotspot.table;
+      prog = Benchsuite.Hotspot.prog;
+      small_args = lazy (Benchsuite.Hotspot.small_args ~n:16 ~steps:3);
+    };
+    {
+      name = "lbm";
+      table_no = 4;
+      table = Benchsuite.Lbm.table;
+      prog = Benchsuite.Lbm.prog;
+      small_args = lazy (Benchsuite.Lbm.small_args ~n:8 ~steps:3);
+    };
+    {
+      name = "optionpricing";
+      table_no = 5;
+      table = Benchsuite.Option_pricing.table;
+      prog = Benchsuite.Option_pricing.prog;
+      small_args =
+        lazy (Benchsuite.Option_pricing.small_args ~npaths:64 ~nsteps:16);
+    };
+    {
+      name = "locvolcalib";
+      table_no = 6;
+      table = Benchsuite.Locvolcalib.table;
+      prog = Benchsuite.Locvolcalib.prog;
+      small_args =
+        lazy (Benchsuite.Locvolcalib.small_args ~numo:6 ~numx:12 ~numt:4);
+    };
+    {
+      name = "nn";
+      table_no = 7;
+      table = Benchsuite.Nn.table;
+      prog = Benchsuite.Nn.prog;
+      small_args = lazy (Benchsuite.Nn.small_args ~nrec:100 ~nbatch:4 ~bsz:8);
+    };
+  ]
+
+let find_bench s =
+  match
+    List.find_opt
+      (fun b ->
+        b.name = String.lowercase_ascii s
+        || string_of_int b.table_no = s)
+      benches
+  with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %S (try: %s)" s
+           (String.concat ", " (List.map (fun b -> b.name) benches)))
+
+(* ---- table ----------------------------------------------------- *)
+
+let run_table which verbose =
+  Core.Shortcircuit.verbose := verbose;
+  let run b =
+    let o = b.table () in
+    print_string (Benchsuite.Table.to_string o.Benchsuite.Runner.table);
+    let st = o.Benchsuite.Runner.compiled.Core.Pipeline.stats in
+    Printf.printf "  short-circuiting: %d/%d candidates, %d vars rebased\n\n"
+      st.Core.Shortcircuit.succeeded st.Core.Shortcircuit.candidates
+      st.Core.Shortcircuit.rebased_vars
+  in
+  match which with
+  | "all" ->
+      List.iter run benches;
+      Ok ()
+  | s -> Result.map run (find_bench s)
+
+(* ---- validate --------------------------------------------------- *)
+
+let run_validate which =
+  let validate b =
+    let v = Benchsuite.Runner.validate b.prog (Lazy.force b.small_args) in
+    Printf.printf
+      "%-14s interp-match: unopt=%b opt=%b | copies %d -> %d (%d elided) | \
+       circuits %d\n"
+      b.name v.Benchsuite.Runner.ok_unopt v.Benchsuite.Runner.ok_opt
+      v.Benchsuite.Runner.copies_unopt v.Benchsuite.Runner.copies_opt
+      v.Benchsuite.Runner.elided v.Benchsuite.Runner.sc_succeeded;
+    v.Benchsuite.Runner.ok_unopt && v.Benchsuite.Runner.ok_opt
+  in
+  match which with
+  | "all" ->
+      let ok = List.for_all validate benches in
+      if ok then Ok () else Error "validation failed"
+  | s ->
+      Result.bind (find_bench s) (fun b ->
+          if validate b then Ok () else Error "validation failed")
+
+(* ---- dump -------------------------------------------------------- *)
+
+let run_dump which opt =
+  Result.map
+    (fun b ->
+      let c = Core.Pipeline.compile b.prog in
+      let p = if opt then c.Core.Pipeline.opt else c.Core.Pipeline.unopt in
+      print_endline (Ir.Pretty.prog_to_string p))
+    (find_bench which)
+
+(* ---- prove-nw ---------------------------------------------------- *)
+
+let run_prove_nw () =
+  let module P = Symalg.Poly in
+  let module Pr = Symalg.Prover in
+  let c = P.const in
+  let ctx = Pr.empty in
+  let ctx = Pr.add_range ctx "q" ~lo:(c 2) () in
+  let ctx = Pr.add_range ctx "b" ~lo:(c 2) () in
+  let ctx = Pr.add_range ctx "i" ~lo:(c 0) ~hi:(P.sub (P.var "q") P.one) () in
+  let ctx = Pr.add_eq ctx "n" (P.add (P.mul (P.var "q") (P.var "b")) P.one) in
+  let n = P.var "n" and b = P.var "b" and i = P.var "i" in
+  let nb_b = P.sub (P.mul n b) b in
+  let dim = Lmads.Lmad.dim in
+  let w =
+    Lmads.Lmad.make
+      (P.sum [ P.mul i b; n; P.one ])
+      [ dim (P.add i P.one) nb_b; dim b n; dim b P.one ]
+  in
+  let rv =
+    Lmads.Lmad.make (P.mul i b) [ dim (P.add i P.one) nb_b; dim (P.add b P.one) n ]
+  in
+  let rh =
+    Lmads.Lmad.make (P.add (P.mul i b) P.one)
+      [ dim (P.add i P.one) nb_b; dim b P.one ]
+  in
+  Fmt.pr "Assumptions: n = q*b + 1, q >= 2, b >= 2, 0 <= i <= q-1@.";
+  Fmt.pr "W      = %a@." Lmads.Lmad.pp w;
+  Fmt.pr "Rvert  = %a@." Lmads.Lmad.pp rv;
+  Fmt.pr "Rhoriz = %a@.@." Lmads.Lmad.pp rh;
+  Fmt.pr "W  # Rvert : %b@." (Lmads.Nonoverlap.disjoint ctx w rv);
+  Fmt.pr "W  # Rhoriz: %b@." (Lmads.Nonoverlap.disjoint ctx w rh);
+  Fmt.pr "W  # W     : %b (must stay unproven)@."
+    (Lmads.Nonoverlap.disjoint ctx w w);
+  Ok ()
+
+(* ---- cmdliner ---------------------------------------------------- *)
+
+let to_exit = function
+  | Ok () -> 0
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+
+let bench_arg =
+  Arg.(value & pos 0 string "all" & info [] ~docv:"BENCH")
+
+let table_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace circuit attempts.")
+  in
+  Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table (1-7 or name or all)")
+    Term.(const (fun w v -> to_exit (run_table w v)) $ bench_arg $ verbose)
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Full-mode validation against the reference interpreter")
+    Term.(const (fun w -> to_exit (run_validate w)) $ bench_arg)
+
+let dump_cmd =
+  let opt =
+    Arg.(value & flag & info [ "O"; "optimized" ] ~doc:"Dump the optimized IR.")
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Print a benchmark's memory-annotated IR")
+    Term.(const (fun w o -> to_exit (run_dump w o)) $ bench_arg $ opt)
+
+let prove_cmd =
+  Cmd.v (Cmd.info "prove-nw" ~doc:"Discharge the Fig. 9 proof obligation")
+    Term.(const (fun () -> to_exit (run_prove_nw ())) $ const ())
+
+let () =
+  let doc = "Memory Optimizations in an Array Language (SC22) - reproduction" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "repro" ~doc)
+          [ table_cmd; validate_cmd; dump_cmd; prove_cmd ]))

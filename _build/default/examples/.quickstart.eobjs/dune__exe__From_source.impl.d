@@ -1,0 +1,1 @@
+examples/from_source.ml: Array Core Fmt Frontend Gpu Ir List Symalg

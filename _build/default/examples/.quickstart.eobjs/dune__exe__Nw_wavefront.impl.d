@@ -1,0 +1,1 @@
+examples/nw_wavefront.ml: Array Benchsuite Core Fmt Gpu Ir Lmads Symalg

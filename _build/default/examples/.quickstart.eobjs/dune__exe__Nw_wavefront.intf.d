@@ -1,0 +1,1 @@
+examples/nw_wavefront.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ast Build Core Gpu Interp Ir List Lmads Printf Symalg Value

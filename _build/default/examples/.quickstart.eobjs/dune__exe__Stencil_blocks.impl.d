@@ -1,0 +1,1 @@
+examples/stencil_blocks.ml: Benchsuite Core Fmt Gpu Ir List Lmads

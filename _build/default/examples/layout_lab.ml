@@ -1,0 +1,80 @@
+(* Layout lab: index functions as O(1) change-of-layout machinery.
+
+   Reproduces the paper's Fig. 3 step by step - a chain of unflatten,
+   transpose, slice, flatten and slice again, none of which touches
+   memory - and shows the resulting index functions, including the
+   point where a single LMAD no longer suffices and the compiler chains
+   a second one (paying unranking divisions at run time).
+
+   Run with: dune exec examples/layout_lab.exe *)
+
+module P = Symalg.Poly
+module Pr = Symalg.Prover
+open Lmads
+
+let c = P.const
+
+let show name ix =
+  Fmt.pr "%-28s %a   (single LMAD: %b)@." name Ixfn.pp ix (Ixfn.is_single ix)
+
+let () =
+  let ctx = Pr.empty in
+  Fmt.pr "Fig. 3: none of these operations manifests an array in memory@.@.";
+  (* let as = 0..63 *)
+  let as_ = Ixfn.row_major [ c 64 ] in
+  show "as = iota 64" as_;
+  (* let bs = unflatten 8 8 as *)
+  let bs = Ixfn.reshape ctx [ c 8; c 8 ] as_ in
+  show "bs = unflatten 8 8 as" bs;
+  (* let cs = transpose bs *)
+  let cs = Ixfn.transpose bs in
+  show "cs = transpose bs" cs;
+  (* let ds = cs[1:3:2, 4:8:1] *)
+  let ds =
+    Ixfn.slice
+      [
+        Lmad.Range { start = c 1; len = c 2; step = c 2 };
+        Lmad.Range { start = c 4; len = c 4; step = c 1 };
+      ]
+      cs
+  in
+  show "ds = cs[1:3:2, 4:8:1]" ds;
+  (* let es = (flatten ds)[2:] *)
+  let flat = Ixfn.reshape ctx [ c 8 ] ds in
+  show "flatten ds" flat;
+  let es = Ixfn.slice [ Lmad.Range { start = c 2; len = c 6; step = c 1 } ] flat in
+  show "es = (flatten ds)[2:]" es;
+  let env _ = 0 in
+  Fmt.pr "@.es[5] resolves to flat offset %d of as's memory (paper: 59)@."
+    (Ixfn.apply_int env es [ 5 ]);
+  (* beyond Fig. 3: symbolic layouts *)
+  Fmt.pr "@.Symbolic layouts work the same way:@.";
+  let m = Ixfn.row_major [ P.var "n"; P.var "m" ] in
+  show "A : [n][m] row-major" m;
+  show "transpose A" (Ixfn.transpose m);
+  show "reverse (rows) A" (Ixfn.reverse 0 m);
+  let col =
+    Ixfn.slice
+      [
+        Lmad.Range { start = P.zero; len = P.var "n"; step = P.one };
+        Lmad.Fix (P.var "j");
+      ]
+      m
+  in
+  show "A[:, j] (column j)" col;
+  (* generalized LMAD slicing: the blocked diagonal of a flat matrix *)
+  let nsq = Ixfn.row_major [ P.mul (P.var "n") (P.var "n") ] in
+  let diag_blocks =
+    Lmad.make P.zero
+      [
+        Lmad.dim (P.var "q") (P.mul (P.var "b") (P.add (P.var "n") P.one));
+        Lmad.dim (P.var "b") (P.var "n");
+        Lmad.dim (P.var "b") P.one;
+      ]
+  in
+  (match Ixfn.lmad_slice ctx ~slc:diag_blocks nsq with
+  | Some ix -> show "blocked diagonal (LMAD slice)" ix
+  | None -> assert false);
+  Fmt.pr
+    "@.The last one cannot be written with triplet notation at all@.\
+     (section III-B): LMAD slices create new dimensions.@."

@@ -1,0 +1,1 @@
+lib/benchsuite/hotspot.ml: Array Gpu Ir List Runner Symalg

@@ -1,0 +1,1 @@
+lib/benchsuite/lbm.ml: Array Gpu Ir List Runner Symalg

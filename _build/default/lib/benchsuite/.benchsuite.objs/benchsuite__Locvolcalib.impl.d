@@ -1,0 +1,1 @@
+lib/benchsuite/locvolcalib.ml: Array Gpu Ir List Runner Symalg

@@ -1,0 +1,1 @@
+lib/benchsuite/lud.ml: Array Gpu Ir List Lmads Runner Symalg

@@ -1,0 +1,1 @@
+lib/benchsuite/nn.ml: Array Float Gpu Ir List Runner Symalg

@@ -1,0 +1,1 @@
+lib/benchsuite/nw.ml: Array Float Gpu Ir List Lmads Runner Symalg

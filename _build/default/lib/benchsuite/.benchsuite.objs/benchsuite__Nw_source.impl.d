@@ -1,0 +1,1 @@
+lib/benchsuite/nw_source.ml: Frontend Ir Nw

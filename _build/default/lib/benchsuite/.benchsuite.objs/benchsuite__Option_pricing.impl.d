@@ -1,0 +1,1 @@
+lib/benchsuite/option_pricing.ml: Float Gpu Ir List Runner Symalg

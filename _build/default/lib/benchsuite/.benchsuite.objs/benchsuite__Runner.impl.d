@@ -1,0 +1,1 @@
+lib/benchsuite/runner.ml: Core Gpu Hashtbl Ir List Table

@@ -1,0 +1,1 @@
+lib/benchsuite/table.ml: Float Fmt List Printf String

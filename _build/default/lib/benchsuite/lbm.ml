@@ -1,0 +1,215 @@
+(* Lattice-Boltzmann (Parboil LBM), Table IV: a D2Q9 stream-collide
+   update over an n x n grid for [steps] timesteps.
+
+   Each thread gathers the nine distribution values streaming into its
+   cell from the previous grid (periodic boundaries via modulo index
+   arithmetic - genuinely data-dependent reads, loaded from the
+   direction tables), relaxes them towards equilibrium, and returns the
+   per-cell distribution vector.  The per-thread result array is the
+   paper's implicit mapnest circuit point (Fig. 6b, "high impact on the
+   LBM benchmark"): without short-circuiting every thread's 9-vector is
+   manifested and copied into the result grid. *)
+
+open Ir.Ast
+module P = Symalg.Poly
+module Pr = Symalg.Prover
+module B = Ir.Build
+module Value = Ir.Value
+
+let qdirs = 9
+let omega = 0.8
+
+(* D2Q9 direction/weight tables. *)
+let dxs = [| 0; 1; 0; -1; 0; 1; -1; -1; 1 |]
+let dys = [| 0; 0; 1; 0; -1; 1; 1; -1; -1 |]
+
+let weights =
+  [| 4. /. 9.; 1. /. 9.; 1. /. 9.; 1. /. 9.; 1. /. 9.;
+     1. /. 36.; 1. /. 36.; 1. /. 36.; 1. /. 36. |]
+
+let ctx0 = Pr.add_range Pr.empty "n" ~lo:(P.const 2) ()
+
+let prog : prog =
+  let n = P.var "n" in
+  let gridt = arr F64 [ n; n; P.const qdirs ] in
+  let dirt = arr I64 [ P.const qdirs ] in
+  let wt = arr F64 [ P.const qdirs ] in
+  B.prog "lbm" ~ctx:ctx0
+    ~params:
+      [
+        pat_elem "n" i64;
+        pat_elem "steps" i64;
+        pat_elem "f0" gridt;
+        pat_elem "dx" dirt;
+        pat_elem "dy" dirt;
+        pat_elem "w" wt;
+      ]
+    ~ret:[ gridt ]
+    (fun bb ->
+      let res =
+        B.loop bb "time"
+          [ ("f", gridt, Var "f0") ]
+          ~var:"t" ~bound:(P.var "steps")
+          (fun lb ->
+            let iv = Ir.Names.fresh "i" and jv = Ir.Names.fresh "j" in
+            let fnext =
+              B.mapnest lb "fnext"
+                [ (iv, n); (jv, n) ]
+                (fun tb ->
+                  let i = P.var iv and j = P.var jv in
+                  let q = P.const qdirs in
+                  (* gather the streamed-in distributions *)
+                  let rs0 = B.bind tb "rs" (EScratch (F64, [ q ])) in
+                  let gathered =
+                    B.loop1 tb "gather" (arr F64 [ q ]) (Var rs0) ~bound:q
+                      (fun gb ~param ~i:d ->
+                        let ddx = B.index gb "dx" [ d ] in
+                        let ddy = B.index gb "dy" [ d ] in
+                        (* periodic source coordinates *)
+                        let si =
+                          B.binop gb Rem
+                            (B.binop gb Add (B.binop gb Sub (B.idx gb i) ddy)
+                               (B.idx gb n))
+                            (B.idx gb n)
+                        in
+                        let sj =
+                          B.binop gb Rem
+                            (B.binop gb Add (B.binop gb Sub (B.idx gb j) ddx)
+                               (B.idx gb n))
+                            (B.idx gb n)
+                        in
+                        let siv =
+                          match si with Var v -> v | _ -> assert false
+                        in
+                        let sjv =
+                          match sj with Var v -> v | _ -> assert false
+                        in
+                        let v =
+                          B.index gb "f" [ P.var siv; P.var sjv; d ]
+                        in
+                        Var
+                          (B.bind gb "rs'"
+                             (EUpdate
+                                {
+                                  dst = param;
+                                  slc = STriplet [ SFix d ];
+                                  src = SrcScalar v;
+                                })))
+                  in
+                  (* density *)
+                  let rho =
+                    B.loop1 tb "rho" (TScalar F64) (Float 0.0) ~bound:q
+                      (fun sb ~param:acc ~i:d ->
+                        B.fadd sb (Var acc) (B.index sb gathered [ d ]))
+                  in
+                  (* BGK relaxation towards w[d] * rho *)
+                  let out0 = B.bind tb "out" (EScratch (F64, [ q ])) in
+                  let final =
+                    B.loop1 tb "collide" (arr F64 [ q ]) (Var out0) ~bound:q
+                      (fun cb ~param ~i:d ->
+                        let fd = B.index cb gathered [ d ] in
+                        let wd = B.index cb "w" [ d ] in
+                        let feq = B.fmul cb wd (Var rho) in
+                        let relaxed =
+                          B.fadd cb
+                            (B.fmul cb fd (Float (1.0 -. omega)))
+                            (B.fmul cb feq (Float omega))
+                        in
+                        Var
+                          (B.bind cb "out'"
+                             (EUpdate
+                                {
+                                  dst = param;
+                                  slc = STriplet [ SFix d ];
+                                  src = SrcScalar relaxed;
+                                })))
+                  in
+                  [ Var final ])
+            in
+            [ Var fnext ])
+      in
+      [ Var (List.hd res) ])
+
+(* ---------------------------------------------------------------- *)
+(* Inputs, oracle, reference                                         *)
+(* ---------------------------------------------------------------- *)
+
+let input_f ~n =
+  Array.init (n * n * qdirs) (fun i ->
+      weights.(i mod qdirs) *. (1.0 +. (0.01 *. float_of_int (i mod 7))))
+
+let direct ~n ~steps f0 =
+  let cur = ref (Array.copy f0) in
+  let idx i j d = (((i * n) + j) * qdirs) + d in
+  for _ = 1 to steps do
+    let nxt = Array.make (n * n * qdirs) 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let gathered =
+          Array.init qdirs (fun d ->
+              let si = (i - dys.(d) + n) mod n in
+              let sj = (j - dxs.(d) + n) mod n in
+              !cur.(idx si sj d))
+        in
+        let rho = Array.fold_left ( +. ) 0.0 gathered in
+        for d = 0 to qdirs - 1 do
+          nxt.(idx i j d) <-
+            (gathered.(d) *. (1.0 -. omega)) +. (weights.(d) *. rho *. omega)
+        done
+      done
+    done;
+    cur := nxt
+  done;
+  !cur
+
+let args ~n ~steps ~shell =
+  [
+    Value.VInt n;
+    Value.VInt steps;
+    (if shell then Value.VArr (Value.shell F64 [ n; n; qdirs ])
+     else Value.VArr (Value.of_floats [ n; n; qdirs ] (input_f ~n)));
+    Value.VArr (Value.of_ints [ qdirs ] dxs);
+    Value.VArr (Value.of_ints [ qdirs ] dys);
+    Value.VArr (Value.of_floats [ qdirs ] weights);
+  ]
+
+(* Hand-written LBM: one kernel per step, reading and writing each
+   distribution value exactly once (all intermediate state in
+   registers), with heavy arithmetic per cell. *)
+let ref_counters ~n ~steps : Gpu.Device.counters =
+  let c = Gpu.Device.fresh_counters () in
+  let vals = float_of_int (n * n * qdirs) *. float_of_int steps in
+  c.Gpu.Device.kernels <- steps;
+  (* reads the source distributions plus the obstacle/flag field *)
+  c.Gpu.Device.kernel_reads <- vals *. 2. *. 8.;
+  c.Gpu.Device.kernel_writes <- vals *. 8.;
+  c.Gpu.Device.flops <- vals *. 25.;
+  c.Gpu.Device.allocs <- 2;
+  c
+
+let paper =
+  [
+    ("A100", "short", (29., 0.84, 0.92, 1.09));
+    ("A100", "long", (860., 0.86, 0.95, 1.10));
+    ("MI100", "short", (49., 0.65, 1.04, 1.59));
+    ("MI100", "long", (1423., 0.63, 1.01, 1.60));
+  ]
+
+let grid_paper = 4096
+
+let datasets () =
+  List.map
+    (fun (label, steps) ->
+      {
+        Runner.label;
+        args = args ~n:grid_paper ~steps ~shell:true;
+        ref_counters = Runner.Static (ref_counters ~n:grid_paper ~steps);
+      })
+    [ ("short", 10); ("long", 300) ]
+
+let table () : Runner.outcome =
+  Runner.run_table ~title:"Table IV: LBM performance" ~runs:100 ~prog
+    ~datasets:(datasets ()) ~paper
+
+let small_args ~n ~steps = args ~n ~steps ~shell:false
+let small_direct ~n ~steps = direct ~n ~steps (input_f ~n)

@@ -1,0 +1,121 @@
+(* Shared machinery for the benchmark suite: compiling a benchmark
+   program once, executing the unoptimized and short-circuited variants
+   in cost-only mode on every dataset, timing the counted events on
+   each device profile, and assembling a paper-style table. *)
+
+module Device = Gpu.Device
+module Exec = Gpu.Exec
+module Value = Ir.Value
+
+type ref_model =
+  | Static of Device.counters (* hand-modelled reference trace *)
+  | From_opt of (Device.counters -> Device.counters)
+      (* reference derived from the measured optimized trace (used when
+         the hand-written code runs the same algorithm with a different
+         register/tiling regime, e.g. LUD) *)
+
+type dataset = {
+  label : string;
+  args : Ir.Value.t list; (* paper-scale arguments (cost-only mode) *)
+  ref_counters : ref_model;
+}
+
+let devices = [ Device.a100; Device.mi100 ]
+
+(* Paper numbers are keyed by (device, dataset label). *)
+type paper_numbers = (string * string, float * float * float * float) Hashtbl.t
+
+let paper_tbl rows : paper_numbers =
+  let t = Hashtbl.create 16 in
+  List.iter
+    (fun (dev, ds, nums) -> Hashtbl.replace t (dev, ds) nums)
+    rows;
+  t
+
+type outcome = {
+  table : Table.t;
+  compiled : Core.Pipeline.compiled;
+  footprints : (string * float * float) list;
+      (* dataset label, unoptimized / optimized allocation volume (bytes):
+         the footprint motivation of section I, realized by the
+         dead-allocation cleanup after short-circuiting *)
+}
+
+let run_table ~title ~runs ~(prog : Ir.Ast.prog) ~(datasets : dataset list)
+    ~(paper : (string * string * (float * float * float * float)) list) :
+    outcome =
+  let compiled = Core.Pipeline.compile prog in
+  let paper = paper_tbl paper in
+  (* counters are device-independent: execute once per dataset *)
+  let measured =
+    List.map
+      (fun ds ->
+        let r_unopt =
+          Exec.run ~mode:Exec.Cost_only compiled.Core.Pipeline.unopt ds.args
+        in
+        let r_opt =
+          Exec.run ~mode:Exec.Cost_only compiled.Core.Pipeline.opt ds.args
+        in
+        let ref_c =
+          match ds.ref_counters with
+          | Static c -> c
+          | From_opt f -> f r_opt.Exec.counters
+        in
+        (ds, ref_c, r_unopt.Exec.counters, r_opt.Exec.counters))
+      datasets
+  in
+  let rows =
+    List.concat_map
+      (fun device ->
+        List.map
+          (fun (ds, ref_c, unopt_c, opt_c) ->
+            Table.make_row ~device:device.Device.name ~dataset:ds.label
+              ~ref_time:(Device.time device ref_c)
+              ~unopt_time:(Device.time device unopt_c)
+              ~opt_time:(Device.time device opt_c)
+              ~paper:(Hashtbl.find_opt paper (device.Device.name, ds.label)))
+          measured)
+      devices
+  in
+  let footprints =
+    List.map
+      (fun (ds, _, unopt_c, opt_c) ->
+        ( ds.label,
+          unopt_c.Device.alloc_bytes,
+          opt_c.Device.alloc_bytes ))
+      measured
+  in
+  { table = { Table.title; runs; rows }; compiled; footprints }
+
+(* Full-mode validation at a reduced size: the unoptimized and the
+   short-circuited programs must agree with the reference interpreter
+   (and the optimized run must elide at least [min_elided] copies when
+   requested). *)
+type validation = {
+  ok_unopt : bool;
+  ok_opt : bool;
+  elided : int;
+  copies_unopt : int;
+  copies_opt : int;
+  sc_succeeded : int;
+}
+
+let validate ?(compiled : Core.Pipeline.compiled option)
+    (prog : Ir.Ast.prog) (args : Ir.Value.t list) : validation =
+  let compiled =
+    match compiled with Some c -> c | None -> Core.Pipeline.compile prog
+  in
+  let expect = Ir.Interp.run compiled.Core.Pipeline.source args in
+  let r_unopt = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.unopt args in
+  let r_opt = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.opt args in
+  {
+    ok_unopt =
+      List.for_all2 (Value.approx_equal ~eps:1e-6) expect
+        r_unopt.Exec.results;
+    ok_opt =
+      List.for_all2 (Value.approx_equal ~eps:1e-6) expect r_opt.Exec.results;
+    elided = r_opt.Exec.counters.Device.copies_elided;
+    copies_unopt = r_unopt.Exec.counters.Device.copies;
+    copies_opt = r_opt.Exec.counters.Device.copies;
+    sc_succeeded = compiled.Core.Pipeline.stats.Core.Shortcircuit.succeeded;
+  }

@@ -1,0 +1,1 @@
+lib/core/alias.ml: Ir List Map Option String

@@ -1,0 +1,1 @@
+lib/core/cleanup.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/hoist.ml: Ir List

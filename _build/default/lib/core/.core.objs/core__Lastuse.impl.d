@@ -1,0 +1,1 @@
+lib/core/lastuse.ml: Alias Hashtbl Ir List

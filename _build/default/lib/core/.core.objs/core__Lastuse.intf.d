@@ -1,0 +1,1 @@
+lib/core/lastuse.mli: Alias Ir

@@ -1,0 +1,1 @@
+lib/core/memintro.ml: Fmt Fun Ir List Lmads Map String Symalg

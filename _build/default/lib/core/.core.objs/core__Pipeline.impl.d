@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Cleanup Hoist Ir Lastuse Memintro Shortcircuit Unix

@@ -1,0 +1,1 @@
+lib/core/shortcircuit.ml: Alias Array Fmt Hashtbl Ir Lastuse List Lmads Map Option String Symalg Sys

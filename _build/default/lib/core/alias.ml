@@ -1,0 +1,101 @@
+(* Alias analysis: which array variables may share memory.
+
+   Two flavours are needed by the paper's passes:
+
+   - *value aliasing* (used by last-use, footnote 18): slicing,
+     transposition, reshaping, reversing and variable copies alias their
+     operand; [EUpdate] results alias the consumed destination (same
+     memory); [EIf]/[ELoop] results alias whatever the branches/body
+     return.  Fresh-array constructors (map, copy, iota, scratch,
+     replicate, concat) alias nothing.
+
+   The analysis computes, per block, a map var -> alias class (a set of
+   variables, closed transitively).  Classes are global across nested
+   blocks, which is conservative and sound. *)
+
+open Ir.Ast
+module SM = Map.Make (String)
+module SS = Ir.Ast.SS
+
+type t = SS.t SM.t
+
+let closure (m : t) v =
+  match SM.find_opt v m with Some s -> SS.add v s | None -> SS.singleton v
+
+let add_alias (m : t) v targets =
+  let cls =
+    SS.fold (fun w acc -> SS.union acc (closure m w)) targets (SS.singleton v)
+  in
+  (* register the extended class for every member *)
+  SS.fold
+    (fun w acc -> SM.add w (SS.remove w cls) acc)
+    cls m
+
+(* Variables the results of [e] alias (one set per result). *)
+let result_aliases (e : exp) : SS.t list option =
+  match e with
+  | EAtom (Var v) -> Some [ SS.singleton v ]
+  | ESlice (v, _) | ETranspose (v, _) | EReshape (v, _) | EReverse (v, _) ->
+      Some [ SS.singleton v ]
+  | EUpdate { dst; _ } -> Some [ SS.singleton dst ]
+  | EIf { tb; fb; _ } ->
+      Some
+        (List.map2
+           (fun a b ->
+             SS.union
+               (Option.fold ~none:SS.empty ~some:SS.singleton (atom_var a))
+               (Option.fold ~none:SS.empty ~some:SS.singleton (atom_var b)))
+           tb.res fb.res)
+  | ELoop { params; body; _ } ->
+      (* The loop result aliases the initial value and whatever the body
+         returns (conservatively). *)
+      Some
+        (List.map2
+           (fun (_, init) r ->
+             SS.union
+               (Option.fold ~none:SS.empty ~some:SS.singleton (atom_var init))
+               (Option.fold ~none:SS.empty ~some:SS.singleton (atom_var r)))
+           params body.res)
+  | _ -> None
+
+let rec analyze_block (m : t) (b : block) : t =
+  List.fold_left analyze_stm m b.stms
+
+and analyze_stm (m : t) (s : stm) : t =
+  (* descend first so inner aliases (loop body results) are known *)
+  let m =
+    match s.exp with
+    | EMap { body; _ } -> analyze_block m body
+    | ELoop { params; body; _ } ->
+        (* loop params alias their inits and the body results *)
+        let m = analyze_block m body in
+        List.fold_left
+          (fun m ((pe, init), r) ->
+            if is_array_typ pe.pt then
+              let tgts =
+                SS.union
+                  (Option.fold ~none:SS.empty ~some:SS.singleton
+                     (atom_var init))
+                  (Option.fold ~none:SS.empty ~some:SS.singleton (atom_var r))
+              in
+              add_alias m pe.pv tgts
+            else m)
+          m
+          (List.combine params body.res)
+    | EIf { tb; fb; _ } -> analyze_block (analyze_block m tb) fb
+    | _ -> m
+  in
+  match result_aliases s.exp with
+  | None -> m
+  | Some sets ->
+      if List.length sets <> List.length s.pat then m
+      else
+        List.fold_left2
+          (fun m pe tgts ->
+            if is_array_typ pe.pt && not (SS.is_empty tgts) then
+              add_alias m pe.pv tgts
+            else m)
+          m s.pat sets
+
+(* Alias classes for a whole program. *)
+let of_prog (p : prog) : t = analyze_block SM.empty p.body

@@ -1,0 +1,15 @@
+(** Value-alias analysis: which array variables may share memory.
+
+    Views (slices, transposition, reshaping, reversal) alias their
+    operand; update results alias the consumed destination; [if]/[loop]
+    results alias what the branches/body return.  Classes are closed
+    transitively and global across nested blocks (conservative). *)
+
+module SM : Map.S with type key = string
+
+type t = Ir.Ast.SS.t SM.t
+
+val closure : t -> string -> Ir.Ast.SS.t
+(** The full alias class of a variable (including itself). *)
+
+val of_prog : Ir.Ast.prog -> t

@@ -1,0 +1,11 @@
+(** Dead-allocation cleanup.
+
+    Removes [EAlloc] statements whose block is referenced by no memory
+    annotation and no expression - the blocks orphaned when
+    short-circuiting rebases their arrays into destination memory.
+    Realizes the footprint motivation of section I; the savings show up
+    in the executor's allocation counters and the benchmark harness's
+    footprint table. *)
+
+val run : Ir.Ast.prog -> Ir.Ast.prog * int
+(** The cleaned program and the number of allocations removed. *)

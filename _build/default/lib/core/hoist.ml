@@ -1,0 +1,134 @@
+(* Allocation hoisting (section V, property 2).
+
+   Short-circuiting requires the destination memory to be allocated (in
+   scope) at the definition point of the candidate's fresh array.  This
+   pass aggressively moves [EAlloc] statements - together with the pure
+   scalar statements their sizes depend on - (a) to the top of their
+   block, and (b) out of loop and if bodies whenever the size is
+   computable outside.
+
+   Per-thread allocations inside mapnest bodies are only hoisted to the
+   top of the body, never out of it (each thread owns its block). *)
+
+open Ir.Ast
+module SS = Ir.Ast.SS
+
+(* A statement that may ride along with a hoisted alloc: pure, scalar,
+   cheap to recompute. *)
+let is_scalar_pure (s : stm) =
+  match s.exp with
+  | EIdx _ | EBin _ | EUn _ | ECmp _ | EAtom (Int _ | Float _ | Bool _) ->
+      List.for_all (fun pe -> not (is_array_typ pe.pt)) s.pat
+  | EAtom (Var _) ->
+      List.for_all (fun pe -> pe.pt = TScalar I64) s.pat
+  | _ -> false
+
+let is_alloc (s : stm) = match s.exp with EAlloc _ -> true | _ -> false
+
+let binders (s : stm) = SS.of_list (List.map (fun pe -> pe.pv) s.pat)
+
+(* Stable partition of a block's statements into a hoistable prefix
+   (allocs + their pure scalar dependency closure, in dependency order)
+   and the rest. *)
+let float_allocs_to_top (b : block) : block =
+  let stms = b.stms in
+  (* compute the set of variables needed by allocs, transitively through
+     pure scalar statements *)
+  let needed = ref SS.empty in
+  List.iter (fun s -> if is_alloc s then needed := SS.union !needed (fv_stm s)) stms;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun s ->
+        if is_scalar_pure s && not (SS.is_empty (SS.inter (binders s) !needed))
+        then
+          let fv = fv_stm s in
+          if not (SS.subset fv !needed) then (
+            needed := SS.union !needed fv;
+            changed := true))
+      stms
+  done;
+  let hoisted, rest =
+    List.partition
+      (fun s ->
+        is_alloc s
+        || (is_scalar_pure s && not (SS.is_empty (SS.inter (binders s) !needed))))
+      stms
+  in
+  { b with stms = hoisted @ rest }
+
+(* Hoist allocs (and their scalar deps) out of a sub-block when their
+   free variables are all available in the enclosing scope.  Returns the
+   extracted statements and the reduced block. *)
+let extract_hoistable ~outer_scope (b : block) : stm list * block =
+  let rec go scope acc kept = function
+    | [] -> (List.rev acc, List.rev kept)
+    | s :: rest ->
+        let fv = fv_stm s in
+        let movable =
+          (is_alloc s || is_scalar_pure s) && SS.subset fv outer_scope
+        in
+        (* a statement whose deps were kept locally cannot move *)
+        let movable = movable && SS.is_empty (SS.inter fv scope) in
+        if movable then go scope (s :: acc) kept rest
+        else go (SS.union scope (binders s)) acc (s :: kept) rest
+  in
+  let moved, kept = go SS.empty [] [] b.stms in
+  (moved, { b with stms = kept })
+
+let rec hoist_block ~scope (b : block) : block =
+  (* First recurse, allowing nested hoists to surface here. *)
+  let scope_ref = ref scope in
+  let stms =
+    List.concat_map
+      (fun s ->
+        let out =
+          match s.exp with
+          | ELoop ({ params; var; body; _ } as l) ->
+              (* Allocations are NOT hoisted out of loop bodies: a loop
+                 whose parameter carries the previous iteration's result
+                 needs a fresh block per iteration (double buffering,
+                 footnote 23); hoisting would alias input and output.
+                 Within the body they still float to the top, which is
+                 what property 2 of section V needs for circuit points
+                 inside the iteration. *)
+              let inner_scope =
+                List.fold_left
+                  (fun sc (pe, _) -> SS.add pe.pv sc)
+                  (SS.add var !scope_ref) params
+              in
+              let body = hoist_block ~scope:inner_scope body in
+              [ { s with exp = ELoop { l with params; body } } ]
+          | EIf ({ tb; fb; _ } as i) ->
+              let tb = hoist_block ~scope:!scope_ref tb in
+              let fb = hoist_block ~scope:!scope_ref fb in
+              let moved_t, tb = extract_hoistable ~outer_scope:!scope_ref tb in
+              let moved_f, fb = extract_hoistable ~outer_scope:!scope_ref fb in
+              moved_t @ moved_f @ [ { s with exp = EIf { i with tb; fb } } ]
+          | EMap ({ nest; body } as m) ->
+              (* do not hoist out of the parallel body; only normalize
+                 within it *)
+              let inner_scope =
+                List.fold_left (fun sc (v, _) -> SS.add v sc) !scope_ref nest
+              in
+              let body = hoist_block ~scope:inner_scope body in
+              [ { s with exp = EMap { m with body } } ]
+          | _ -> [ s ]
+        in
+        List.iter (fun s -> scope_ref := SS.union !scope_ref (binders s)) out;
+        out)
+      b.stms
+  in
+  float_allocs_to_top { b with stms }
+
+let hoist (p : prog) : prog =
+  let scope = SS.of_list (List.map (fun pe -> pe.pv) p.params) in
+  (* input arrays' memory blocks are in scope too *)
+  let scope =
+    List.fold_left
+      (fun sc pe ->
+        match pe.pmem with Some m -> SS.add m.block sc | None -> sc)
+      scope p.params
+  in
+  { p with body = hoist_block ~scope p.body }

@@ -1,0 +1,11 @@
+(** Allocation hoisting (property 2 of section V).
+
+    Short-circuiting needs the destination block to be allocated (in
+    scope) at the candidate's creation point.  This pass floats
+    [EAlloc] statements - with the pure scalar statements their sizes
+    depend on - to the top of their blocks, and out of [if] branches.
+    Allocations are deliberately {e not} hoisted out of loop bodies: a
+    loop parameter carrying the previous iteration's result requires a
+    fresh block per iteration (double buffering, footnote 23). *)
+
+val hoist : Ir.Ast.prog -> Ir.Ast.prog

@@ -1,0 +1,124 @@
+(* Last-use analysis (section V, footnote 18).
+
+   Annotates each statement with the arrays whose last use it is: after
+   a statement marked [last_uses = [b]], neither [b] nor any array in an
+   alias relation with [b] is used on any execution path.
+
+   The analysis walks each block backwards, carrying the set of
+   variables used later.  Uses inside a compound statement (if, loop,
+   mapnest) count as uses at the compound statement itself; in addition,
+   inside loop and mapnest bodies every array that is free in the body
+   (or a loop parameter) is conservatively treated as used-after at all
+   points of the body, because another iteration may read it - while
+   body-local arrays still get precise last-use points (paper Fig. 5b:
+   the iteration input [as] is lastly used at [f as] inside the body). *)
+
+open Ir.Ast
+module SS = Ir.Ast.SS
+
+(* All array variables used (read) by a statement, including uses in
+   nested blocks, with aliasing applied. *)
+let uses_of_stm aliases (s : stm) : SS.t =
+  let raw = fv_stm s in
+  SS.fold (fun v acc -> SS.union acc (Alias.closure aliases v)) raw SS.empty
+
+let restrict_arrays types (ss : SS.t) =
+  SS.filter
+    (fun v ->
+      match Hashtbl.find_opt types v with
+      | Some t -> is_array_typ t
+      | None -> false)
+    ss
+
+(* Record binder types for array filtering. *)
+let rec record_types types (b : block) =
+  List.iter
+    (fun s ->
+      List.iter (fun pe -> Hashtbl.replace types pe.pv pe.pt) s.pat;
+      match s.exp with
+      | EMap { body; nest } ->
+          List.iter
+            (fun (v, _) -> Hashtbl.replace types v (TScalar I64))
+            nest;
+          record_types types body
+      | ELoop { params; body; var; _ } ->
+          Hashtbl.replace types var (TScalar I64);
+          List.iter (fun (pe, _) -> Hashtbl.replace types pe.pv pe.pt) params;
+          record_types types body
+      | EIf { tb; fb; _ } ->
+          record_types types tb;
+          record_types types fb
+      | _ -> ())
+    b.stms
+
+(* Annotate [b] in place.  [used_after] is the set of (alias-closed)
+   array variables used after the block.  Returns the set of arrays the
+   block itself uses (alias-closed). *)
+let rec annotate_block aliases types ~used_after (b : block) : SS.t =
+  let res_uses =
+    restrict_arrays types
+      (List.fold_left
+         (fun acc a ->
+           match atom_var a with
+           | Some v -> SS.union acc (Alias.closure aliases v)
+           | None -> acc)
+         SS.empty b.res)
+  in
+  let rec go later = function
+    | [] -> later
+    | s :: above_rev ->
+        (* [later] = arrays used strictly after s (within or after the
+           block).  Process s: descend, then compute its last uses. *)
+        let uses = restrict_arrays types (uses_of_stm aliases s) in
+        annotate_sub aliases types ~used_after:later s;
+        s.last_uses <- SS.elements (SS.diff uses later);
+        go (SS.union later uses) above_rev
+  in
+  go (SS.union used_after res_uses) (List.rev b.stms)
+
+and annotate_sub aliases types ~used_after (s : stm) : unit =
+  match s.exp with
+  | EIf { tb; fb; _ } ->
+      ignore (annotate_block aliases types ~used_after tb);
+      ignore (annotate_block aliases types ~used_after fb)
+  | ELoop { params; body; _ } ->
+      (* Arrays free in the body or loop-carried are used by subsequent
+         iterations: conservatively used-after everywhere inside. *)
+      let free =
+        restrict_arrays types
+          (SS.fold
+             (fun v acc -> SS.union acc (Alias.closure aliases v))
+             (fv_block body) SS.empty)
+      in
+      let carried =
+        restrict_arrays types
+          (List.fold_left
+             (fun acc (pe, _) ->
+               SS.union acc (Alias.closure aliases pe.pv))
+             SS.empty params)
+      in
+      ignore
+        (annotate_block aliases types
+           ~used_after:(SS.union used_after (SS.union free carried))
+           body)
+  | EMap { body; _ } ->
+      (* Parallel iterations: free arrays are used by sibling threads. *)
+      let free =
+        restrict_arrays types
+          (SS.fold
+             (fun v acc -> SS.union acc (Alias.closure aliases v))
+             (fv_block body) SS.empty)
+      in
+      ignore
+        (annotate_block aliases types ~used_after:(SS.union used_after free)
+           body)
+  | _ -> ()
+
+(* Annotate a whole program in place; returns the alias map used. *)
+let annotate (p : prog) : Alias.t =
+  let aliases = Alias.of_prog p in
+  let types = Hashtbl.create 64 in
+  List.iter (fun pe -> Hashtbl.replace types pe.pv pe.pt) p.params;
+  record_types types p.body;
+  ignore (annotate_block aliases types ~used_after:SS.empty p.body);
+  aliases

@@ -1,0 +1,13 @@
+(** Last-use analysis (section V, footnote 18).
+
+    Annotates each statement (its mutable [last_uses] field) with the
+    arrays whose last use it is: after such a statement, neither the
+    array nor anything in an alias relation with it is used on any
+    execution path.  Uses inside compound statements count at the
+    compound statement; arrays free in loop/mapnest bodies are
+    conservatively alive throughout the body (another iteration may
+    read them), while body-local arrays get precise in-body points
+    (Fig. 5b's [as] is lastly used at [f as] inside the loop). *)
+
+val annotate : Ir.Ast.prog -> Alias.t
+(** Annotate in place; returns the alias classes used. *)

@@ -1,0 +1,21 @@
+(** Memory introduction (section IV-C).
+
+    Rewrites a memory-agnostic program so that every array binding
+    carries a memory block and an index function: fresh-array creations
+    get an [EAlloc] and a row-major layout; change-of-layout statements
+    reuse the operand's block with a transformed index function; [if]
+    and [loop] results are existentialized, their patterns binding the
+    memory block and the anti-unification witnesses (Fig. 5), each array
+    result grouped as [mem, witnesses..., array] consistently across
+    parameters, results and patterns.
+
+    The annotations are a semantic no-op: stripping them (and the
+    [EAlloc]/[TMem] plumbing) recovers the original program, which is
+    how the reference interpreter treats the output. *)
+
+exception Mem_error of string
+
+val introduce : Ir.Ast.prog -> Ir.Ast.prog
+(** @raise Mem_error on unsupported shapes (e.g. an anti-unification
+    failure that would need a normalizing copy the caller did not
+    insert). *)

@@ -1,0 +1,22 @@
+(** The compilation pipeline: memory introduction (section IV),
+    allocation hoisting, last-use analysis, array short-circuiting
+    (section V), and dead-allocation cleanup. *)
+
+type compiled = {
+  source : Ir.Ast.prog;  (** pristine, memory-agnostic *)
+  unopt : Ir.Ast.prog;  (** memory-introduced + hoisted *)
+  opt : Ir.Ast.prog;
+      (** additionally short-circuited, dead allocations removed *)
+  stats : Shortcircuit.stats;
+  dead_allocs : int;  (** allocations eliminated by short-circuiting *)
+  time_base : float;  (** seconds: memory introduction + hoisting *)
+  time_sc : float;  (** seconds: the short-circuiting pass alone *)
+}
+
+val to_memory_ir : Ir.Ast.prog -> Ir.Ast.prog
+(** Memory introduction + hoisting + last-use only (the "unoptimized"
+    configuration of the paper's tables). *)
+
+val compile : ?rounds:int -> Ir.Ast.prog -> compiled
+(** Produce both configurations from a source program (which is cloned,
+    never mutated), timing the passes for the section V-D comparison. *)

@@ -1,0 +1,1 @@
+lib/frontend/elab.ml: Fmt Ir List Lmads Map Option Parser String Symalg

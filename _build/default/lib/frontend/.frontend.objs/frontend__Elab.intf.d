@@ -1,0 +1,1 @@
+lib/frontend/elab.mli: Ir Parser Symalg

@@ -1,0 +1,17 @@
+(** Elaboration of the surface language into the core IR.
+
+    Integer expressions over in-scope [i64] variables, constants and
+    [+ - *] become index polynomials - the form the LMAD machinery can
+    analyze; anything else (divisions, data-loaded values) is bound as
+    an ordinary scalar whose opaque name then blocks the analysis,
+    which is exactly the conservative behaviour of Fig. 1 (right). *)
+
+exception Elab_error of string
+
+val elab_prog : ?ctx:Symalg.Prover.t -> Parser.sprog -> Ir.Ast.prog
+(** Elaborate a parsed program into a checked IR program; [ctx] carries
+    size assumptions for the short-circuiting analysis.
+    @raise Elab_error on scope/shape violations. *)
+
+val compile_string : ?ctx:Symalg.Prover.t -> string -> Ir.Ast.prog
+(** Parse ({!Parser.parse}) then elaborate. *)

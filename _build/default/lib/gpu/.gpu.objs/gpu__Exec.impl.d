@@ -1,0 +1,1 @@
+lib/gpu/exec.ml: Array Device Float Fmt Hashtbl Ir List Lmads Map Printf String Symalg

@@ -1,0 +1,163 @@
+(* Device profiles for the GPU cost model.
+
+   This is the substitution for the paper's NVIDIA A100 and AMD MI100
+   testbeds (DESIGN.md, substitution 1).  The executor counts the
+   events below while running a memory-annotated program; a profile
+   converts them to simulated wall time.  Bandwidths are the public
+   datasheet numbers; overheads are realistic per-launch costs.  The
+   *relative* results (the paper's Unopt/Opt/Ref ratios) depend on the
+   counted traffic, not on these constants' absolute values. *)
+
+type t = {
+  name : string;
+  mem_bandwidth : float; (* bytes/second achievable global-memory BW *)
+  copy_bandwidth : float; (* bytes/second for pure copies (r+w streams) *)
+  flop_throughput : float; (* scalar-op units/second the model charges *)
+  kernel_overhead : float; (* seconds per kernel launch *)
+  copy_overhead : float; (* seconds per copy-engine operation *)
+  alloc_overhead : float; (* seconds per allocation (pooled) *)
+}
+
+(* NVIDIA A100 (SXM, 80 GB): 1555 GB/s HBM2e. *)
+let a100 =
+  {
+    name = "A100";
+    mem_bandwidth = 1.555e12;
+    copy_bandwidth = 1.3e12; (* copies stream read+write; ~85% of peak *)
+    flop_throughput = 6.0e12;
+    kernel_overhead = 7.0e-6;
+    copy_overhead = 1.2e-6;
+    alloc_overhead = 1.0e-6;
+  }
+
+(* AMD MI100: 1228.8 GB/s HBM2. *)
+let mi100 =
+  {
+    name = "MI100";
+    mem_bandwidth = 1.2288e12;
+    copy_bandwidth = 0.95e12;
+    flop_throughput = 4.6e12;
+    kernel_overhead = 10.0e-6;
+    copy_overhead = 2.2e-6;
+    alloc_overhead = 1.5e-6;
+  }
+
+(* Event counters accumulated by the executor. *)
+type counters = {
+  mutable kernels : int;
+  mutable kernel_reads : float; (* bytes read by kernels *)
+  mutable kernel_writes : float; (* bytes written by kernels *)
+  mutable flops : float; (* scalar operations inside kernels *)
+  mutable copies : int; (* copy operations actually performed *)
+  mutable copy_bytes : float; (* bytes moved by those copies *)
+  mutable copies_elided : int; (* copies skipped by short-circuiting *)
+  mutable elided_bytes : float;
+  mutable allocs : int;
+  mutable alloc_bytes : float;
+  mutable peak_bytes : float;
+  mutable live_bytes : float;
+}
+
+let fresh_counters () =
+  {
+    kernels = 0;
+    kernel_reads = 0.;
+    kernel_writes = 0.;
+    flops = 0.;
+    copies = 0;
+    copy_bytes = 0.;
+    copies_elided = 0;
+    elided_bytes = 0.;
+    allocs = 0;
+    alloc_bytes = 0.;
+    peak_bytes = 0.;
+    live_bytes = 0.;
+  }
+
+(* Simulated execution time of the counted events on a device: kernels
+   are bandwidth- or compute-bound (the max of the two roofline terms),
+   copies stream through the copy engine, and every launch/allocation
+   pays its overhead. *)
+(* Fraction of the smaller roofline term hidden behind the larger one:
+   perfect overlap (1.0) would make bandwidth-side optimizations
+   invisible inside compute-bound kernels, which real GPUs do not
+   achieve; no overlap (0.0) double-charges. *)
+let overlap = 0.7
+
+let time (d : t) (c : counters) : float =
+  let kernel_traffic = (c.kernel_reads +. c.kernel_writes) /. d.mem_bandwidth in
+  let kernel_compute = c.flops /. d.flop_throughput in
+  let kernel =
+    Float.max kernel_traffic kernel_compute
+    +. ((1.0 -. overlap) *. Float.min kernel_traffic kernel_compute)
+  in
+  let copies = (2.0 *. c.copy_bytes /. d.copy_bandwidth)
+               +. (float_of_int c.copies *. d.copy_overhead) in
+  let launches = float_of_int c.kernels *. d.kernel_overhead in
+  let allocs = float_of_int c.allocs *. d.alloc_overhead in
+  kernel +. copies +. launches +. allocs
+
+let pp_counters ppf c =
+  Fmt.pf ppf
+    "@[<v>kernels: %d (%.3g B read, %.3g B written, %.3g flops)@,\
+     copies: %d (%.3g B); elided: %d (%.3g B)@,\
+     allocs: %d (%.3g B, peak %.3g B)@]"
+    c.kernels c.kernel_reads c.kernel_writes c.flops c.copies c.copy_bytes
+    c.copies_elided c.elided_bytes c.allocs c.alloc_bytes c.peak_bytes
+
+(* Counter snapshots for sampled cost estimation. *)
+let clone (c : counters) : counters =
+  {
+    kernels = c.kernels;
+    kernel_reads = c.kernel_reads;
+    kernel_writes = c.kernel_writes;
+    flops = c.flops;
+    copies = c.copies;
+    copy_bytes = c.copy_bytes;
+    copies_elided = c.copies_elided;
+    elided_bytes = c.elided_bytes;
+    allocs = c.allocs;
+    alloc_bytes = c.alloc_bytes;
+    peak_bytes = c.peak_bytes;
+    live_bytes = c.live_bytes;
+  }
+
+let assign (dst : counters) (src : counters) : unit =
+  dst.kernels <- src.kernels;
+  dst.kernel_reads <- src.kernel_reads;
+  dst.kernel_writes <- src.kernel_writes;
+  dst.flops <- src.flops;
+  dst.copies <- src.copies;
+  dst.copy_bytes <- src.copy_bytes;
+  dst.copies_elided <- src.copies_elided;
+  dst.elided_bytes <- src.elided_bytes;
+  dst.allocs <- src.allocs;
+  dst.alloc_bytes <- src.alloc_bytes;
+  dst.peak_bytes <- src.peak_bytes;
+  dst.live_bytes <- src.live_bytes
+
+(* [add_simpson dst samples n] adds the Simpson-weighted per-iteration
+   deltas, n * (d0 + 4*dmid + dlast) / 6, to [dst]; integer fields are
+   rounded once on the combined value so constant per-iteration counts
+   stay exact. *)
+let add_simpson (dst : counters)
+    ((b0, a0) : counters * counters) ((bm, am) : counters * counters)
+    ((bl, al) : counters * counters) (n : float) : unit =
+  let wf d0 dm dl = n *. (d0 +. (4. *. dm) +. dl) /. 6.0 in
+  let wi f =
+    let d0 = float_of_int (f a0 - f b0)
+    and m = float_of_int (f am - f bm)
+    and l = float_of_int (f al - f bl) in
+    int_of_float (Float.round (wf d0 m l))
+  in
+  let wflt f = wf (f a0 -. f b0) (f am -. f bm) (f al -. f bl) in
+  dst.kernels <- dst.kernels + wi (fun c -> c.kernels);
+  dst.kernel_reads <- dst.kernel_reads +. wflt (fun c -> c.kernel_reads);
+  dst.kernel_writes <- dst.kernel_writes +. wflt (fun c -> c.kernel_writes);
+  dst.flops <- dst.flops +. wflt (fun c -> c.flops);
+  dst.copies <- dst.copies + wi (fun c -> c.copies);
+  dst.copy_bytes <- dst.copy_bytes +. wflt (fun c -> c.copy_bytes);
+  dst.copies_elided <- dst.copies_elided + wi (fun c -> c.copies_elided);
+  dst.elided_bytes <- dst.elided_bytes +. wflt (fun c -> c.elided_bytes);
+  dst.allocs <- dst.allocs + wi (fun c -> c.allocs);
+  dst.alloc_bytes <- dst.alloc_bytes +. wflt (fun c -> c.alloc_bytes)

@@ -1,0 +1,62 @@
+(** Device profiles and the cost model standing in for the paper's
+    NVIDIA A100 / AMD MI100 testbeds (DESIGN.md, substitution 1).
+
+    The executor counts events; {!time} converts them to simulated wall
+    time: kernels follow a roofline with partial overlap of memory and
+    compute, copies stream through the copy engine, and every
+    launch/allocation pays an overhead.  The relative benchmark results
+    (the paper's Unopt/Opt/Ref ratios) derive from the counted traffic,
+    not from the absolute constants. *)
+
+type t = {
+  name : string;
+  mem_bandwidth : float;  (** bytes/s achievable global-memory bandwidth *)
+  copy_bandwidth : float;  (** bytes/s for pure copies (read+write streams) *)
+  flop_throughput : float;  (** scalar-op units per second *)
+  kernel_overhead : float;  (** seconds per kernel launch *)
+  copy_overhead : float;  (** seconds per copy-engine operation *)
+  alloc_overhead : float;  (** seconds per (pooled) allocation *)
+}
+
+val a100 : t
+(** NVIDIA A100 (SXM, 80 GB): 1555 GB/s HBM2e. *)
+
+val mi100 : t
+(** AMD MI100: 1228.8 GB/s HBM2. *)
+
+(** Event counters accumulated by the executor. *)
+type counters = {
+  mutable kernels : int;
+  mutable kernel_reads : float;  (** DRAM bytes read by kernels *)
+  mutable kernel_writes : float;  (** bytes written by kernels *)
+  mutable flops : float;  (** scalar operations inside kernels *)
+  mutable copies : int;  (** top-level copy operations performed *)
+  mutable copy_bytes : float;
+  mutable copies_elided : int;  (** copies skipped by short-circuiting *)
+  mutable elided_bytes : float;
+  mutable allocs : int;
+  mutable alloc_bytes : float;
+  mutable peak_bytes : float;
+  mutable live_bytes : float;
+}
+
+val fresh_counters : unit -> counters
+
+val overlap : float
+(** Fraction of the smaller roofline term hidden behind the larger. *)
+
+val time : t -> counters -> float
+(** Simulated execution time of the counted events on the device. *)
+
+val clone : counters -> counters
+val assign : counters -> counters -> unit
+
+val add_simpson :
+  counters -> counters * counters -> counters * counters ->
+  counters * counters -> float -> unit
+(** [add_simpson dst (b0,a0) (bm,am) (bl,al) n] adds the
+    Simpson-weighted loop estimate [n * (d0 + 4*dmid + dlast) / 6]
+    built from three (before, after) per-iteration snapshots; integer
+    fields are rounded once on the combined value. *)
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,854 @@
+(* The memory-aware executor: runs a memory-annotated program against
+   the GPU cost model.
+
+   Unlike the reference interpreter (which materializes every view and
+   ignores annotations), this executor honours memory blocks and index
+   functions exactly: arrays are (block, concrete index function) pairs,
+   change-of-layout operations cost nothing, and the copies at updates,
+   concats, [copy], and mapnest result writes are *elided* whenever the
+   source already lives at the destination location - which is
+   precisely what the short-circuiting pass arranges.  The executor is
+   therefore both the validation vehicle (full mode: computed values
+   must match the reference interpreter) and the measurement vehicle
+   (cost-only mode at paper-scale sizes: counted traffic feeds the
+   device time model).
+
+   Cost-only mode executes control flow and scalar sizes exactly but
+   samples each mapnest body once (at the midpoint of its index space)
+   and scales the measured per-thread cost by the thread count; byte
+   counts for copies and slices are exact since they derive from
+   shapes.  This is accurate for thread-uniform bodies and for bodies
+   whose cost is linear in the thread index (wavefront/triangular
+   workloads), which covers the benchmark suite. *)
+
+open Ir.Ast
+module P = Symalg.Poly
+module Ixfn = Lmads.Ixfn
+module Lmad = Lmads.Lmad
+module SM = Map.Make (String)
+module Value = Ir.Value
+
+exception Exec_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
+
+type mode = Full | Cost_only
+
+(* ---------------------------------------------------------------- *)
+(* Concrete memory                                                   *)
+(* ---------------------------------------------------------------- *)
+
+type payload = PF of float array | PI of int array | PB of bool array
+
+type blockv = {
+  bid : int; (* unique id *)
+  bname : string;
+  bsize : int; (* elements *)
+  mutable payload : payload option; (* lazily materialized (Full mode) *)
+}
+
+(* Concrete index function: integer offsets/cardinals/strides. *)
+type clmad = { coff : int; cdims : (int * int) list (* card, stride *) }
+type cixfn = clmad list (* head first, memory side last *)
+
+type arrv = { elt : sct; shape : int list; block : blockv; ix : cixfn }
+
+type aval =
+  | AInt of int
+  | AFloat of float
+  | ABool of bool
+  | AMem of blockv
+  | AArr of arrv
+
+type env = aval SM.t
+
+type state = {
+  mode : mode;
+  counters : Device.counters;
+  mutable kernel_depth : int;
+  thread_writes : (int * int, unit) Hashtbl.t;
+      (* (block id, offset) pairs written by the current kernel thread:
+         re-reads of a thread's own writes hit registers/shared memory
+         and cost no global traffic (temporal locality within a thread,
+         e.g. the in-block cells of NW/LUD) *)
+  kernel_reads_tally : (int, float * int) Hashtbl.t;
+      (* per-kernel DRAM read estimate per block: bid -> (bytes, block
+         size in elements).  At kernel end each block's reads are capped
+         at its footprint - a perfect-L2 model: within one kernel launch
+         a location is fetched from DRAM at most once (spatial/temporal
+         sharing between threads, e.g. stencil neighbours) *)
+}
+
+let elem_bytes = 8.0
+
+(* ---------------------------------------------------------------- *)
+(* Environment and polynomial evaluation                             *)
+(* ---------------------------------------------------------------- *)
+
+let lookup env v =
+  match SM.find_opt v env with
+  | Some x -> x
+  | None -> err "exec: unbound %s" v
+
+let lookup_arr env v =
+  match lookup env v with
+  | AArr a -> a
+  | _ -> err "exec: %s is not an array" v
+
+let lookup_block env v =
+  match lookup env v with
+  | AMem b -> b
+  | _ -> err "exec: %s is not a memory block" v
+
+let eval_poly env (p : P.t) : int =
+  P.eval
+    (fun v ->
+      match lookup env v with
+      | AInt i -> i
+      | _ -> err "exec: %s is not an integer (in index expression)" v)
+    p
+
+let concretize env (ix : Ixfn.t) : cixfn =
+  List.map
+    (fun l ->
+      {
+        coff = eval_poly env (Lmad.offset l);
+        cdims =
+          List.map
+            (fun d -> (eval_poly env d.Lmad.n, eval_poly env d.Lmad.s))
+            (Lmad.dims l);
+      })
+    (Ixfn.chain ix)
+
+
+(* Apply a concrete index function to a concrete index. *)
+let capply (ix : cixfn) (idxs : int list) : int =
+  match ix with
+  | [] -> err "exec: empty index function"
+  | first :: rest ->
+      let app l idxs =
+        List.fold_left2
+          (fun acc i (_, s) -> acc + (i * s))
+          l.coff idxs l.cdims
+      in
+      let o = ref (app first idxs) in
+      List.iter
+        (fun l ->
+          let shp = List.map fst l.cdims in
+          let rec unrank o = function
+            | [] -> []
+            | [ _ ] -> [ o ]
+            | _ :: rest ->
+                let inner = List.fold_left ( * ) 1 rest in
+                (o / inner) :: unrank (o mod inner) rest
+          in
+          o := app l (unrank !o shp))
+        rest;
+      !o
+
+(* Element-wise location equality (same block, same mapping): used to
+   elide copies arranged by short-circuiting.  Cardinal-1 dimensions do
+   not affect the mapping and are dropped before comparison. *)
+let strip (ix : cixfn) =
+  List.map
+    (fun l -> { l with cdims = List.filter (fun (n, _) -> n <> 1) l.cdims })
+    ix
+
+let same_location (b1 : blockv) ix1 (b2 : blockv) ix2 =
+  b1 == b2 && strip ix1 = strip ix2
+
+(* ---------------------------------------------------------------- *)
+(* Payload access                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let ensure_payload (b : blockv) (elt : sct) : payload =
+  match b.payload with
+  | Some p -> p
+  | None ->
+      let p =
+        match elt with
+        | F64 -> PF (Array.make b.bsize 0.0)
+        | I64 -> PI (Array.make b.bsize 0)
+        | Bool -> PB (Array.make b.bsize false)
+      in
+      b.payload <- Some p;
+      p
+
+let tally_reads st (a : blockv) bytes =
+  let prev =
+    match Hashtbl.find_opt st.kernel_reads_tally a.bid with
+    | Some (b, _) -> b
+    | None -> 0.
+  in
+  Hashtbl.replace st.kernel_reads_tally a.bid (prev +. bytes, a.bsize)
+
+let read_cell st (a : blockv) elt (off : int) : aval =
+  (if st.kernel_depth = 0 then
+     st.counters.kernel_reads <- st.counters.kernel_reads +. elem_bytes
+   else if not (Hashtbl.mem st.thread_writes (a.bid, off)) then
+     tally_reads st a elem_bytes);
+  match st.mode with
+  | Cost_only -> (
+      match elt with F64 -> AFloat 0.5 | I64 -> AInt 0 | Bool -> ABool true)
+  | Full -> (
+      if off < 0 || off >= a.bsize then
+        err "exec: read out of bounds in %s (%d / %d)" a.bname off a.bsize;
+      match ensure_payload a elt with
+      | PF d -> AFloat d.(off)
+      | PI d -> AInt d.(off)
+      | PB d -> ABool d.(off))
+
+let write_cell st (a : blockv) elt (off : int) (v : aval) : unit =
+  st.counters.kernel_writes <- st.counters.kernel_writes +. elem_bytes;
+  if st.kernel_depth > 0 then
+    Hashtbl.replace st.thread_writes (a.bid, off) ();
+  match st.mode with
+  | Cost_only -> ()
+  | Full -> (
+      if off < 0 || off >= a.bsize then
+        err "exec: write out of bounds in %s (%d / %d)" a.bname off a.bsize;
+      match (ensure_payload a elt, v) with
+      | PF d, AFloat x -> d.(off) <- x
+      | PI d, AInt x -> d.(off) <- x
+      | PB d, ABool x -> d.(off) <- x
+      | _ -> err "exec: type mismatch writing %s" a.bname)
+
+(* Raw data movement that bypasses the kernel counters (used by copy
+   accounting, which maintains its own counters). *)
+let move_cell (src : blockv) (dst : blockv) elt (soff : int) (doff : int) :
+    unit =
+  match (ensure_payload src elt, ensure_payload dst elt) with
+  | PF s, PF d -> d.(doff) <- s.(soff)
+  | PI s, PI d -> d.(doff) <- s.(soff)
+  | PB s, PB d -> d.(doff) <- s.(soff)
+  | _ -> err "exec: copy type mismatch"
+
+(* All logical indices of a concrete shape, row-major. *)
+let indices shape = Value.indices shape
+
+let count shape = List.fold_left ( * ) 1 shape
+
+(* ---------------------------------------------------------------- *)
+(* Copies                                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Copy the logical contents of (sb, six, shape) to (db, dix); elided
+   when the locations already coincide. *)
+let copy_logical st elt shape (sb : blockv) (six : cixfn) (db : blockv)
+    (dix : cixfn) : unit =
+  let bytes = float_of_int (count shape) *. elem_bytes in
+  if same_location sb six db dix then begin
+    st.counters.copies_elided <- st.counters.copies_elided + 1;
+    st.counters.elided_bytes <- st.counters.elided_bytes +. bytes
+  end
+  else begin
+    (* A copy inside a kernel (a per-thread result write) is kernel
+       traffic; a top-level copy goes through the copy engine and pays
+       per-copy overhead. *)
+    if st.kernel_depth > 0 then begin
+      tally_reads st sb bytes;
+      st.counters.kernel_writes <- st.counters.kernel_writes +. bytes
+    end
+    else begin
+      st.counters.copies <- st.counters.copies + 1;
+      st.counters.copy_bytes <- st.counters.copy_bytes +. bytes
+    end;
+    match st.mode with
+    | Cost_only -> ()
+    | Full ->
+        List.iter
+          (fun idx -> move_cell sb db elt (capply six idx) (capply dix idx))
+          (indices shape)
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Concrete slicing of index functions                               *)
+(* ---------------------------------------------------------------- *)
+
+let cslice_triplet env (sds : slice_dim list) (ix : cixfn) : cixfn =
+  match ix with
+  | [] -> err "exec: slicing empty ixfn"
+  | l :: rest ->
+      if List.length sds <> List.length l.cdims then
+        err "exec: triplet slice rank mismatch";
+      let off = ref l.coff in
+      let dims =
+        List.concat
+          (List.map2
+             (fun sd (_, s) ->
+               match sd with
+               | SFix i ->
+                   off := !off + (eval_poly env i * s);
+                   []
+               | SRange { start; len; step } ->
+                   off := !off + (eval_poly env start * s);
+                   [ (eval_poly env len, eval_poly env step * s) ])
+             sds l.cdims)
+      in
+      { coff = !off; cdims = dims } :: rest
+
+(* Merge adjacent concrete dims (flatten), required for LMAD slicing. *)
+let cflatten (l : clmad) : clmad option =
+  let rec go = function
+    | [] -> Some [ (1, 1) ]
+    | [ d ] -> Some [ d ]
+    | (n1, s1) :: rest -> (
+        match go rest with
+        | Some ((n2, s2) :: rest') when s1 = n2 * s2 ->
+            Some ((n1 * n2, s2) :: rest')
+        | _ -> None)
+  in
+  match go l.cdims with
+  | Some [ d ] -> Some { coff = l.coff; cdims = [ d ] }
+  | Some [] -> Some { coff = l.coff; cdims = [ (1, 1) ] }
+  | _ -> None
+
+let cslice_lmad env (slc : Lmad.t) (ix : cixfn) : cixfn =
+  match ix with
+  | [] -> err "exec: slicing empty ixfn"
+  | l :: rest -> (
+      match cflatten l with
+      | None -> err "exec: LMAD slice of non-flattenable layout"
+      | Some flat ->
+          let base_s = match flat.cdims with [ (_, s) ] -> s | _ -> 1 in
+          let coff = flat.coff + (eval_poly env (Lmad.offset slc) * base_s) in
+          let cdims =
+            List.map
+              (fun d ->
+                ( eval_poly env d.Lmad.n,
+                  eval_poly env d.Lmad.s * base_s ))
+              (Lmad.dims slc)
+          in
+          { coff; cdims } :: rest)
+
+let cslice env (slc : slice) (ix : cixfn) : cixfn =
+  match slc with
+  | STriplet sds -> cslice_triplet env sds ix
+  | SLmad l -> cslice_lmad env l ix
+
+(* ---------------------------------------------------------------- *)
+(* Scalar operations (tolerant in cost-only mode)                    *)
+(* ---------------------------------------------------------------- *)
+
+let bin st op a b =
+  if st.kernel_depth > 0 then st.counters.flops <- st.counters.flops +. 1.;
+  let safe_div x y = if y = 0 && st.mode = Cost_only then 0 else x / y in
+  let safe_rem x y = if y = 0 && st.mode = Cost_only then 0 else x mod y in
+  match (op, a, b) with
+  | Add, AInt x, AInt y -> AInt (x + y)
+  | Sub, AInt x, AInt y -> AInt (x - y)
+  | Mul, AInt x, AInt y -> AInt (x * y)
+  | Div, AInt x, AInt y -> AInt (safe_div x y)
+  | Rem, AInt x, AInt y -> AInt (safe_rem x y)
+  | Min, AInt x, AInt y -> AInt (min x y)
+  | Max, AInt x, AInt y -> AInt (max x y)
+  | Add, AFloat x, AFloat y -> AFloat (x +. y)
+  | Sub, AFloat x, AFloat y -> AFloat (x -. y)
+  | Mul, AFloat x, AFloat y -> AFloat (x *. y)
+  | Div, AFloat x, AFloat y -> AFloat (x /. y)
+  | Rem, AFloat x, AFloat y -> AFloat (Float.rem x y)
+  | Min, AFloat x, AFloat y -> AFloat (Float.min x y)
+  | Max, AFloat x, AFloat y -> AFloat (Float.max x y)
+  | And, ABool x, ABool y -> ABool (x && y)
+  | Or, ABool x, ABool y -> ABool (x || y)
+  | _ -> err "exec: ill-typed binop"
+
+let cmp st op a b =
+  if st.kernel_depth > 0 then st.counters.flops <- st.counters.flops +. 1.;
+  match (op, a, b) with
+  | CEq, AInt x, AInt y -> ABool (x = y)
+  | CLt, AInt x, AInt y -> ABool (x < y)
+  | CLe, AInt x, AInt y -> ABool (x <= y)
+  | CEq, AFloat x, AFloat y -> ABool (x = y)
+  | CLt, AFloat x, AFloat y -> ABool (x < y)
+  | CLe, AFloat x, AFloat y -> ABool (x <= y)
+  | CEq, ABool x, ABool y -> ABool (x = y)
+  | _ -> err "exec: ill-typed cmp"
+
+let un st op a =
+  if st.kernel_depth > 0 then st.counters.flops <- st.counters.flops +. 1.;
+  match (op, a) with
+  | Neg, AInt x -> AInt (-x)
+  | Neg, AFloat x -> AFloat (-.x)
+  | Abs, AInt x -> AInt (abs x)
+  | Abs, AFloat x -> AFloat (Float.abs x)
+  | Sqrt, AFloat x -> AFloat (sqrt (Float.abs x))
+  | Exp, AFloat x -> AFloat (exp x)
+  | Log, AFloat x -> AFloat (if x <= 0. then 0. else log x)
+  | Not, ABool x -> ABool (not x)
+  | ToF64, AInt x -> AFloat (float_of_int x)
+  | ToI64, AFloat x -> AInt (int_of_float x)
+  | _ -> err "exec: ill-typed unop"
+
+let eval_atom env = function
+  | Var v -> lookup env v
+  | Int i -> AInt i
+  | Float f -> AFloat f
+  | Bool b -> ABool b
+
+(* ---------------------------------------------------------------- *)
+(* Memory info of a pattern element                                   *)
+(* ---------------------------------------------------------------- *)
+
+let mem_info_of pe =
+  match pe.pmem with
+  | Some m -> m
+  | None -> err "exec: %s has no memory annotation" pe.pv
+
+let bind_result env pe (v : aval) = SM.add pe.pv v env
+
+(* The destination (block, ixfn) a pattern element is annotated with. *)
+let dest_of env pe =
+  let m = mem_info_of pe in
+  (lookup_block env m.block, concretize env m.ixfn)
+
+let arr_of_pat env pe =
+  match pe.pt with
+  | TArr (elt, shape) ->
+      let block, ix = dest_of env pe in
+      AArr { elt; shape = List.map (eval_poly env) shape; block; ix }
+  | _ -> err "exec: %s is not an array pattern" pe.pv
+
+(* ---------------------------------------------------------------- *)
+(* Expression execution                                              *)
+(* ---------------------------------------------------------------- *)
+
+let block_counter = ref 0
+
+let rec exec_exp st env (s : stm) : aval list =
+  let e = s.exp in
+  match e with
+  | EAtom a -> [ eval_atom env a ]
+  | EBin (op, a, b) -> [ bin st op (eval_atom env a) (eval_atom env b) ]
+  | ECmp (op, a, b) -> [ cmp st op (eval_atom env a) (eval_atom env b) ]
+  | EUn (op, a) -> [ un st op (eval_atom env a) ]
+  | EIdx p -> [ AInt (eval_poly env p) ]
+  | EIndex (v, idxs) ->
+      let a = lookup_arr env v in
+      let is = List.map (eval_poly env) idxs in
+      [ read_cell st a.block a.elt (capply a.ix is) ]
+  | ESlice (v, _) | ETranspose (v, _) | EReshape (v, _) | EReverse (v, _) ->
+      (* O(1): the result's annotation holds the transformed ixfn *)
+      let a = lookup_arr env v in
+      let pe = List.hd s.pat in
+      let _, ix = dest_of env pe in
+      [
+        AArr
+          {
+            elt = a.elt;
+            shape =
+              (match pe.pt with
+              | TArr (_, shape) -> List.map (eval_poly env) shape
+              | _ -> err "exec: view with non-array pattern");
+            block = a.block;
+            ix;
+          };
+      ]
+  | EIota n ->
+      let pe = List.hd s.pat in
+      let out = arr_of_pat env pe in
+      let n = eval_poly env n in
+      launch_kernel st (fun () ->
+          match out with
+          | AArr o ->
+              (match st.mode with
+              | Full ->
+                  for i = 0 to n - 1 do
+                    write_cell st o.block o.elt (capply o.ix [ i ]) (AInt i)
+                  done
+              | Cost_only ->
+                  st.counters.kernel_writes <-
+                    st.counters.kernel_writes +. (float_of_int n *. elem_bytes));
+              [ out ]
+          | _ -> assert false)
+  | EReplicate (_, a) ->
+      let pe = List.hd s.pat in
+      let out = arr_of_pat env pe in
+      let v = eval_atom env a in
+      launch_kernel st (fun () ->
+          match out with
+          | AArr o ->
+              let n = count o.shape in
+              (match st.mode with
+              | Full ->
+                  List.iter
+                    (fun idx -> write_cell st o.block o.elt (capply o.ix idx) v)
+                    (indices o.shape)
+              | Cost_only ->
+                  st.counters.kernel_writes <-
+                    st.counters.kernel_writes +. (float_of_int n *. elem_bytes));
+              [ out ]
+          | _ -> assert false)
+  | EScratch _ ->
+      (* no writes: just bind the destination *)
+      [ arr_of_pat env (List.hd s.pat) ]
+  | ECopy v ->
+      let a = lookup_arr env v in
+      let pe = List.hd s.pat in
+      let db, dix = dest_of env pe in
+      copy_logical st a.elt a.shape a.block a.ix db dix;
+      [ AArr { a with block = db; ix = dix } ]
+  | EConcat vs ->
+      let pe = List.hd s.pat in
+      let out = arr_of_pat env pe in
+      (match out with
+      | AArr o ->
+          let row = ref 0 in
+          List.iter
+            (fun v ->
+              let a = lookup_arr env v in
+              let d0 = List.hd a.shape in
+              let slc =
+                SRange
+                  { start = P.const !row; len = P.const d0; step = P.one }
+                :: List.map
+                     (fun d -> SRange { start = P.zero; len = P.const d; step = P.one })
+                     (List.tl a.shape)
+              in
+              let dix = cslice_triplet env slc o.ix in
+              copy_logical st a.elt a.shape a.block a.ix o.block dix;
+              row := !row + d0)
+            vs
+      | _ -> assert false);
+      [ out ]
+  | EUpdate { dst; slc; src } -> (
+      let d = lookup_arr env dst in
+      let tix = cslice env slc d.ix in
+      match src with
+      | SrcScalar a ->
+          let v = eval_atom env a in
+          write_cell st d.block d.elt (capply tix []) v;
+          [ AArr d ]
+      | SrcArr sv ->
+          let sa = lookup_arr env sv in
+          copy_logical st sa.elt sa.shape sa.block sa.ix d.block tix;
+          [ AArr d ])
+  | EMap { nest; body } -> exec_map st env s nest body
+  | EReduce { op; ne; arr } ->
+      let a = lookup_arr env arr in
+      let n = count a.shape in
+      launch_kernel st (fun () ->
+          match st.mode with
+          | Full ->
+              let acc = ref (eval_atom env ne) in
+              for i = 0 to n - 1 do
+                acc := bin st op !acc (read_cell st a.block a.elt (capply a.ix [ i ]))
+              done;
+              [ !acc ]
+          | Cost_only ->
+              tally_reads st a.block (float_of_int n *. elem_bytes);
+              st.counters.flops <- st.counters.flops +. float_of_int n;
+              [ eval_atom env ne ])
+  | EArgmin arr ->
+      let a = lookup_arr env arr in
+      let n = count a.shape in
+      launch_kernel st (fun () ->
+          match st.mode with
+          | Full ->
+              let best = ref infinity and besti = ref 0 in
+              for i = 0 to n - 1 do
+                match read_cell st a.block a.elt (capply a.ix [ i ]) with
+                | AFloat x ->
+                    if x < !best then (
+                      best := x;
+                      besti := i)
+                | _ -> err "exec: argmin over non-float"
+              done;
+              [ AFloat !best; AInt !besti ]
+          | Cost_only ->
+              tally_reads st a.block (float_of_int n *. elem_bytes);
+              st.counters.flops <- st.counters.flops +. float_of_int n;
+              [ AFloat 0.5; AInt 0 ])
+  | ELoop { params; var; bound; body } ->
+      let n = eval_poly env bound in
+      let run_iter vals i =
+        let env' =
+          List.fold_left2
+            (fun acc (pe, _) v -> SM.add pe.pv v acc)
+            env params vals
+        in
+        let env' = SM.add var (AInt i) env' in
+        exec_block st env' body
+      in
+      let scalar_carry =
+        List.exists (fun (pe, _) -> pe.pt = TScalar I64) params
+      in
+      if st.mode = Cost_only && n >= 24 && not scalar_carry then begin
+        (* Simpson-sampled loop: run iterations 0, n/2 and n-1 from the
+           initial state and charge n * (d0 + 4*dmid + dlast)/6 - exact
+           for per-iteration costs up to quadratic in the index (NW's
+           wavefront, LUD's shrinking interior). *)
+        let init = List.map (fun (_, init) -> eval_atom env init) params in
+        let base = Device.clone st.counters in
+        let sample i =
+          let before = Device.clone st.counters in
+          let vals = run_iter init i in
+          let after = Device.clone st.counters in
+          Device.assign st.counters before;
+          (vals, before, after)
+        in
+        let _, b0, a0 = sample 0 in
+        let _, bm, am = sample (n / 2) in
+        let vals, bl, al = sample (n - 1) in
+        Device.assign st.counters base;
+        Device.add_simpson st.counters (b0, a0) (bm, am) (bl, al)
+          (float_of_int n);
+        vals
+      end
+      else begin
+        let vals = ref (List.map (fun (_, init) -> eval_atom env init) params) in
+        for i = 0 to n - 1 do
+          vals := run_iter !vals i
+        done;
+        !vals
+      end
+  | EIf { cond; tb; fb } -> (
+      match eval_atom env cond with
+      | ABool true -> exec_block st env tb
+      | ABool false -> exec_block st env fb
+      | _ -> err "exec: non-boolean condition")
+  | EAlloc size ->
+      incr block_counter;
+      let n = eval_poly env size in
+      let b =
+        {
+          bid = !block_counter;
+          bname = Printf.sprintf "blk%d" !block_counter;
+          bsize = n;
+          payload = None;
+        }
+      in
+      if st.kernel_depth = 0 then begin
+        st.counters.allocs <- st.counters.allocs + 1;
+        let bytes = float_of_int n *. elem_bytes in
+        st.counters.alloc_bytes <- st.counters.alloc_bytes +. bytes;
+        st.counters.live_bytes <- st.counters.live_bytes +. bytes;
+        if st.counters.live_bytes > st.counters.peak_bytes then
+          st.counters.peak_bytes <- st.counters.live_bytes
+      end;
+      [ AMem b ]
+
+and launch_kernel st f =
+  (* nested parallelism is flattened on a GPU: only top-level mapnests
+     pay a launch *)
+  let top = st.kernel_depth = 0 in
+  if top then begin
+    st.counters.kernels <- st.counters.kernels + 1;
+    Hashtbl.reset st.kernel_reads_tally
+  end;
+  st.kernel_depth <- st.kernel_depth + 1;
+  let r = f () in
+  st.kernel_depth <- st.kernel_depth - 1;
+  if top then
+    (* perfect-L2: a kernel reads each block location from DRAM once *)
+    Hashtbl.iter
+      (fun _ (bytes, bsize) ->
+        st.counters.kernel_reads <-
+          st.counters.kernel_reads
+          +. Float.min bytes (float_of_int bsize *. elem_bytes))
+      st.kernel_reads_tally;
+  r
+
+(* Mapnest execution: one kernel; full mode iterates every thread,
+   cost-only samples the midpoint thread and scales. *)
+and exec_map st env (s : stm) nest body : aval list =
+  let dims = List.map (fun (_, n) -> eval_poly env n) nest in
+  let points = count dims in
+  let outs = List.map (fun pe -> arr_of_pat env pe) s.pat in
+  let run_thread env idx =
+    Hashtbl.reset st.thread_writes;
+    let env' =
+      List.fold_left2
+        (fun acc (v, _) i -> SM.add v (AInt i) acc)
+        env nest idx
+    in
+    let results = exec_block st env' body in
+    (* implicit write of each per-thread result into its slot *)
+    List.iter2
+      (fun out r ->
+        match (out, r) with
+        | AArr o, AArr ra ->
+            let slc =
+              List.map (fun i -> SFix (P.const i)) idx
+              @ List.map
+                  (fun d ->
+                    SRange { start = P.zero; len = P.const d; step = P.one })
+                  ra.shape
+            in
+            let slot = cslice_triplet env' slc o.ix in
+            copy_logical st ra.elt ra.shape ra.block ra.ix o.block slot
+        | AArr o, (AFloat _ | AInt _ | ABool _) ->
+            write_cell st o.block o.elt (capply o.ix idx) r
+        | _ -> err "exec: mapnest result mismatch")
+      outs results
+  in
+  launch_kernel st (fun () ->
+      (match st.mode with
+      | Full -> List.iter (fun idx -> run_thread env idx) (indices dims)
+      | Cost_only ->
+          if points > 0 then begin
+            let mid = List.map (fun d -> d / 2) dims in
+            let snap = snapshot st.counters in
+            run_thread env mid;
+            scale_delta st.counters snap (float_of_int points);
+            (* scale the per-block read tallies by the thread count
+               (capping happens when the kernel retires) *)
+            let scaled =
+              Hashtbl.fold
+                (fun bid (bytes, bsize) acc ->
+                  (bid, (bytes *. float_of_int points, bsize)) :: acc)
+                st.kernel_reads_tally []
+            in
+            Hashtbl.reset st.kernel_reads_tally;
+            List.iter
+              (fun (bid, v) -> Hashtbl.replace st.kernel_reads_tally bid v)
+              scaled
+          end);
+      outs)
+
+and snapshot (c : Device.counters) =
+  Device.
+    ( c.kernel_writes,
+      c.flops,
+      c.copies,
+      c.copy_bytes,
+      c.copies_elided,
+      c.elided_bytes )
+
+(* Scale the per-thread cost deltas by the thread count (the kernel
+   launch itself is not scaled).  Per-thread copies are GPU-side
+   gather/scatter, so their count is folded into traffic rather than
+   per-copy overhead. *)
+and scale_delta (c : Device.counters) snap factor =
+  let w0, f0, cp0, cb0, ce0, eb0 = snap in
+  let open Device in
+  c.kernel_writes <- w0 +. ((c.kernel_writes -. w0) *. factor);
+  c.flops <- f0 +. ((c.flops -. f0) *. factor);
+  c.copies <- cp0 + (if c.copies > cp0 then 1 else 0);
+  c.copy_bytes <- cb0 +. ((c.copy_bytes -. cb0) *. factor);
+  c.copies_elided <- ce0 + (if c.copies_elided > ce0 then 1 else 0);
+  c.elided_bytes <- eb0 +. ((c.elided_bytes -. eb0) *. factor)
+
+and exec_block st env (b : block) : aval list =
+  let env =
+    List.fold_left
+      (fun env s ->
+        let vals = exec_exp st env s in
+        if List.length vals <> List.length s.pat then
+          err "exec: arity mismatch";
+        List.fold_left2 bind_result env s.pat vals)
+      env b.stms
+  in
+  List.map (eval_atom env) b.res
+
+(* ---------------------------------------------------------------- *)
+(* Program entry                                                     *)
+(* ---------------------------------------------------------------- *)
+
+(* Wrap an input Value into (env additions): arrays get their own block
+   filled with the data (Full) or left virtual (Cost_only). *)
+let bind_param st env pe (v : Value.t) : env =
+  match (pe.pt, v) with
+  | TScalar _, Value.VInt i -> SM.add pe.pv (AInt i) env
+  | TScalar _, Value.VFloat f -> SM.add pe.pv (AFloat f) env
+  | TScalar _, Value.VBool b -> SM.add pe.pv (ABool b) env
+  | TArr (elt, _), Value.VArr a ->
+      let m = mem_info_of pe in
+      incr block_counter;
+      let n = Value.count a.Value.shape in
+      let blk =
+        { bid = !block_counter; bname = m.block; bsize = n; payload = None }
+      in
+      (match st.mode with
+      | Full ->
+          let p = ensure_payload blk elt in
+          (match (p, a.Value.data) with
+          | PF d, Value.DF s -> Array.blit s 0 d 0 n
+          | PI d, Value.DI s -> Array.blit s 0 d 0 n
+          | PB d, Value.DB s -> Array.blit s 0 d 0 n
+          | _ -> err "exec: param payload mismatch")
+      | Cost_only -> ());
+      let env = SM.add m.block (AMem blk) env in
+      SM.add pe.pv
+        (AArr
+           {
+             elt;
+             shape = a.Value.shape;
+             block = blk;
+             ix =
+               [
+                 {
+                   coff = 0;
+                   cdims =
+                     (let rec strides = function
+                        | [] -> []
+                        | [ _ ] -> [ 1 ]
+                        | _ :: rest ->
+                            let ss = strides rest in
+                            (match (rest, ss) with
+                            | n :: _, s :: _ -> n * s
+                            | _ -> assert false)
+                            :: ss
+                      in
+                      List.combine a.Value.shape (strides a.Value.shape));
+                 };
+               ];
+           })
+        env
+  | _ -> err "exec: bad argument for %s" pe.pv
+
+(* Read an array value back out of device memory. *)
+let materialize st (v : aval) : Value.t =
+  match v with
+  | AInt i -> Value.VInt i
+  | AFloat f -> Value.VFloat f
+  | ABool b -> Value.VBool b
+  | AMem _ -> Value.VMem 0
+  | AArr a -> (
+      match st.mode with
+      | Cost_only -> Value.VArr (Value.shell a.elt a.shape)
+      | Full ->
+          let out = Value.zeros a.elt a.shape in
+          List.iteri
+            (fun i idx ->
+              let cell =
+                match read_cell st a.block a.elt (capply a.ix idx) with
+                | AFloat f -> Value.VFloat f
+                | AInt x -> Value.VInt x
+                | ABool b -> Value.VBool b
+                | _ -> assert false
+              in
+              Value.set_flat out i cell)
+            (indices a.shape);
+          Value.VArr out)
+
+type report = {
+  results : Value.t list;
+  counters : Device.counters;
+}
+
+let run ?(mode = Full) (p : prog) (args : Value.t list) : report =
+  let st =
+    {
+      mode;
+      counters = Device.fresh_counters ();
+      kernel_depth = 0;
+      thread_writes = Hashtbl.create 256;
+      kernel_reads_tally = Hashtbl.create 64;
+    }
+  in
+  if List.length args <> List.length p.params then
+    err "exec: %s expects %d arguments" p.name (List.length p.params);
+  let env =
+    List.fold_left2 (fun env pe v -> bind_param st env pe v) SM.empty p.params
+      args
+  in
+  let res = exec_block st env p.body in
+  (* reading back results is not part of the measured cost *)
+  let saved = st.counters.kernel_reads in
+  let results = List.map (materialize st) res in
+  st.counters.kernel_reads <- saved;
+  { results; counters = st.counters }
+
+(* Simulated time on a device for a completed run. *)
+let time device (r : report) = Device.time device r.counters

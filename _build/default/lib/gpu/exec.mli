@@ -1,0 +1,35 @@
+(** The memory-aware executor: runs memory-annotated programs against
+    the GPU cost model.
+
+    Arrays are (block, concrete index function) pairs; change-of-layout
+    operations are free; copies at updates, concats, [copy] and mapnest
+    result writes are {e elided} whenever the source already lives at
+    the destination location - precisely what short-circuiting arranges.
+    Full mode computes real values (validated against the reference
+    interpreter); cost-only mode runs control flow and sizes exactly but
+    samples mapnest bodies at the index-space midpoint and long loops at
+    Simpson points, enabling paper-scale datasets.
+
+    The traffic model charges every in-kernel read/write 8 bytes, with
+    two locality refinements: a thread's re-reads of locations it wrote
+    itself are free (registers/shared memory), and a kernel's total DRAM
+    reads from one block are capped at the block's footprint (perfect
+    L2 within a launch). *)
+
+exception Exec_error of string
+
+type mode = Full | Cost_only
+
+type report = {
+  results : Ir.Value.t list;
+      (** program results; shape-only shells in cost-only mode *)
+  counters : Device.counters;
+}
+
+val run : ?mode:mode -> Ir.Ast.prog -> Ir.Value.t list -> report
+(** Execute a memory-annotated program on the given arguments.
+    @raise Exec_error on missing annotations or out-of-bounds accesses
+    (full mode checks bounds on every access). *)
+
+val time : Device.t -> report -> float
+(** Simulated time of a completed run on a device profile. *)

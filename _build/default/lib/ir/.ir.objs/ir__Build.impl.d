@@ -1,0 +1,1 @@
+lib/ir/build.ml: Ast Check List Map Names String Symalg

@@ -1,0 +1,1 @@
+lib/ir/check.ml: Ast Fmt Fun List Lmads Map Pretty String Symalg

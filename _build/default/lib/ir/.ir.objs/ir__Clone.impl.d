@@ -1,0 +1,1 @@
+lib/ir/clone.ml: Ast List

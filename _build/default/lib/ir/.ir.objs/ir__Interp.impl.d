@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Ast Float Fmt Fun Hashtbl List Lmads Map Pretty String Symalg Value

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Array Ast Float Fmt List

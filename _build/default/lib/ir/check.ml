@@ -1,0 +1,412 @@
+(* Type, shape, and consumption checking for the IR.
+
+   Shapes are symbolic (polynomials); two shapes agree when their normal
+   forms coincide.  The checker also enforces the uniqueness discipline
+   of section II-C in a simplified form: an array consumed by an
+   in-place update (or passed as a loop-carried array) must not be used
+   - directly or through an alias - by any later statement. *)
+
+open Ast
+module P = Symalg.Poly
+module SM = Map.Make (String)
+module SS = Ast.SS
+
+exception Type_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+type env = {
+  types : typ SM.t;
+  aliases : SS.t SM.t; (* var -> everything it aliases (transitively) *)
+  consumed : SS.t ref; (* mutable set of consumed variables *)
+}
+
+let empty_env () =
+  { types = SM.empty; aliases = SM.empty; consumed = ref SS.empty }
+
+let lookup env v =
+  match SM.find_opt v env.types with
+  | Some t -> t
+  | None -> err "unbound variable %s" v
+
+let alias_closure env v =
+  match SM.find_opt v env.aliases with
+  | Some s -> SS.add v s
+  | None -> SS.singleton v
+
+let bind env pe = { env with types = SM.add pe.pv pe.pt env.types }
+
+let bind_alias env v targets =
+  let closure =
+    SS.fold
+      (fun t acc -> SS.union acc (alias_closure env t))
+      targets SS.empty
+  in
+  { env with aliases = SM.add v closure env.aliases }
+
+let check_not_consumed env v =
+  let als = alias_closure env v in
+  let bad = SS.inter als !(env.consumed) in
+  if not (SS.is_empty bad) then
+    err "use of consumed array %s (consumed alias: %s)" v
+      (String.concat ", " (SS.elements bad))
+
+let consume env v =
+  let als = alias_closure env v in
+  (* also consume everything that aliases v *)
+  let extra =
+    SM.fold
+      (fun w ws acc -> if SS.mem v ws then SS.add w acc else acc)
+      env.aliases SS.empty
+  in
+  env.consumed := SS.union !(env.consumed) (SS.union als (SS.add v extra))
+
+(* ---------------------------------------------------------------- *)
+(* Scalar typing helpers                                             *)
+(* ---------------------------------------------------------------- *)
+
+let atom_typ env = function
+  | Var v -> lookup env v
+  | Int _ -> TScalar I64
+  | Float _ -> TScalar F64
+  | Bool _ -> TScalar Bool
+
+let expect_scalar env a =
+  match atom_typ env a with
+  | TScalar s -> s
+  | t -> err "expected scalar, got %a" Pretty.pp_typ t
+
+let expect_array env v =
+  match lookup env v with
+  | TArr (elt, shape) -> (elt, shape)
+  | t -> err "expected array %s, got %a" v Pretty.pp_typ t
+
+let check_idx env (i : idx) =
+  List.iter
+    (fun v ->
+      match lookup env v with
+      | TScalar I64 -> ()
+      | t -> err "index variable %s has type %a, wanted i64" v Pretty.pp_typ t)
+    (P.vars i)
+
+let shapes_equal s1 s2 =
+  List.length s1 = List.length s2 && List.for_all2 P.equal s1 s2
+
+let check_slice_against env slc shape =
+  match slc with
+  | STriplet sds ->
+      if List.length sds <> List.length shape then
+        err "triplet slice rank mismatch";
+      List.iter
+        (function
+          | SFix i -> check_idx env i
+          | SRange { start; len; step } ->
+              check_idx env start;
+              check_idx env len;
+              check_idx env step)
+        sds
+  | SLmad l ->
+      (* variables of the LMAD must be i64 in scope *)
+      List.iter
+        (fun v ->
+          match lookup env v with
+          | TScalar I64 -> ()
+          | t -> err "LMAD slice variable %s : %a" v Pretty.pp_typ t)
+        (Lmads.Lmad.vars l)
+
+(* Compatibility used at existential boundaries (if/loop patterns):
+   exact shape equality is not required - the pattern may bind
+   existential sizes - but rank and element type must agree. *)
+let compatible t1 t2 =
+  match (t1, t2) with
+  | TScalar a, TScalar b -> a = b
+  | TMem, TMem -> true
+  | TArr (e1, s1), TArr (e2, s2) -> e1 = e2 && List.length s1 = List.length s2
+  | _ -> false
+
+(* ---------------------------------------------------------------- *)
+(* Expression typing                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let rec infer_exp env (e : exp) : typ list =
+  match e with
+  | EAtom a ->
+      (match a with
+      | Var v when is_array_typ (lookup env v) -> check_not_consumed env v
+      | _ -> ());
+      [ atom_typ env a ]
+  | EBin (op, a, b) -> (
+      let ta = expect_scalar env a and tb = expect_scalar env b in
+      if ta <> tb then err "binop operand mismatch";
+      match op with
+      | And | Or ->
+          if ta <> Bool then err "&&/|| on non-bool";
+          [ TScalar Bool ]
+      | Add | Sub | Mul | Div | Rem | Min | Max ->
+          if ta = Bool then err "arithmetic on bool";
+          [ TScalar ta ])
+  | ECmp (_, a, b) ->
+      let ta = expect_scalar env a and tb = expect_scalar env b in
+      if ta <> tb then err "cmp operand mismatch";
+      [ TScalar Bool ]
+  | EUn (op, a) -> (
+      let ta = expect_scalar env a in
+      match op with
+      | Sqrt | Exp | Log ->
+          if ta <> F64 then err "float unop on %a" Pretty.pp_sct ta;
+          [ TScalar F64 ]
+      | Neg | Abs -> [ TScalar ta ]
+      | Not ->
+          if ta <> Bool then err "! on non-bool";
+          [ TScalar Bool ]
+      | ToF64 ->
+          if ta <> I64 then err "f64() on non-i64";
+          [ TScalar F64 ]
+      | ToI64 ->
+          if ta <> F64 then err "i64() on non-f64";
+          [ TScalar I64 ])
+  | EIdx i ->
+      check_idx env i;
+      [ TScalar I64 ]
+  | EIndex (v, idxs) ->
+      check_not_consumed env v;
+      let elt, shape = expect_array env v in
+      if List.length idxs <> List.length shape then
+        err "index rank mismatch on %s" v;
+      List.iter (check_idx env) idxs;
+      [ TScalar elt ]
+  | ESlice (v, slc) ->
+      check_not_consumed env v;
+      let elt, shape = expect_array env v in
+      check_slice_against env slc shape;
+      [ TArr (elt, slice_shape slc shape) ]
+  | ETranspose (v, perm) ->
+      check_not_consumed env v;
+      let elt, shape = expect_array env v in
+      if List.sort compare perm <> List.init (List.length shape) Fun.id then
+        err "invalid permutation on %s" v;
+      [ TArr (elt, List.map (List.nth shape) perm) ]
+  | EReshape (v, new_shape) ->
+      check_not_consumed env v;
+      let elt, shape = expect_array env v in
+      List.iter (check_idx env) new_shape;
+      if not (P.equal (P.prod shape) (P.prod new_shape)) then
+        err "reshape of %s changes element count (%a vs %a)" v P.pp
+          (P.prod shape) P.pp (P.prod new_shape);
+      [ TArr (elt, new_shape) ]
+  | EReverse (v, d) ->
+      check_not_consumed env v;
+      let elt, shape = expect_array env v in
+      if d < 0 || d >= List.length shape then err "reverse dim out of range";
+      [ TArr (elt, shape) ]
+  | EIota n ->
+      check_idx env n;
+      [ TArr (I64, [ n ]) ]
+  | EReplicate (shape, a) ->
+      List.iter (check_idx env) shape;
+      [ TArr (expect_scalar env a, shape) ]
+  | EScratch (s, shape) ->
+      List.iter (check_idx env) shape;
+      [ TArr (s, shape) ]
+  | ECopy v ->
+      check_not_consumed env v;
+      let elt, shape = expect_array env v in
+      [ TArr (elt, shape) ]
+  | EConcat vs -> (
+      match vs with
+      | [] -> err "empty concat"
+      | v0 :: _ ->
+          let elt0, shape0 = expect_array env v0 in
+          let inner0 = List.tl shape0 in
+          let total =
+            List.fold_left
+              (fun acc v ->
+                check_not_consumed env v;
+                let elt, shape = expect_array env v in
+                if elt <> elt0 then err "concat element type mismatch";
+                if not (shapes_equal (List.tl shape) inner0) then
+                  err "concat inner shape mismatch";
+                P.add acc (List.hd shape))
+              P.zero vs
+          in
+          [ TArr (elt0, total :: inner0) ])
+  | EUpdate { dst; slc; src } ->
+      check_not_consumed env dst;
+      let elt, shape = expect_array env dst in
+      check_slice_against env slc shape;
+      let tgt_shape = slice_shape slc shape in
+      (match src with
+      | SrcArr v ->
+          check_not_consumed env v;
+          let selt, sshape = expect_array env v in
+          if selt <> elt then err "update element type mismatch";
+          if not (shapes_equal sshape tgt_shape) then
+            err "update shape mismatch on %s: [%a] vs [%a]" dst
+              Fmt.(list ~sep:comma P.pp)
+              sshape
+              Fmt.(list ~sep:comma P.pp)
+              tgt_shape
+      | SrcScalar a ->
+          if expect_scalar env a <> elt then err "update scalar type mismatch";
+          if tgt_shape <> [] then err "scalar update into non-point slice");
+      consume env dst;
+      [ TArr (elt, shape) ]
+  | EMap { nest; body } ->
+      let env' =
+        List.fold_left
+          (fun env (v, n) ->
+            check_idx env n;
+            bind env (pat_elem v (TScalar I64)))
+          env nest
+      in
+      let res_typs = infer_block env' body in
+      let dims = List.map snd nest in
+      List.map
+        (function
+          | TScalar s -> TArr (s, dims)
+          | TArr (s, shape) -> TArr (s, dims @ shape)
+          | TMem -> err "mapnest returning memory")
+        res_typs
+  | EReduce { op; ne; arr } ->
+      check_not_consumed env arr;
+      let elt, shape = expect_array env arr in
+      if List.length shape <> 1 then err "reduce over non-1D array";
+      if expect_scalar env ne <> elt then err "reduce neutral type mismatch";
+      (match op with
+      | Add | Mul | Min | Max -> ()
+      | _ -> err "unsupported reduce operator");
+      [ TScalar elt ]
+  | EArgmin arr ->
+      check_not_consumed env arr;
+      let elt, shape = expect_array env arr in
+      if List.length shape <> 1 then err "argmin over non-1D array";
+      [ TScalar elt; TScalar I64 ]
+  | ELoop { params; var; bound; body } ->
+      check_idx env bound;
+      let env' =
+        List.fold_left
+          (fun acc (pe, init) ->
+            let ti = atom_typ env init in
+            if not (compatible pe.pt ti) then
+              err "loop init type mismatch for %s" pe.pv;
+            (* loop-carried arrays are consumed *)
+            (match (pe.pt, init) with
+            | TArr _, Var v ->
+                check_not_consumed env v;
+                consume env v
+            | _ -> ());
+            bind acc pe)
+          env params
+      in
+      let env' = bind env' (pat_elem var (TScalar I64)) in
+      let res_typs = infer_block env' body in
+      if List.length res_typs <> List.length params then
+        err "loop body returns %d values for %d params"
+          (List.length res_typs) (List.length params);
+      List.iter2
+        (fun (pe, _) t ->
+          if not (compatible pe.pt t) then
+            err "loop body result type mismatch for %s" pe.pv)
+        params res_typs;
+      List.map (fun (pe, _) -> pe.pt) params
+  | EIf { cond; tb; fb } ->
+      if expect_scalar env cond <> Bool then err "if condition not bool";
+      let t1 = infer_block env tb in
+      let t2 = infer_block env fb in
+      if List.length t1 <> List.length t2 then err "if branch arity mismatch";
+      List.iter2
+        (fun a b ->
+          if not (compatible a b) then
+            err "if branch type mismatch: %a vs %a" Pretty.pp_typ a
+              Pretty.pp_typ b)
+        t1 t2;
+      t1
+  | EAlloc size ->
+      check_idx env size;
+      [ TMem ]
+
+(* ---------------------------------------------------------------- *)
+(* Blocks and programs                                               *)
+(* ---------------------------------------------------------------- *)
+
+and check_stm env (s : stm) : env =
+  let typs = infer_exp env s.exp in
+  if List.length typs <> List.length s.pat then
+    err "pattern arity mismatch: %a" Pretty.pp_stm s;
+  List.iter2
+    (fun pe t ->
+      if not (compatible pe.pt t) then
+        err "pattern type mismatch for %s: %a vs %a" pe.pv Pretty.pp_typ pe.pt
+          Pretty.pp_typ t
+      else
+        (* Exact shape check when no existential sizes involved: every
+           shape variable of the pattern already in scope. *)
+        match (pe.pt, t) with
+        | TArr (_, s1), TArr (_, s2) ->
+            let in_scope =
+              List.for_all
+                (fun v -> SM.mem v env.types)
+                (List.concat_map P.vars s1)
+            in
+            if in_scope && not (shapes_equal s1 s2) then
+              err "pattern shape mismatch for %s: [%a] vs [%a]" pe.pv
+                Fmt.(list ~sep:comma P.pp)
+                s1
+                Fmt.(list ~sep:comma P.pp)
+                s2
+        | _ -> ())
+    s.pat typs;
+  let env = List.fold_left bind env s.pat in
+  (* Alias tracking for view-like expressions. *)
+  let alias_of =
+    match s.exp with
+    | EAtom (Var v) -> Some (SS.singleton v)
+    | ESlice (v, _) | ETranspose (v, _) | EReshape (v, _) | EReverse (v, _) ->
+        Some (SS.singleton v)
+    (* The result of an update does NOT alias the (consumed) operand for
+       uniqueness purposes: it is a fresh unique value.  The *memory*
+       aliasing between them is tracked separately by the alias analysis
+       of the memory passes. *)
+    | EIf { tb; fb; _ } ->
+        Some
+          (SS.union
+             (SS.of_list (List.filter_map atom_var tb.res))
+             (SS.of_list (List.filter_map atom_var fb.res)))
+    | _ -> None
+  in
+  match (s.pat, alias_of) with
+  | pes, Some targets ->
+      List.fold_left
+        (fun env pe ->
+          if is_array_typ pe.pt then bind_alias env pe.pv targets else env)
+        env pes
+  | _, None -> env
+
+and infer_block env (b : block) : typ list =
+  let env = List.fold_left check_stm env b.stms in
+  List.map
+    (fun a ->
+      (match a with
+      | Var v when is_array_typ (lookup env v) -> check_not_consumed env v
+      | _ -> ());
+      atom_typ env a)
+    b.res
+
+let check_prog (p : prog) : unit =
+  let env = List.fold_left bind (empty_env ()) p.params in
+  let typs = infer_block env p.body in
+  if List.length typs <> List.length p.ret then
+    err "program %s: return arity mismatch" p.name;
+  List.iter2
+    (fun a b ->
+      if not (compatible a b) then
+        err "program %s: return type mismatch: %a vs %a" p.name Pretty.pp_typ
+          a Pretty.pp_typ b)
+    typs p.ret
+
+(* Expression type inference without consumption effects, for builders. *)
+let infer_pure env_types (e : exp) : typ list =
+  let env =
+    { types = env_types; aliases = SM.empty; consumed = ref SS.empty }
+  in
+  infer_exp env e

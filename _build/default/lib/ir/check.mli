@@ -1,0 +1,19 @@
+(** Type, shape and consumption checking.
+
+    Shapes are symbolic polynomials compared by normal form.  The
+    uniqueness discipline of section II-C is enforced in simplified
+    form: an array consumed by an in-place update (or passed as a
+    loop-carried array) must not be used - directly or through a view
+    alias - by any later statement; the update's {e result} is a fresh
+    unique value and does not alias the consumed operand (their shared
+    memory is the business of the memory passes, not the type system). *)
+
+exception Type_error of string
+
+val check_prog : Ast.prog -> unit
+(** @raise Type_error on scope, type, shape, or consumption errors. *)
+
+val infer_pure : Ast.typ Map.Make(String).t -> Ast.exp -> Ast.typ list
+(** Result types of an expression under a typing environment, without
+    consumption effects; used by the {!Build} combinators.
+    @raise Type_error when ill-typed. *)

@@ -1,0 +1,41 @@
+(* Deep copy of programs.
+
+   Pattern elements carry mutable memory annotations, so passes that
+   annotate in place (memory introduction, short-circuiting) would
+   otherwise leak changes into the caller's copy.  Cloning lets the
+   pipeline keep pristine, unoptimized and optimized variants of the
+   same source program side by side. *)
+
+open Ast
+
+let clone_pat_elem pe = { pv = pe.pv; pt = pe.pt; pmem = pe.pmem }
+
+let rec clone_exp = function
+  | ( EAtom _ | EBin _ | ECmp _ | EUn _ | EIdx _ | EIndex _ | ESlice _
+    | ETranspose _ | EReshape _ | EReverse _ | EIota _ | EReplicate _
+    | EScratch _ | ECopy _ | EConcat _ | EUpdate _ | EReduce _ | EArgmin _
+    | EAlloc _ ) as e ->
+      e
+  | EMap { nest; body } -> EMap { nest; body = clone_block body }
+  | ELoop { params; var; bound; body } ->
+      ELoop
+        {
+          params = List.map (fun (pe, a) -> (clone_pat_elem pe, a)) params;
+          var;
+          bound;
+          body = clone_block body;
+        }
+  | EIf { cond; tb; fb } ->
+      EIf { cond; tb = clone_block tb; fb = clone_block fb }
+
+and clone_stm s =
+  {
+    pat = List.map clone_pat_elem s.pat;
+    exp = clone_exp s.exp;
+    last_uses = s.last_uses;
+  }
+
+and clone_block b = { stms = List.map clone_stm b.stms; res = b.res }
+
+let clone_prog (p : prog) : prog =
+  { p with params = List.map clone_pat_elem p.params; body = clone_block p.body }

@@ -1,0 +1,17 @@
+(** The reference interpreter: purely functional semantics, memory
+    annotations ignored.
+
+    This is the ground truth all compiler passes are validated against:
+    a transformed program must produce {!Value.approx_equal} results
+    here AND on the memory-aware executor ({!Gpu.Exec}).  Every view
+    materializes eagerly; performance is irrelevant.
+
+    Dynamic checks: array accesses are bounds-checked, and LMAD-slice
+    updates verify that their index sets are duplicate-free (the
+    output-dependence check of section III-B). *)
+
+exception Runtime_error of string
+
+val run : Ast.prog -> Value.t list -> Value.t list
+(** Evaluate a program on argument values in parameter order.
+    @raise Runtime_error on arity/bounds/type violations. *)

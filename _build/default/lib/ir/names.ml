@@ -1,0 +1,23 @@
+(* Fresh name generation for IR variables.
+
+   All compiler passes assume distinct binder names program-wide;
+   [fresh] guarantees this by suffixing a global counter. *)
+
+let counter = ref 0
+
+let fresh base =
+  incr counter;
+  Printf.sprintf "%s_%d" base !counter
+
+(* Reset for deterministic tests. *)
+let reset () = counter := 0
+
+(* The base of a generated name (text before the trailing counter). *)
+let base name =
+  match String.rindex_opt name '_' with
+  | Some i when i > 0 && i < String.length name - 1 ->
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      if String.for_all (fun c -> c >= '0' && c <= '9') suffix then
+        String.sub name 0 i
+      else name
+  | _ -> name

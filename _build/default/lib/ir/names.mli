@@ -1,0 +1,11 @@
+(** Fresh name generation.  All compiler passes assume binder names are
+    unique program-wide; [fresh] guarantees it with a global counter. *)
+
+val fresh : string -> string
+(** [fresh base] is [base ^ "_" ^ counter]. *)
+
+val reset : unit -> unit
+(** Reset the counter (deterministic tests only). *)
+
+val base : string -> string
+(** Strip a generated name back to its base. *)

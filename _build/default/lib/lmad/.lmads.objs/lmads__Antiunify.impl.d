@@ -1,0 +1,1 @@
+lib/lmad/antiunify.ml: Ixfn List Lmad Printf Symalg

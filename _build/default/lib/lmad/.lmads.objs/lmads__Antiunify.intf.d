@@ -1,0 +1,1 @@
+lib/lmad/antiunify.mli: Ixfn Symalg

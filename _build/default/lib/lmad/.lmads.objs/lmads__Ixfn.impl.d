@@ -1,0 +1,1 @@
+lib/lmad/ixfn.ml: Fmt List Lmad String Symalg

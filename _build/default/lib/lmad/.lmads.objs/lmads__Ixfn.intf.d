@@ -1,0 +1,1 @@
+lib/lmad/ixfn.mli: Format Lmad Symalg

@@ -1,0 +1,1 @@
+lib/lmad/lmad.ml: Array Fmt List Option String Symalg

@@ -1,0 +1,1 @@
+lib/lmad/nonoverlap.ml: Array Fmt List Lmad Option Symalg

@@ -1,0 +1,1 @@
+lib/lmad/nonoverlap.mli: Format Lmad Symalg

@@ -1,0 +1,1 @@
+lib/lmad/refset.ml: Fmt List Lmad Nonoverlap String Symalg

@@ -1,0 +1,1 @@
+lib/lmad/refset.mli: Format Lmad Symalg

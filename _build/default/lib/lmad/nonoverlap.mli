@@ -1,0 +1,56 @@
+(** Statically checking non-overlap of a pair of LMADs (section V-C).
+
+    Implements the paper's Non-Overlap theorem: both LMADs are converted
+    to sums of strided intervals over a matching stride basis by
+    distributing the terms of the offset difference positively across
+    dimensions (footnote 27); the sets are disjoint when both sums have
+    pairwise non-overlapping dimensions and some dimension's intervals
+    are provably disjoint.  Overlapping dimensions are handled by the
+    splitting heuristic of Fig. 8 (last point peeled off and
+    redistributed), recursively over the cross product of the splits.
+
+    The test is {e sufficient}: [true] implies the point sets are
+    disjoint under every assignment satisfying the prover context;
+    [false] means "could not prove". *)
+
+module P = Symalg.Poly
+module Pr = Symalg.Prover
+
+type interval = { lo : P.t; hi : P.t; stride : P.t }
+(** A strided interval [\[lo..hi\] * stride] with [lo >= 0] invariant. *)
+
+type sum_of_intervals = interval list
+
+val disjoint : ?depth:int -> ?budget:float -> Pr.t -> Lmad.t -> Lmad.t -> bool
+(** [disjoint ctx l1 l2] - the sufficient non-overlap test.  [depth]
+    bounds the Fig. 8 splitting recursion (default 3; 0 disables
+    splitting, leaving the plain per-set condition); [budget] is the
+    proof deadline in CPU seconds handed to {!Symalg.Prover} (timeouts
+    answer [false], conservatively). *)
+
+(**/**)
+
+(* Exposed for white-box tests. *)
+val sort_strides : Pr.t -> P.t list -> P.t list option
+val find_stride : Pr.t -> P.t -> P.t list -> P.t option
+val merge_bases : Pr.t -> P.t list -> P.t list -> P.t list option
+val to_intervals : Pr.t -> Lmad.t -> P.t list -> sum_of_intervals option
+
+type distribution =
+  | Distributed of sum_of_intervals * sum_of_intervals
+  | Residue_disjoint
+  | Dist_fail
+
+val strides_gcd : sum_of_intervals -> int
+val distribute :
+  Pr.t -> P.t -> sum_of_intervals -> sum_of_intervals -> distribution
+
+val first_overlapping_dim : Pr.t -> sum_of_intervals -> int option
+val dims_nonoverlapping : Pr.t -> sum_of_intervals -> bool
+val exists_disjoint_dim : Pr.t -> sum_of_intervals -> sum_of_intervals -> bool
+val is_empty : Pr.t -> sum_of_intervals -> bool
+val split_overlapping : Pr.t -> sum_of_intervals -> sum_of_intervals list option
+val disjoint_sums : Pr.t -> int -> sum_of_intervals -> sum_of_intervals -> bool
+val ascending : sum_of_intervals -> sum_of_intervals
+val pp_interval : Format.formatter -> interval -> unit
+val pp_sum : Format.formatter -> sum_of_intervals -> unit

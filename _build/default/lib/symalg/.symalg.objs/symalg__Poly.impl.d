@@ -1,0 +1,1 @@
+lib/symalg/poly.ml: Array Fmt List Map Option Stdlib String

@@ -1,0 +1,1 @@
+lib/symalg/poly.mli: Format Map

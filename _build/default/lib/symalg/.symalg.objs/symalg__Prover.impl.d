@@ -1,0 +1,1 @@
+lib/symalg/prover.ml: Array Fmt Fun Hashtbl List Option Poly Set Stdlib String Sys

@@ -1,0 +1,1 @@
+lib/symalg/prover.mli: Format Poly

@@ -1,0 +1,69 @@
+(** A sound, incomplete prover for polynomial (in)equalities over integer
+    variables with known symbolic bounds.
+
+    This replaces the external SMT solver the paper used to discharge the
+    inequalities produced by the non-overlap theorem (section V-C/V-D).
+    All [prove_*] functions are sufficient-condition tests: [true] means
+    the fact holds under every assignment satisfying the context; [false]
+    means it could not be established (not that it is false). *)
+
+(** Extended integers, used for interval evaluation. *)
+module Ext : sig
+  type t = NegInf | Fin of int | PosInf
+
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val min : t -> t -> t
+  val max : t -> t -> t
+  val ge0 : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type t
+(** A proof context: equality rewrites [v := p] plus per-variable
+    inclusive bounds (themselves polynomials). *)
+
+val empty : t
+
+val add_eq : t -> string -> Poly.t -> t
+(** [add_eq ctx v p] records the rewrite [v := p]; e.g. the NW proof of
+    Fig. 9 records [n := q*b + 1].  Existing facts are normalized with
+    the new rule.  @raise Invalid_argument if [p] mentions [v]. *)
+
+val add_range : t -> string -> ?lo:Poly.t -> ?hi:Poly.t -> unit -> t
+(** Record inclusive bounds for a variable; bounds may be symbolic
+    (e.g. a loop index [i] with [hi = q - 1]). *)
+
+val add_lo : t -> string -> Poly.t -> t
+val add_hi : t -> string -> Poly.t -> t
+
+val rewrite : t -> Poly.t -> Poly.t
+(** Normalize a polynomial with the context's equality rules. *)
+
+val interval : t -> Poly.t -> Ext.t * Ext.t
+(** Best-effort inclusive interval for the polynomial's value. *)
+
+val with_deadline : float -> (unit -> 'a) -> 'a
+(** [with_deadline budget f] runs [f] with a proof budget of [budget]
+    CPU seconds: any [prove_*] search still running past the deadline
+    gives up (soundly, answering "not proved").  Nested budgets keep
+    the outermost deadline. *)
+
+val prove_nonneg : t -> Poly.t -> bool
+val prove_pos : t -> Poly.t -> bool
+val prove_le : t -> Poly.t -> Poly.t -> bool
+val prove_lt : t -> Poly.t -> Poly.t -> bool
+val prove_ge : t -> Poly.t -> Poly.t -> bool
+val prove_gt : t -> Poly.t -> Poly.t -> bool
+
+val prove_eq : t -> Poly.t -> Poly.t -> bool
+(** Decided by normal-form identity after rewriting (sound and, for
+    polynomial identities under the recorded equalities, complete). *)
+
+val prove_nonzero : t -> Poly.t -> bool
+
+(** Decidable-sign summary. *)
+type sign = Pos | Neg | Zero | Unknown
+
+val sign : t -> Poly.t -> sign
+val pp : Format.formatter -> t -> unit

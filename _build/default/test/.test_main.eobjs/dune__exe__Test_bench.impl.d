@@ -1,0 +1,1 @@
+test/test_bench.ml: Alcotest Array Benchsuite Core Float Ir List

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ast Benchsuite Build Clone Core Gpu Interp Ir List Lmads Printf QCheck QCheck_alcotest Symalg Value

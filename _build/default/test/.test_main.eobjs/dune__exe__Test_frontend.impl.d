@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Benchsuite Core Frontend Gpu Ir List Symalg

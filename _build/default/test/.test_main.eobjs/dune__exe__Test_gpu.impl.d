@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array Ast Benchsuite Build Core Float Gpu Interp Ir List Symalg Value

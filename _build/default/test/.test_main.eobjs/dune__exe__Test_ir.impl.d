@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ast Build Check Fun Interp Ir List Lmads Printf QCheck QCheck_alcotest Symalg Value

@@ -1,0 +1,1 @@
+test/test_lmad.ml: Alcotest Antiunify Fun Int Ixfn List Lmad Lmads Nonoverlap Printf QCheck QCheck_alcotest Set Symalg

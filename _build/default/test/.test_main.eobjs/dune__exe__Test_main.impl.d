@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bench Test_core Test_frontend Test_gpu Test_ir Test_lmad Test_nonoverlap_internals Test_symalg

@@ -1,0 +1,1 @@
+test/test_nonoverlap_internals.ml: Alcotest Array List Lmad Lmads Nonoverlap Symalg

@@ -1,0 +1,1 @@
+test/test_symalg.ml: Alcotest List QCheck QCheck_alcotest Random Symalg

@@ -1,0 +1,141 @@
+(* Integration tests over the benchmark suite: every case study is
+   validated end to end at a reduced size (reference interpreter =
+   memory executor, unoptimized = optimized, and = the independent
+   direct OCaml implementation), and the expected short-circuiting
+   behaviour of the paper's narrative is asserted (which circuits fire
+   and which must not). *)
+
+module R = Benchsuite.Runner
+module V = Ir.Value
+
+let check_validation name (v : R.validation) =
+  Alcotest.(check bool) (name ^ ": unopt = interp") true v.R.ok_unopt;
+  Alcotest.(check bool) (name ^ ": opt = interp") true v.R.ok_opt
+
+let check_oracle name out expect =
+  match out with
+  | [ V.VArr a ] ->
+      let d = V.float_data a in
+      Alcotest.(check int) (name ^ " oracle length") (Array.length expect)
+        (Array.length d);
+      Array.iteri
+        (fun i x ->
+          let s = Float.max 1.0 (Float.abs expect.(i)) in
+          if Float.abs (x -. expect.(i)) > 1e-6 *. s then
+            Alcotest.failf "%s: oracle mismatch at %d: %g vs %g" name i x
+              expect.(i))
+        d
+  | _ -> Alcotest.fail (name ^ ": unexpected result shape")
+
+let test_nw () =
+  let q = 3 and b = 4 in
+  let args = Benchsuite.Nw.small_args ~q ~b in
+  let c = Core.Pipeline.compile Benchsuite.Nw.prog in
+  let v = R.validate ~compiled:c Benchsuite.Nw.prog args in
+  check_validation "nw" v;
+  (* both halves circuit and all copies disappear *)
+  Alcotest.(check bool) "nw: circuits fired" true (v.R.sc_succeeded >= 2);
+  Alcotest.(check int) "nw: opt copy-free" 0 v.R.copies_opt;
+  check_oracle "nw"
+    (Ir.Interp.run c.Core.Pipeline.source args)
+    (Benchsuite.Nw.small_direct ~q ~b)
+
+let test_lud () =
+  let q = 3 and b = 4 in
+  let args = Benchsuite.Lud.small_args ~q ~b in
+  let c = Core.Pipeline.compile Benchsuite.Lud.prog in
+  let v = R.validate ~compiled:c Benchsuite.Lud.prog args in
+  check_validation "lud" v;
+  (* yellow + red circuit; green + blue keep their copies: per step the
+     optimized run still performs exactly 2 copies *)
+  Alcotest.(check int) "lud: green+blue copies remain" (2 * q) v.R.copies_opt;
+  Alcotest.(check bool) "lud: yellow+red circuits" true (v.R.sc_succeeded >= 2);
+  check_oracle "lud"
+    (Ir.Interp.run c.Core.Pipeline.source args)
+    (Benchsuite.Lud.small_direct ~q ~b)
+
+let test_hotspot () =
+  let n = 16 and steps = 3 in
+  let args = Benchsuite.Hotspot.small_args ~n ~steps in
+  let c = Core.Pipeline.compile Benchsuite.Hotspot.prog in
+  let v = R.validate ~compiled:c Benchsuite.Hotspot.prog args in
+  check_validation "hotspot" v;
+  Alcotest.(check int) "hotspot: concat free" 0 v.R.copies_opt;
+  Alcotest.(check int) "hotspot: 3 parts x steps elided" (3 * steps) v.R.elided;
+  check_oracle "hotspot"
+    (Ir.Interp.run c.Core.Pipeline.source args)
+    (Benchsuite.Hotspot.small_direct ~n ~steps)
+
+let test_lbm () =
+  let n = 6 and steps = 2 in
+  let args = Benchsuite.Lbm.small_args ~n ~steps in
+  let c = Core.Pipeline.compile Benchsuite.Lbm.prog in
+  let v = R.validate ~compiled:c Benchsuite.Lbm.prog args in
+  check_validation "lbm" v;
+  (* per-thread 9-vectors are built in place: one elision per cell/step *)
+  Alcotest.(check int) "lbm: per-cell elisions" (n * n * steps) v.R.elided;
+  check_oracle "lbm"
+    (Ir.Interp.run c.Core.Pipeline.source args)
+    (Benchsuite.Lbm.small_direct ~n ~steps)
+
+let test_option_pricing () =
+  let npaths = 32 and nsteps = 12 in
+  let args = Benchsuite.Option_pricing.small_args ~npaths ~nsteps in
+  let c = Core.Pipeline.compile Benchsuite.Option_pricing.prog in
+  let v = R.validate ~compiled:c Benchsuite.Option_pricing.prog args in
+  check_validation "optionpricing" v;
+  Alcotest.(check int) "optionpricing: path elisions" npaths v.R.elided;
+  match Ir.Interp.run c.Core.Pipeline.source args with
+  | [ V.VFloat price ] ->
+      let expect = Benchsuite.Option_pricing.small_direct ~npaths ~nsteps in
+      Alcotest.(check (float 1e-9)) "optionpricing price" expect price
+  | _ -> Alcotest.fail "optionpricing: bad result shape"
+
+let test_locvolcalib () =
+  let numo = 5 and numx = 9 and numt = 3 in
+  let args = Benchsuite.Locvolcalib.small_args ~numo ~numx ~numt in
+  let c = Core.Pipeline.compile Benchsuite.Locvolcalib.prog in
+  let v = R.validate ~compiled:c Benchsuite.Locvolcalib.prog args in
+  check_validation "locvolcalib" v;
+  Alcotest.(check int) "locvolcalib: per-option elisions" numo v.R.elided;
+  check_oracle "locvolcalib"
+    (Ir.Interp.run c.Core.Pipeline.source args)
+    (Benchsuite.Locvolcalib.small_direct ~numo ~numx ~numt)
+
+let test_nn () =
+  let nrec = 64 and nbatch = 4 and bsz = 8 in
+  let args = Benchsuite.Nn.small_args ~nrec ~nbatch ~bsz in
+  let c = Core.Pipeline.compile Benchsuite.Nn.prog in
+  let v = R.validate ~compiled:c Benchsuite.Nn.prog args in
+  check_validation "nn" v;
+  Alcotest.(check int) "nn: batch copies elided" nbatch v.R.elided;
+  Alcotest.(check int) "nn: opt copy-free" 0 v.R.copies_opt;
+  check_oracle "nn"
+    (Ir.Interp.run c.Core.Pipeline.source args)
+    (Benchsuite.Nn.small_direct ~nrec ~nq:(nbatch * bsz))
+
+(* The table harness itself: run one small sanity config through
+   Runner.run_table and check the qualitative shape claims. *)
+let test_table_shape () =
+  let o = Benchsuite.Hotspot.table () in
+  Alcotest.(check bool) "hotspot impact >= 1.5 everywhere" true
+    (Benchsuite.Table.min_impact o.R.table >= 1.5);
+  Alcotest.(check bool) "hotspot impact <= 2.2" true
+    (Benchsuite.Table.max_impact o.R.table <= 2.2);
+  Alcotest.(check bool) "all hotspot circuits fire" true
+    (let st = o.R.compiled.Core.Pipeline.stats in
+     st.Core.Shortcircuit.succeeded = st.Core.Shortcircuit.candidates);
+  Alcotest.(check bool) "footprint shrinks" true
+    (List.for_all (fun (_, u, opt) -> opt < u) o.R.footprints)
+
+let tests =
+  [
+    Alcotest.test_case "NW end-to-end" `Quick test_nw;
+    Alcotest.test_case "LUD end-to-end" `Slow test_lud;
+    Alcotest.test_case "Hotspot end-to-end" `Quick test_hotspot;
+    Alcotest.test_case "LBM end-to-end" `Quick test_lbm;
+    Alcotest.test_case "OptionPricing end-to-end" `Quick test_option_pricing;
+    Alcotest.test_case "LocVolCalib end-to-end" `Quick test_locvolcalib;
+    Alcotest.test_case "NN end-to-end" `Quick test_nn;
+    Alcotest.test_case "Table shape (Hotspot)" `Quick test_table_shape;
+  ]

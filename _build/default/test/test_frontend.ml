@@ -1,0 +1,188 @@
+(* Tests for the surface-language front end: lexing, parsing,
+   elaboration into the IR, and the full source-to-optimized-memory
+   pipeline (the Fig. 1 example written as text). *)
+
+module P = Symalg.Poly
+module Pr = Symalg.Prover
+module V = Ir.Value
+
+let parse_ok src =
+  try Frontend.Elab.compile_string src
+  with
+  | Frontend.Parser.Parse_error (m, p) ->
+      Alcotest.failf "parse error at %d: %s" p m
+  | Frontend.Lexer.Lex_error (m, p) ->
+      Alcotest.failf "lex error at %d: %s" p m
+  | Frontend.Elab.Elab_error m -> Alcotest.failf "elab error: %s" m
+
+let run p args = Ir.Interp.run p args
+
+let test_scalar_program () =
+  let p =
+    parse_ok
+      {| def poly (x: i64): i64 =
+           let y = x * x + 3 * x + 1 in
+           y |}
+  in
+  Alcotest.(check bool) "p(5)=41" true (run p [ V.VInt 5 ] = [ V.VInt 41 ])
+
+let test_map_program () =
+  let p =
+    parse_ok
+      {| def squares (n: i64): [n]i64 =
+           map (i < n) { i * i } |}
+  in
+  match run p [ V.VInt 5 ] with
+  | [ V.VArr a ] ->
+      Alcotest.(check (list int)) "squares" [ 0; 1; 4; 9; 16 ]
+        (Array.to_list (V.int_data a))
+  | _ -> Alcotest.fail "bad result"
+
+let test_loop_if () =
+  let p =
+    parse_ok
+      {| def collatzish (n: i64): i64 =
+           loop (x = n) for i < 10 do {
+             if x % 2 == 0 then x / 2 else 3 * x + 1
+           } |}
+  in
+  (* follow 7 for ten steps by hand: 7,22,11,34,17,52,26,13,40,20,10 *)
+  Alcotest.(check bool) "ten steps from 7" true
+    (run p [ V.VInt 7 ] = [ V.VInt 10 ])
+
+let test_slices_and_update () =
+  let p =
+    parse_ok
+      {| def shift (n: i64, a: [n]f64): [n]f64 =
+           let front = a[0 : n - 1 : 1] in
+           let out = a with [1 : n - 1 : 1] = front in
+           out |}
+  in
+  match
+    run p
+      [ V.VInt 4; V.VArr (V.of_floats [ 4 ] [| 1.; 2.; 3.; 4. |]) ]
+  with
+  | [ V.VArr a ] ->
+      Alcotest.(check (list (float 0.))) "shifted" [ 1.; 1.; 2.; 3. ]
+        (Array.to_list (V.float_data a))
+  | _ -> Alcotest.fail "bad result"
+
+(* The paper's Fig. 1 (left), as source text, through the whole
+   pipeline: the LMAD-slice update short-circuits. *)
+let fig1_src =
+  {| def diag (n: i64, a: [n*n]f64): [n*n]f64 =
+       let x = map (i < n) { a[i*n + i] + a[i] } in
+       let a2 = a with [0; (n : n + 1)] = x in
+       a2 |}
+
+let test_fig1_pipeline () =
+  let ctx = Pr.add_range Pr.empty "n" ~lo:P.one () in
+  let p = Frontend.Elab.compile_string ~ctx fig1_src in
+  let compiled = Core.Pipeline.compile p in
+  Alcotest.(check bool) "short-circuits" true
+    (compiled.Core.Pipeline.stats.Core.Shortcircuit.succeeded > 0);
+  let nv = 5 in
+  let args =
+    [
+      V.VInt nv;
+      V.VArr (V.of_floats [ nv * nv ] (Array.init (nv * nv) float_of_int));
+    ]
+  in
+  let expect = Ir.Interp.run compiled.Core.Pipeline.source args in
+  let r = Gpu.Exec.run ~mode:Gpu.Exec.Full compiled.Core.Pipeline.opt args in
+  Alcotest.(check bool) "optimized run agrees" true
+    (List.for_all2 V.approx_equal expect r.Gpu.Exec.results);
+  Alcotest.(check int) "copy elided" 0 r.Gpu.Exec.counters.Gpu.Device.copies
+
+(* Data-dependent indexing parses but must stay unanalyzable. *)
+let test_fig1_right_source () =
+  let ctx = Pr.add_range Pr.empty "n" ~lo:P.one () in
+  let p =
+    Frontend.Elab.compile_string ~ctx
+      {| def diagjs (n: i64, a: [n*n]f64, js: [n]i64): [n*n]f64 =
+           let x = map (i < n) { a[i*n + i] + a[js[i]*n + js[i]] } in
+           let a2 = a with [0; (n : n + 1)] = x in
+           a2 |}
+  in
+  let compiled = Core.Pipeline.compile p in
+  Alcotest.(check int) "must not short-circuit" 0
+    compiled.Core.Pipeline.stats.Core.Shortcircuit.succeeded
+
+let test_builtins () =
+  let p =
+    parse_ok
+      {| def builtins (n: i64, a: [n]f64): f64 =
+           let r = reverse(a) in
+           let s = reduce_add(concat(a, r)) in
+           s |}
+  in
+  match run p [ V.VInt 3; V.VArr (V.of_floats [ 3 ] [| 1.; 2.; 3. |]) ] with
+  | [ V.VFloat s ] -> Alcotest.(check (float 1e-9)) "sum twice" 12.0 s
+  | _ -> Alcotest.fail "bad result"
+
+let test_parse_errors () =
+  let bad src =
+    match Frontend.Elab.compile_string src with
+    | exception Frontend.Parser.Parse_error _ -> ()
+    | exception Frontend.Lexer.Lex_error _ -> ()
+    | exception Frontend.Elab.Elab_error _ -> ()
+    | _ -> Alcotest.failf "accepted bad program: %s" src
+  in
+  bad "def f (x: i64): i64 = let y = in y";
+  bad "def f (x: i64): i64 = x +";
+  bad "def f (x: i64): i64 = map (i < x) { i";
+  bad "def f (x: i64): i64 = y";
+  bad "def f (x: @): i64 = x"
+
+let test_comments_and_floats () =
+  let p =
+    parse_ok
+      {| -- a comment
+         def f (x: f64): f64 =
+           -- another comment
+           let y = x * 2.5 in
+           y + 0.5 |}
+  in
+  Alcotest.(check bool) "floats" true
+    (run p [ V.VFloat 2.0 ] = [ V.VFloat 5.5 ])
+
+let tests =
+  [
+    Alcotest.test_case "scalar program" `Quick test_scalar_program;
+    Alcotest.test_case "map" `Quick test_map_program;
+    Alcotest.test_case "loop + if" `Quick test_loop_if;
+    Alcotest.test_case "slices and update" `Quick test_slices_and_update;
+    Alcotest.test_case "Fig. 1 from source text" `Quick test_fig1_pipeline;
+    Alcotest.test_case "Fig. 1 right from source (negative)" `Quick
+      test_fig1_right_source;
+    Alcotest.test_case "builtins" `Quick test_builtins;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "comments and floats" `Quick test_comments_and_floats;
+  ]
+
+(* The complete NW benchmark from source text: parses, elaborates,
+   short-circuits both wavefront halves, and matches the golden
+   sequential DP. *)
+let test_nw_from_source () =
+  let p = Benchsuite.Nw_source.prog () in
+  let compiled = Core.Pipeline.compile p in
+  let st = compiled.Core.Pipeline.stats in
+  Alcotest.(check bool) "both halves circuit" true
+    (st.Core.Shortcircuit.succeeded >= 2);
+  let q = 3 and b = 4 in
+  let args = Benchsuite.Nw.small_args ~q ~b in
+  let expect = Benchsuite.Nw.small_direct ~q ~b in
+  (match Ir.Interp.run p args with
+  | [ V.VArr out ] ->
+      let d = V.float_data out in
+      Array.iteri
+        (fun i x ->
+          if abs_float (x -. expect.(i)) > 1e-9 then
+            Alcotest.failf "mismatch at %d: %g vs %g" i x expect.(i))
+        d
+  | _ -> Alcotest.fail "bad result shape");
+  let r = Gpu.Exec.run ~mode:Gpu.Exec.Full compiled.Core.Pipeline.opt args in
+  Alcotest.(check int) "opt copy-free" 0 r.Gpu.Exec.counters.Gpu.Device.copies
+
+let tests =
+  tests @ [ Alcotest.test_case "NW from source text" `Quick test_nw_from_source ]

@@ -1,0 +1,221 @@
+(* Tests for the GPU cost-model executor: copy elision, location
+   equality, cost-only vs full-mode counter agreement, the device time
+   model, and the perfect-L2 read capping. *)
+
+open Ir
+open Ast
+module P = Symalg.Poly
+module B = Build
+module Exec = Gpu.Exec
+module Device = Gpu.Device
+
+let c = P.const
+let n = P.var "n"
+let ctx_n = Symalg.Prover.add_range Symalg.Prover.empty "n" ~lo:(c 1) ()
+let farr xs = Value.VArr (Value.of_floats [ Array.length xs ] xs)
+
+(* A program with one deliberate copy (a view manifested with ECopy). *)
+let copy_prog =
+  B.prog "cp" ~ctx:ctx_n
+    ~params:[ pat_elem "n" i64; pat_elem "a" (arr F64 [ n ]) ]
+    ~ret:[ arr F64 [ n ] ]
+    (fun b ->
+      let r = B.bind b "r" (EReverse ("a", 0)) in
+      [ Var (B.bind b "m" (ECopy r)) ])
+
+let test_copy_counted () =
+  let compiled = Core.Pipeline.compile copy_prog in
+  let args = [ Value.VInt 8; farr (Array.init 8 float_of_int) ] in
+  let r = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.unopt args in
+  Alcotest.(check int) "one copy" 1 r.Exec.counters.Device.copies;
+  Alcotest.(check (float 1.0)) "64 bytes" 64.0 r.Exec.counters.Device.copy_bytes;
+  (* reversal itself is free: only the copy moves data *)
+  match r.Exec.results with
+  | [ Value.VArr out ] ->
+      Alcotest.(check (list (float 0.)))
+        "reversed data" [ 7.; 6.; 5.; 4.; 3.; 2.; 1.; 0. ]
+        (Array.to_list (Value.float_data out))
+  | _ -> Alcotest.fail "bad result"
+
+let test_views_are_free () =
+  let prog =
+    B.prog "vw" ~ctx:ctx_n
+      ~params:[ pat_elem "n" i64; pat_elem "a" (arr F64 [ n; n ]) ]
+      ~ret:[ f64 ]
+      (fun b ->
+        let t = B.bind b "t" (ETranspose ("a", [ 1; 0 ])) in
+        let s =
+          B.bind b "s" (ESlice (t, STriplet [ SFix P.one; B.all n ]))
+        in
+        [ B.index b s [ P.zero ] ])
+  in
+  let compiled = Core.Pipeline.compile prog in
+  let args = [ Value.VInt 4; farr (Array.init 16 float_of_int) ] in
+  let r = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.unopt args in
+  (* one element read; no copies; no kernels *)
+  Alcotest.(check int) "no copies" 0 r.Exec.counters.Device.copies;
+  Alcotest.(check int) "no kernels" 0 r.Exec.counters.Device.kernels;
+  (* transpose(a)[1][0] = a[0][1] = 1.0 *)
+  Alcotest.(check bool) "value through views" true
+    (r.Exec.results = [ Value.VFloat 1.0 ])
+
+let test_cost_only_matches_full_bytes () =
+  (* on a uniform mapnest, cost-only sampling must reproduce full-mode
+     byte counts exactly *)
+  let prog =
+    B.prog "cm" ~ctx:ctx_n ~params:[ pat_elem "n" i64; pat_elem "a" (arr F64 [ n ]) ]
+      ~ret:[ arr F64 [ n ] ]
+      (fun b ->
+        let iv = Ir.Names.fresh "i" in
+        let ys =
+          B.mapnest b "ys" [ (iv, n) ] (fun bb ->
+              let x = B.index bb "a" [ P.var iv ] in
+              [ B.fmul bb x x ])
+        in
+        [ Var ys ])
+  in
+  let compiled = Core.Pipeline.compile prog in
+  let full =
+    Exec.run ~mode:Exec.Full compiled.Core.Pipeline.unopt
+      [ Value.VInt 32; farr (Array.init 32 float_of_int) ]
+  in
+  let cost =
+    Exec.run ~mode:Exec.Cost_only compiled.Core.Pipeline.unopt
+      [ Value.VInt 32; Value.VArr (Value.shell F64 [ 32 ]) ]
+  in
+  Alcotest.(check (float 1.))
+    "reads agree" full.Exec.counters.Device.kernel_reads
+    cost.Exec.counters.Device.kernel_reads;
+  Alcotest.(check (float 1.))
+    "writes agree" full.Exec.counters.Device.kernel_writes
+    cost.Exec.counters.Device.kernel_writes;
+  Alcotest.(check (float 1.))
+    "flops agree" full.Exec.counters.Device.flops
+    cost.Exec.counters.Device.flops
+
+let test_l2_cap () =
+  (* a kernel reading the same small array from every thread must be
+     charged at most the array's footprint *)
+  let prog =
+    B.prog "l2" ~ctx:ctx_n
+      ~params:[ pat_elem "n" i64; pat_elem "small" (arr F64 [ c 4 ]) ]
+      ~ret:[ arr F64 [ n ] ]
+      (fun b ->
+        let iv = Ir.Names.fresh "i" in
+        let ys =
+          B.mapnest b "ys" [ (iv, n) ] (fun bb ->
+              let a = B.index bb "small" [ P.zero ] in
+              let d = B.index bb "small" [ P.one ] in
+              [ B.fadd bb a d ])
+        in
+        [ Var ys ])
+  in
+  let compiled = Core.Pipeline.compile prog in
+  let r =
+    Exec.run ~mode:Exec.Full compiled.Core.Pipeline.unopt
+      [ Value.VInt 100; farr [| 1.; 2.; 3.; 4. |] ]
+  in
+  (* 200 reads issued, but the block holds only 4 elements: <= 32 B *)
+  Alcotest.(check bool) "reads capped at footprint" true
+    (r.Exec.counters.Device.kernel_reads <= 32.0)
+
+let test_time_model_monotone () =
+  let c1 = Device.fresh_counters () in
+  c1.Device.kernels <- 1;
+  c1.Device.kernel_reads <- 1e6;
+  let c2 = Device.clone c1 in
+  c2.Device.copies <- 1;
+  c2.Device.copy_bytes <- 1e6;
+  let t1 = Device.time Device.a100 c1 and t2 = Device.time Device.a100 c2 in
+  Alcotest.(check bool) "copies cost time" true (t2 > t1);
+  Alcotest.(check bool) "A100 faster than MI100" true
+    (Device.time Device.a100 c2 < Device.time Device.mi100 c2)
+
+let test_elision_requires_same_location () =
+  (* an update whose source was NOT rebased must copy *)
+  let prog =
+    B.prog "el" ~ctx:ctx_n
+      ~params:[ pat_elem "n" i64; pat_elem "a" (arr F64 [ n ]); pat_elem "x" (arr F64 [ n ]) ]
+      ~ret:[ arr F64 [ n ] ]
+      (fun b ->
+        [
+          Var
+            (B.bind b "r"
+               (EUpdate { dst = "a"; slc = STriplet [ B.all n ]; src = SrcArr "x" }));
+        ])
+  in
+  let compiled = Core.Pipeline.compile prog in
+  (* x is a parameter: it cannot be rebased, so the copy stays *)
+  let r =
+    Exec.run ~mode:Exec.Full compiled.Core.Pipeline.opt
+      [ Value.VInt 4; farr [| 0.; 0.; 0.; 0. |]; farr [| 1.; 2.; 3.; 4. |] ]
+  in
+  Alcotest.(check int) "copy performed" 1 r.Exec.counters.Device.copies;
+  match r.Exec.results with
+  | [ Value.VArr out ] ->
+      Alcotest.(check (list (float 0.))) "copied data" [ 1.; 2.; 3.; 4. ]
+        (Array.to_list (Value.float_data out))
+  | _ -> Alcotest.fail "bad result"
+
+(* A reshape of a transposed (column-major) matrix cannot be expressed
+   with one LMAD: the executor must unrank through the chained index
+   function (Fig. 3's run-time divisions). *)
+let test_multi_lmad_execution () =
+  let prog =
+    B.prog "ml" ~ctx:ctx_n
+      ~params:[ pat_elem "n" i64; pat_elem "a" (arr F64 [ n; n ]) ]
+      ~ret:[ arr F64 [ P.mul n n ] ]
+      (fun b ->
+        let t = B.bind b "t" (ETranspose ("a", [ 1; 0 ])) in
+        [ Var (B.bind b "flat" (EReshape (t, [ P.mul n n ]))) ])
+  in
+  let compiled = Core.Pipeline.compile prog in
+  let args =
+    [ Value.VInt 3; Value.VArr (Value.of_floats [ 3; 3 ] (Array.init 9 float_of_int)) ]
+  in
+  let expect = Interp.run compiled.Core.Pipeline.source args in
+  let r = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.unopt args in
+  Alcotest.(check bool) "unranked reads agree with interpreter" true
+    (List.for_all2 Value.approx_equal expect r.Exec.results);
+  (* the view itself must still be free *)
+  Alcotest.(check int) "no copies" 0 r.Exec.counters.Device.copies
+
+(* Simpson-sampled loops (cost-only, bound >= 24) must reproduce the
+   exact counters of a full execution when per-iteration costs are (at
+   most) quadratic in the index - NW's wavefront is linear. *)
+let test_simpson_loop_sampling () =
+  let q = 26 and b = 2 in
+  let compiled = Core.Pipeline.compile Benchsuite.Nw.prog in
+  let full =
+    Exec.run ~mode:Exec.Full compiled.Core.Pipeline.unopt
+      (Benchsuite.Nw.small_args ~q ~b)
+  in
+  let cost =
+    Exec.run ~mode:Exec.Cost_only compiled.Core.Pipeline.unopt
+      (Benchsuite.Nw.args ~q ~b ~penalty:10.0 ~shell:true)
+  in
+  let fc = full.Exec.counters and cc = cost.Exec.counters in
+  Alcotest.(check int) "kernels agree" fc.Device.kernels cc.Device.kernels;
+  Alcotest.(check int) "copies agree" fc.Device.copies cc.Device.copies;
+  let close msg a bexp =
+    let rel = Float.abs (a -. bexp) /. Float.max 1.0 bexp in
+    if rel > 0.02 then Alcotest.failf "%s: %g vs %g (%.1f%%)" msg a bexp (100. *. rel)
+  in
+  close "copy bytes" cc.Device.copy_bytes fc.Device.copy_bytes;
+  close "kernel writes" cc.Device.kernel_writes fc.Device.kernel_writes;
+  close "flops" cc.Device.flops fc.Device.flops
+
+let tests =
+  [
+    Alcotest.test_case "multi-LMAD execution" `Quick test_multi_lmad_execution;
+    Alcotest.test_case "Simpson loop sampling = full" `Quick
+      test_simpson_loop_sampling;
+    Alcotest.test_case "copies counted and performed" `Quick test_copy_counted;
+    Alcotest.test_case "views are free" `Quick test_views_are_free;
+    Alcotest.test_case "cost-only = full (uniform kernel)" `Quick
+      test_cost_only_matches_full_bytes;
+    Alcotest.test_case "perfect-L2 read cap" `Quick test_l2_cap;
+    Alcotest.test_case "time model monotone" `Quick test_time_model_monotone;
+    Alcotest.test_case "elision requires same location" `Quick
+      test_elision_requires_same_location;
+  ]

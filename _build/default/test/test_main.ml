@@ -1,0 +1,14 @@
+(* Aggregated test runner: one Alcotest suite per library. *)
+
+let () =
+  Alcotest.run "futhark-mem"
+    [
+      ("symalg", Test_symalg.tests);
+      ("lmad", Test_lmad.tests);
+      ("nonoverlap", Test_nonoverlap_internals.tests);
+      ("ir", Test_ir.tests);
+      ("core", Test_core.tests);
+      ("frontend", Test_frontend.tests);
+      ("gpu", Test_gpu.tests);
+      ("bench", Test_bench.tests);
+    ]
