@@ -109,40 +109,28 @@ let run_ablation () =
     hr hr;
   Printf.printf "%-15s %12s %18s %16s %10s\n" "Benchmark" "full"
     "no dim splitting" "no refinement" "neither";
-  let count prog =
-    let c = Core.Pipeline.compile prog in
+  let count options prog =
+    let c = Core.Pipeline.compile ~options prog in
     let st = c.Core.Pipeline.stats in
     (st.Core.Shortcircuit.succeeded, st.Core.Shortcircuit.candidates)
   in
+  let full = Core.Shortcircuit.default_options in
   let configs =
     [
-      ("full", (fun () -> ()), fun () -> ());
-      ( "nosplit",
-        (fun () -> Core.Shortcircuit.split_depth := 0),
-        fun () -> Core.Shortcircuit.split_depth := 3 );
-      ( "norefine",
-        (fun () -> Core.Shortcircuit.enable_refinement := false),
-        fun () -> Core.Shortcircuit.enable_refinement := true );
+      ("full", full);
+      ("nosplit", { full with Core.Shortcircuit.split_depth = 0 });
+      ("norefine", { full with Core.Shortcircuit.enable_refinement = false });
       ( "neither",
-        (fun () ->
-          Core.Shortcircuit.split_depth := 0;
-          Core.Shortcircuit.enable_refinement := false),
-        fun () ->
-          Core.Shortcircuit.split_depth := 3;
-          Core.Shortcircuit.enable_refinement := true );
+        {
+          full with
+          Core.Shortcircuit.split_depth = 0;
+          enable_refinement = false;
+        } );
     ]
   in
   List.iter
     (fun (name, prog) ->
-      let results =
-        List.map
-          (fun (_, on, off) ->
-            on ();
-            let r = count prog in
-            off ();
-            r)
-          configs
-      in
+      let results = List.map (fun (_, opts) -> count opts prog) configs in
       match results with
       | [ (f, tot); (ns, _); (nr, _); (nb, _) ] ->
           Printf.printf "%-15s %8d/%-3d %14d/%-3d %12d/%-3d %6d/%-3d\n" name f

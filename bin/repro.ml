@@ -11,7 +11,8 @@ open Cmdliner
 type bench = {
   name : string;
   table_no : int;
-  table : unit -> Benchsuite.Runner.outcome;
+  table :
+    ?options:Core.Shortcircuit.options -> unit -> Benchsuite.Runner.outcome;
   prog : Ir.Ast.prog;
   small_args : Ir.Value.t list Lazy.t;
 }
@@ -87,15 +88,17 @@ let find_bench s =
 
 (* ---- table ----------------------------------------------------- *)
 
-let run_table which verbose =
-  Core.Shortcircuit.verbose := verbose;
+let run_table which options =
   let run b =
-    let o = b.table () in
+    let o = b.table ~options () in
     print_string (Benchsuite.Table.to_string o.Benchsuite.Runner.table);
     let st = o.Benchsuite.Runner.compiled.Core.Pipeline.stats in
-    Printf.printf "  short-circuiting: %d/%d candidates, %d vars rebased\n\n"
-      st.Core.Shortcircuit.succeeded st.Core.Shortcircuit.candidates
-      st.Core.Shortcircuit.rebased_vars
+    if options.Core.Shortcircuit.verbose then
+      Fmt.pr "%a@.@." Core.Shortcircuit.pp_stats st
+    else
+      Printf.printf "  short-circuiting: %d/%d candidates, %d vars rebased\n\n"
+        st.Core.Shortcircuit.succeeded st.Core.Shortcircuit.candidates
+        st.Core.Shortcircuit.rebased_vars
   in
   match which with
   | "all" ->
@@ -123,6 +126,40 @@ let run_validate which =
   | s ->
       Result.bind (find_bench s) (fun b ->
           if validate b then Ok () else Error "validation failed")
+
+(* ---- lint -------------------------------------------------------- *)
+
+let run_lint which options verbose_reports =
+  let lint b =
+    let c = Core.Pipeline.compile ~options ~lint:true b.prog in
+    List.iter
+      (fun (_, r) ->
+        if verbose_reports || not (Core.Memlint.ok r) then
+          Fmt.pr "%a@.@." Core.Memlint.pp_report r)
+      c.Core.Pipeline.lint;
+    match Core.Pipeline.first_lint_error c.Core.Pipeline.lint with
+    | None ->
+        let warns =
+          List.fold_left
+            (fun n (_, r) -> n + List.length (Core.Memlint.warnings r))
+            0 c.Core.Pipeline.lint
+        in
+        Printf.printf "%-14s %d stages clean (%d warnings)\n" b.name
+          (List.length c.Core.Pipeline.lint)
+          warns;
+        true
+    | Some (stage, v) ->
+        Fmt.epr "%-14s violation introduced by %s: %a@." b.name stage
+          Core.Memlint.pp_violation v;
+        false
+  in
+  match which with
+  | "all" ->
+      let ok = List.fold_left (fun ok b -> lint b && ok) true benches in
+      if ok then Ok () else Error "lint failed"
+  | s ->
+      Result.bind (find_bench s) (fun b ->
+          if lint b then Ok () else Error "lint failed")
 
 (* ---- dump -------------------------------------------------------- *)
 
@@ -181,12 +218,44 @@ let to_exit = function
 let bench_arg =
   Arg.(value & pos 0 string "all" & info [] ~docv:"BENCH")
 
-let table_cmd =
+(* Short-circuiting options as CLI flags, shared by the subcommands
+   that run the pipeline. *)
+let options_term =
   let verbose =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace circuit attempts.")
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Trace circuit attempts and print full pass statistics.")
   in
+  let no_refinement =
+    Arg.(
+      value & flag
+      & info [ "no-refinement" ]
+          ~doc:
+            "Disable the per-iteration / per-thread refinements of \
+             section V-B (ablation).")
+  in
+  let split_depth =
+    Arg.(
+      value
+      & opt int Core.Shortcircuit.default_options.Core.Shortcircuit.split_depth
+      & info [ "split-depth" ] ~docv:"N"
+          ~doc:
+            "Recursion budget of the dimension-splitting heuristic in the \
+             non-overlap test (0 disables splitting).")
+  in
+  Term.(
+    const (fun verbose no_refinement split_depth ->
+        {
+          Core.Shortcircuit.verbose;
+          enable_refinement = not no_refinement;
+          split_depth;
+        })
+    $ verbose $ no_refinement $ split_depth)
+
+let table_cmd =
   Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table (1-7 or name or all)")
-    Term.(const (fun w v -> to_exit (run_table w v)) $ bench_arg $ verbose)
+    Term.(const (fun w o -> to_exit (run_table w o)) $ bench_arg $ options_term)
 
 let validate_cmd =
   Cmd.v
@@ -201,6 +270,22 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print a benchmark's memory-annotated IR")
     Term.(const (fun w o -> to_exit (run_dump w o)) $ bench_arg $ opt)
 
+let lint_cmd =
+  let reports =
+    Arg.(
+      value & flag
+      & info [ "r"; "reports" ]
+          ~doc:"Print the full per-stage report even when clean.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Verify the memory IR of a benchmark (or all) after every \
+          pipeline pass")
+    Term.(
+      const (fun w o r -> to_exit (run_lint w o r))
+      $ bench_arg $ options_term $ reports)
+
 let prove_cmd =
   Cmd.v (Cmd.info "prove-nw" ~doc:"Discharge the Fig. 9 proof obligation")
     Term.(const (fun () -> to_exit (run_prove_nw ())) $ const ())
@@ -210,4 +295,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "repro" ~doc)
-          [ table_cmd; validate_cmd; dump_cmd; prove_cmd ]))
+          [ table_cmd; validate_cmd; lint_cmd; dump_cmd; prove_cmd ]))

@@ -192,9 +192,9 @@ let datasets () =
       })
     [ 8192; 16384; 32768 ]
 
-let table () : Runner.outcome =
-  Runner.run_table ~title:"Table III: Hotspot performance" ~runs:10 ~prog
-    ~datasets:(datasets ()) ~paper
+let table ?options () : Runner.outcome =
+  Runner.run_table ?options ~title:"Table III: Hotspot performance" ~runs:10 ~prog
+    ~datasets:(datasets ()) ~paper ()
 
 let small_args ~n ~steps = args ~n ~steps ~shell:false
 

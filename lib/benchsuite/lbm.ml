@@ -207,9 +207,9 @@ let datasets () =
       })
     [ ("short", 10); ("long", 300) ]
 
-let table () : Runner.outcome =
-  Runner.run_table ~title:"Table IV: LBM performance" ~runs:100 ~prog
-    ~datasets:(datasets ()) ~paper
+let table ?options () : Runner.outcome =
+  Runner.run_table ?options ~title:"Table IV: LBM performance" ~runs:100 ~prog
+    ~datasets:(datasets ()) ~paper ()
 
 let small_args ~n ~steps = args ~n ~steps ~shell:false
 let small_direct ~n ~steps = direct ~n ~steps (input_f ~n)

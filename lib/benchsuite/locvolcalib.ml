@@ -203,9 +203,9 @@ let datasets () =
       ("large", 65536, 256, 64);
     ]
 
-let table () : Runner.outcome =
-  Runner.run_table ~title:"Table VI: LocVolCalib performance" ~runs:10 ~prog
-    ~datasets:(datasets ()) ~paper
+let table ?options () : Runner.outcome =
+  Runner.run_table ?options ~title:"Table VI: LocVolCalib performance" ~runs:10 ~prog
+    ~datasets:(datasets ()) ~paper ()
 
 let small_args ~numo ~numx ~numt = args ~numo ~numx ~numt
 let small_direct ~numo ~numx ~numt = direct ~numo ~numx ~numt

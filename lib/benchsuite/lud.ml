@@ -402,9 +402,9 @@ let datasets () =
       })
     [ 8192; 16384; 32768 ]
 
-let table () : Runner.outcome =
-  Runner.run_table ~title:"Table II: LUD performance" ~runs:10 ~prog
-    ~datasets:(datasets ()) ~paper
+let table ?options () : Runner.outcome =
+  Runner.run_table ?options ~title:"Table II: LUD performance" ~runs:10 ~prog
+    ~datasets:(datasets ()) ~paper ()
 
 let small_args ~q ~b = args ~q ~b ~shell:false
 let small_direct ~q ~b = direct ~n:(q * b) (input ~n:(q * b))

@@ -163,9 +163,9 @@ let datasets () =
       })
     [ 855280; 8552800; 85528000 ]
 
-let table () : Runner.outcome =
-  Runner.run_table ~title:"Table VII: NN performance" ~runs:100 ~prog
-    ~datasets:(datasets ()) ~paper
+let table ?options () : Runner.outcome =
+  Runner.run_table ?options ~title:"Table VII: NN performance" ~runs:100 ~prog
+    ~datasets:(datasets ()) ~paper ()
 
 let small_args ~nrec ~nbatch ~bsz = args ~nrec ~nbatch ~bsz ~shell:false
 

@@ -291,9 +291,9 @@ let datasets () =
       })
     [ 8192; 16384; 32768 ]
 
-let table () : Runner.outcome =
-  Runner.run_table ~title:"Table I: NW performance" ~runs:1000 ~prog
-    ~datasets:(datasets ()) ~paper
+let table ?options () : Runner.outcome =
+  Runner.run_table ?options ~title:"Table I: NW performance" ~runs:1000 ~prog
+    ~datasets:(datasets ()) ~paper ()
 
 (* Reduced-size instance for full-mode validation in the test suite. *)
 let small_args ~q ~b = args ~q ~b ~penalty:10.0 ~shell:false

@@ -173,9 +173,9 @@ let datasets () =
       })
     [ ("medium", 65536, 252); ("large", 1048576, 252) ]
 
-let table () : Runner.outcome =
-  Runner.run_table ~title:"Table V: OptionPricing performance" ~runs:1000
-    ~prog ~datasets:(datasets ()) ~paper
+let table ?options () : Runner.outcome =
+  Runner.run_table ?options ~title:"Table V: OptionPricing performance" ~runs:1000
+    ~prog ~datasets:(datasets ()) ~paper ()
 
 let small_args ~npaths ~nsteps = args ~npaths ~nsteps
 let small_direct ~npaths ~nsteps = direct ~npaths ~nsteps

@@ -41,10 +41,11 @@ type outcome = {
          dead-allocation cleanup after short-circuiting *)
 }
 
-let run_table ~title ~runs ~(prog : Ir.Ast.prog) ~(datasets : dataset list)
-    ~(paper : (string * string * (float * float * float * float)) list) :
+let run_table ?options ~title ~runs ~(prog : Ir.Ast.prog)
+    ~(datasets : dataset list)
+    ~(paper : (string * string * (float * float * float * float)) list) () :
     outcome =
-  let compiled = Core.Pipeline.compile prog in
+  let compiled = Core.Pipeline.compile ?options prog in
   let paper = paper_tbl paper in
   (* counters are device-independent: execute once per dataset *)
   let measured =

@@ -1,0 +1,56 @@
+(** Memlint: a static verifier for the memory IR.
+
+    Checks, per statement, the invariants every pipeline pass must
+    preserve: alloc dominance and sizing (annotations name in-scope
+    blocks and their LMAD footprints provably fit in [0, size)),
+    alias/annotation consistency (change-of-layout operations share
+    their operand's block with the transformed index function; a
+    short-circuited copy source must be lastly used), existential
+    well-formedness (memintro's [mem, witness..., array] grouping of
+    [if]/[loop] results, with branch witnesses instantiating the
+    anti-unified index function), and mapnest write races (per-thread
+    writes to enclosing memory pairwise disjoint across threads).
+
+    Verdicts are three-valued: [Error] only for *provable* violations,
+    [Warning] for obligations the sound-but-incomplete prover cannot
+    decide.  A correct program never errors; the seven benchmark
+    programs lint clean at every pipeline stage. *)
+
+type severity = Error | Warning
+
+type violation = {
+  severity : severity;
+  rule : string;
+      (** one of [alloc-dominance], [footprint], [layout], [last-use],
+          [existential], [write-race] *)
+  binding : string;  (** the pattern variable the violation is about *)
+  detail : string;
+}
+
+type report = {
+  program : string;
+  stage : string;  (** pipeline stage the lint ran after, if any *)
+  stms : int;  (** statements traversed *)
+  annotations : int;  (** memory annotations checked *)
+  bounds_proved : int;  (** footprints proved within their block *)
+  bounds_undecided : int;
+  races_proved : int;  (** mapnest write sets proved thread-disjoint *)
+  races_undecided : int;
+  violations : violation list;
+}
+
+val check : ?stage:string -> Ir.Ast.prog -> report
+(** Lint a program.  The input is cloned (and its last-use annotations
+    recomputed on the clone), so the argument is never mutated.  A
+    program without any memory annotations (pre-memintro) is vacuously
+    clean. *)
+
+val ok : report -> bool
+(** No errors (warnings permitted). *)
+
+val errors : report -> violation list
+val warnings : report -> violation list
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_report : Format.formatter -> report -> unit
+(** Shared {!Report}-style section, surfaced by [repro lint]. *)

@@ -22,6 +22,9 @@ type compiled = {
   dead_allocs : int; (* allocations eliminated by short-circuiting *)
   time_base : float; (* seconds: memory intro + hoisting *)
   time_sc : float; (* seconds: short-circuiting pass alone *)
+  lint : (string * Memlint.report) list;
+      (* one memlint report per pipeline stage, in pass order; empty
+         unless compiled with ~lint:true *)
 }
 
 let timed f =
@@ -36,11 +39,47 @@ let to_memory_ir (p : prog) : prog =
   ignore (Lastuse.annotate p);
   p
 
-let compile ?(rounds = 2) (p : prog) : compiled =
-  let unopt, time_base = timed (fun () -> to_memory_ir p) in
-  let opt_base, _ = timed (fun () -> to_memory_ir p) in
-  let (opt, stats), time_sc =
-    timed (fun () -> Shortcircuit.optimize ~rounds opt_base)
+let compile ?(options = Shortcircuit.default_options) ?(rounds = 2)
+    ?(lint = false) (p : prog) : compiled =
+  (* With ~lint:true the memory linter runs after every pass of the
+     optimized build; the first stage whose report errors is the pass
+     that introduced the violation (earlier stages were clean). *)
+  let reports = ref [] in
+  let lint_after stage q =
+    if lint then reports := (stage, Memlint.check ~stage q) :: !reports
   in
+  let unopt, time_base = timed (fun () -> to_memory_ir p) in
+  let opt_base =
+    let q = Memintro.introduce (Ir.Clone.clone_prog p) in
+    lint_after "memintro" q;
+    let q = Hoist.hoist q in
+    lint_after "hoist" q;
+    ignore (Lastuse.annotate q);
+    lint_after "lastuse" q;
+    q
+  in
+  let (opt, stats), time_sc =
+    timed (fun () -> Shortcircuit.optimize ~options ~rounds opt_base)
+  in
+  lint_after "shortcircuit" opt;
   let opt, dead_allocs = Cleanup.run opt in
-  { source = p; unopt; opt; stats; dead_allocs; time_base; time_sc }
+  lint_after "cleanup" opt;
+  {
+    source = p;
+    unopt;
+    opt;
+    stats;
+    dead_allocs;
+    time_base;
+    time_sc;
+    lint = List.rev !reports;
+  }
+
+(* The first stage whose lint report errors: the pass that introduced
+   the first violation. *)
+let first_lint_error (stages : (string * Memlint.report) list) :
+    (string * Memlint.violation) option =
+  List.find_map
+    (fun (stage, r) ->
+      match Memlint.errors r with v :: _ -> Some (stage, v) | [] -> None)
+    stages

@@ -11,12 +11,30 @@ type compiled = {
   dead_allocs : int;  (** allocations eliminated by short-circuiting *)
   time_base : float;  (** seconds: memory introduction + hoisting *)
   time_sc : float;  (** seconds: the short-circuiting pass alone *)
+  lint : (string * Memlint.report) list;
+      (** one {!Memlint} report per pipeline stage (memintro, hoist,
+          lastuse, shortcircuit, cleanup), in pass order; empty unless
+          compiled with [~lint:true] *)
 }
 
 val to_memory_ir : Ir.Ast.prog -> Ir.Ast.prog
 (** Memory introduction + hoisting + last-use only (the "unoptimized"
     configuration of the paper's tables). *)
 
-val compile : ?rounds:int -> Ir.Ast.prog -> compiled
+val compile :
+  ?options:Shortcircuit.options ->
+  ?rounds:int ->
+  ?lint:bool ->
+  Ir.Ast.prog ->
+  compiled
 (** Produce both configurations from a source program (which is cloned,
-    never mutated), timing the passes for the section V-D comparison. *)
+    never mutated), timing the passes for the section V-D comparison.
+    [options] configures the short-circuiting pass
+    ({!Shortcircuit.default_options} if omitted).  With [~lint:true]
+    the {!Memlint} verifier runs after every pass of the optimized
+    build and the reports are collected in {!compiled.lint}. *)
+
+val first_lint_error :
+  (string * Memlint.report) list -> (string * Memlint.violation) option
+(** The first stage whose report errors - i.e. the pass that introduced
+    the first violation (all earlier stages linted clean). *)

@@ -1,0 +1,21 @@
+(* Shared Fmt-based report rendering.
+
+   Both the short-circuiting statistics and the memlint verification
+   report are surfaced on the CLI (`repro table --verbose`, `repro
+   lint`); rendering them through one module keeps the output style
+   uniform: a titled section of aligned key/value fields, plus an
+   itemized list for per-violation detail. *)
+
+let kv ppf (k, v) = Fmt.pf ppf "%-24s %s" k v
+
+let fields ppf kvs = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut kv) kvs
+
+let section ~title ppf kvs =
+  Fmt.pf ppf "@[<v>[%s]@,%a@]" title fields kvs
+
+let items ~bullet pp_item ppf = function
+  | [] -> ()
+  | xs ->
+      Fmt.pf ppf "@[<v>%a@]"
+        Fmt.(list ~sep:cut (fun ppf x -> pf ppf "%s %a" bullet pp_item x))
+        xs

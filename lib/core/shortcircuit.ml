@@ -53,23 +53,37 @@ type stats = {
 let fresh_stats () =
   { candidates = 0; succeeded = 0; overlap_checks = 0; rebased_vars = 0 }
 
-(* Verbose tracing of circuit attempts (set from tests / the CLI). *)
-let verbose = ref false
+let pp_stats ppf (s : stats) =
+  Report.section ~title:"short-circuiting" ppf
+    [
+      ("circuit points examined", string_of_int s.candidates);
+      ("candidates rebased", string_of_int s.succeeded);
+      ("non-overlap queries", string_of_int s.overlap_checks);
+      ("variables rebased", string_of_int s.rebased_vars);
+    ]
 
-(* Ablation switches for the design-choice study (bench harness):
+(* Per-run configuration, threaded through the pass (no mutable
+   globals: ablation/lint runs must not leak state across tests):
+   - [verbose]: trace circuit attempts and failure reasons to stderr;
    - [enable_refinement]: the per-iteration / per-thread conditions of
      section V-B (Fig. 7b and the mapnest rule).  Off = whole-loop
      unions only.
    - [split_depth]: recursion budget of the dimension-splitting
      heuristic in the non-overlap test (Fig. 8).  0 = the plain
      Hoeflinger test without splitting, which cannot prove Fig. 9. *)
-let enable_refinement = ref true
-let split_depth = ref 3
+type options = {
+  verbose : bool;
+  enable_refinement : bool;
+  split_depth : int;
+}
 
-let trace fmt =
-  if !verbose then Fmt.epr (fmt ^^ "@.") else Fmt.kstr (fun _ -> ()) fmt
+let default_options = { verbose = false; enable_refinement = true; split_depth = 3 }
+
+let trace opts fmt =
+  if opts.verbose then Fmt.epr (fmt ^^ "@.") else Fmt.kstr (fun _ -> ()) fmt
 
 type st = {
+  opts : options;
   mems : (string, mem_info) Hashtbl.t; (* current annotations *)
   types : (string, typ) Hashtbl.t;
   scalars : (string, P.t) Hashtbl.t; (* scalar defs for translation *)
@@ -106,9 +120,10 @@ let scalar_def (s : stm) : (string * P.t) option =
       | _ -> None)
   | _ -> None
 
-let build_tables (p : prog) : st =
+let build_tables opts (p : prog) : st =
   let st =
     {
+      opts;
       mems = Hashtbl.create 256;
       types = Hashtbl.create 256;
       scalars = Hashtbl.create 256;
@@ -370,10 +385,10 @@ let block_info ~outer_defined ~outer_allocd (b : block) : binfo =
 let check_disjoint st ctx (w : Refset.t) (u : Refset.t) : bool =
   st.stats.overlap_checks <- st.stats.overlap_checks + 1;
   let t0 = Sys.time () in
-  let r = Refset.disjoint ~depth:!split_depth ctx w u in
+  let r = Refset.disjoint ~depth:st.opts.split_depth ctx w u in
   let dt = Sys.time () -. t0 in
   if dt > 0.2 then
-    trace "  [slow check %.2fs -> %b] W=%a U=%a" dt r Refset.pp w Refset.pp u;
+    trace st.opts "  [slow check %.2fs -> %b] W=%a U=%a" dt r Refset.pp w Refset.pp u;
   r
 
 (* The alias class of the candidate: every variable whose accesses are
@@ -514,7 +529,7 @@ and chain_step st ctx info ~ymem ~j ~active ~ixfn ~u_xss ~w_total
           | None -> `Fail)
       | _ -> `Fail)
   | ESlice _ ->
-      trace "  chain %s: slice is not invertible" active;
+      trace st.opts "  chain %s: slice is not invertible" active;
       `Fail (* not invertible (section V-A(a)) *)
   (* --- in-place update: the result shares the destination's memory;
      the write set through the rebased ixfn must avoid U_xss --- *)
@@ -526,7 +541,7 @@ and chain_step st ctx info ~ymem ~j ~active ~ixfn ~u_xss ~w_total
           (uses_in_stm st ctx ~ymem ~exclude:(chain_class st active) s);
       let wset = sliced_set ctx slc ixfn in
       if not (check_disjoint st ctx wset !u_xss) then (
-        trace "  chain %s: update write overlaps U_xss" active;
+        trace st.opts "  chain %s: update write overlaps U_xss" active;
         `Fail)
       else begin
         w_total := Refset.union !w_total wset;
@@ -598,13 +613,13 @@ and chain_step st ctx info ~ymem ~j ~active ~ixfn ~u_xss ~w_total
         let safe =
           check_disjoint st ctx (full_set ixfn)
             (Refset.union !u_xss own_reads)
-          || (!enable_refinement
+          || (st.opts.enable_refinement
              && check_disjoint st ctx (full_set ixfn) !u_xss
              && cross_thread_ok st ctx ~ymem ~exclude ~nest ~body
                   ~w_thread:(thread_write_set st ixfn nest body))
         in
         if not safe then (
-          trace "  chain %s: mapnest creation unsafe (reads overlap)" active;
+          trace st.opts "  chain %s: mapnest creation unsafe (reads overlap)" active;
           `Fail)
         else begin
           w_total := Refset.union !w_total (full_set ixfn);
@@ -750,7 +765,7 @@ and circuit_loop st ctx info ~ymem ~j ~active ~ixfn ~u_xss ~w_total
                 let u_loop = Refset.expand_loop ctx var ~count:bound u_body in
                 let w_loop = Refset.expand_loop ctx var ~count:bound w_body in
                 let refined () =
-                  !enable_refinement
+                  st.opts.enable_refinement
                   &&
                   let jv = Ir.Names.fresh "iter" in
                   let u_j = Refset.subst var (P.var jv) u_body in
@@ -764,10 +779,10 @@ and circuit_loop st ctx info ~ymem ~j ~active ~ixfn ~u_xss ~w_total
                 if
                   not (check_disjoint st ctx w_loop u_loop || refined ())
                 then (
-                  trace "  chain %s: loop writes overlap loop uses" active;
+                  trace st.opts "  chain %s: loop writes overlap loop uses" active;
                   `Fail)
                 else if not (check_disjoint st ctx w_loop !u_xss) then (
-                  trace "  chain %s: loop writes overlap U_xss" active;
+                  trace st.opts "  chain %s: loop writes overlap U_xss" active;
                   `Fail)
                 else begin
                   (* adopt the body rebase, the loop param, and the
@@ -879,7 +894,7 @@ and rebase_mapnest_body st ctx info ~ymem ~j ~nest ~body ~res_ixfn =
             ~ixfn:slot_ixfn ~u0:Refset.empty ~stops:[]
         with
         | Fail ->
-            trace "  mapnest body %s: rebase failed" rv;
+            trace st.opts "  mapnest body %s: rebase failed" rv;
             record_failure st rv ymem
         | Ok { u_final; w_total; pendings } ->
             let expand rs =
@@ -890,7 +905,7 @@ and rebase_mapnest_body st ctx info ~ymem ~j ~nest ~body ~res_ixfn =
             let u_all = expand u_final and w_all = expand w_total in
             let ok =
               check_disjoint st ctx w_all u_all
-              || (!enable_refinement
+              || (st.opts.enable_refinement
                  && pairwise_thread_ok st ctx nest ~w:w_total ~u:u_final)
             in
             if not ok then begin
@@ -1027,7 +1042,7 @@ let rec optimize_block st ctx ~outer_defined ~outer_allocd (b : block) : unit
                 if already || already_failed st bv dm.block then ()
                 else begin
                   st.stats.candidates <- st.stats.candidates + 1;
-                  trace "circuit attempt: %s into %s[...] (update)" bv
+                  trace st.opts "circuit attempt: %s into %s[...] (update)" bv
                     dm.block;
                   match
                     walk st ctx info ~ymem:dm.block ~start_j:k ~active:bv
@@ -1035,10 +1050,10 @@ let rec optimize_block st ctx ~outer_defined ~outer_allocd (b : block) : unit
                   with
                   | Ok { pendings; _ } ->
                       st.stats.succeeded <- st.stats.succeeded + 1;
-                      trace "  -> SUCCESS (%d vars)" (List.length pendings);
+                      trace st.opts "  -> SUCCESS (%d vars)" (List.length pendings);
                       apply_pendings st pendings
                   | Fail ->
-                      trace "  -> failed";
+                      trace st.opts "  -> failed";
                       record_failure st bv dm.block
                 end)))
     | EConcat ops when List.exists (fun o -> List.mem o s.last_uses) ops -> (
@@ -1073,8 +1088,9 @@ let rec optimize_block st ctx ~outer_defined ~outer_allocd (b : block) : unit
 (* Entry point                                                        *)
 (* ---------------------------------------------------------------- *)
 
-let optimize ?(rounds = 2) (p : prog) : prog * stats =
-  let st = build_tables p in
+let optimize ?(options = default_options) ?(rounds = 2) (p : prog) :
+    prog * stats =
+  let st = build_tables options p in
   ignore (Lastuse.annotate p);
   let outer_defined =
     List.fold_left (fun acc pe -> SS.add pe.pv acc) SS.empty p.params

@@ -30,19 +30,32 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
-val verbose : bool ref
-(** Trace circuit attempts and failure reasons to stderr. *)
+val pp_stats : Format.formatter -> stats -> unit
+(** Render the statistics as a titled key/value section
+    (shared {!Report} style, surfaced by [repro table --verbose]). *)
 
-val enable_refinement : bool ref
-(** Ablation switch: the per-iteration ([U^{>i}] vs [W^i], Fig. 7b) and
-    per-thread (mapnest) refinements of section V-B.  Disabled, only the
-    whole-loop/whole-nest union checks remain. *)
+type options = {
+  verbose : bool;
+      (** Trace circuit attempts and failure reasons to stderr. *)
+  enable_refinement : bool;
+      (** Ablation switch: the per-iteration ([U^{>i}] vs [W^i],
+          Fig. 7b) and per-thread (mapnest) refinements of section V-B.
+          Disabled, only the whole-loop/whole-nest union checks
+          remain. *)
+  split_depth : int;
+      (** Ablation switch: recursion budget of the dimension-splitting
+          heuristic in the non-overlap test (Fig. 8); 0 disables
+          splitting. *)
+}
+(** Per-run configuration, threaded through the pass rather than held
+    in mutable globals, so ablation and lint runs cannot leak state
+    into each other. *)
 
-val split_depth : int ref
-(** Ablation switch: recursion budget of the dimension-splitting
-    heuristic in the non-overlap test (Fig. 8); 0 disables splitting. *)
+val default_options : options
+(** [{ verbose = false; enable_refinement = true; split_depth = 3 }] *)
 
-val optimize : ?rounds:int -> Ir.Ast.prog -> Ir.Ast.prog * stats
+val optimize :
+  ?options:options -> ?rounds:int -> Ir.Ast.prog -> Ir.Ast.prog * stats
 (** Run the pass over a memory-annotated program (in place: only [pmem]
     annotations are mutated), for [rounds] fixpoint rounds (transitive
     chaining).  Returns the same program and the pass statistics. *)

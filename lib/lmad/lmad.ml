@@ -273,6 +273,26 @@ let expand_loop ctx v ~count l =
 (* Total number of points (product of cardinals). *)
 let card l = P.prod (List.map (fun d -> d.n) l.dims)
 
+(* Inclusive symbolic extrema of the point set: each dimension with a
+   provably signed stride contributes (n-1)*s to one end.  Requires
+   every cardinal provably >= 1, so that a claimed violation of the
+   resulting bounds is a real out-of-bounds point, never an artifact of
+   an empty dimension. *)
+let bounds ctx (l : t) : (P.t * P.t) option =
+  let rec go lo hi = function
+    | [] -> Some (lo, hi)
+    | { n; s } :: rest ->
+        if not (Pr.prove_ge ctx n P.one) then None
+        else
+          let ext = P.mul (P.sub n P.one) s in
+          (match Pr.sign ctx s with
+          | Pr.Pos -> go lo (P.add hi ext) rest
+          | Pr.Neg -> go (P.add lo ext) hi rest
+          | Pr.Zero -> go lo hi rest
+          | Pr.Unknown -> None)
+  in
+  go l.off l.off l.dims
+
 (* ---------------------------------------------------------------- *)
 (* Substitution, renaming, comparison                                 *)
 (* ---------------------------------------------------------------- *)

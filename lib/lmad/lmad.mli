@@ -110,6 +110,14 @@ val expand_loop : Pr.t -> string -> count:P.t -> t -> t option
 val card : t -> P.t
 (** Number of points (product of cardinals). *)
 
+val bounds : Pr.t -> t -> (P.t * P.t) option
+(** Inclusive symbolic [(min, max)] offset extrema of the point set:
+    [Some] only when every cardinal is provably [>= 1] and every
+    stride's sign is provable, so a demonstrated violation of the
+    returned bounds is a real out-of-bounds access.  The footprint
+    obligation of the memory linter checks these against [\[0, size)]
+    with {!Symalg.Prover.check_in_range}. *)
+
 (** {1 Substitution, comparison, enumeration} *)
 
 val map_polys : (P.t -> P.t) -> t -> t

@@ -62,6 +62,23 @@ val prove_eq : t -> Poly.t -> Poly.t -> bool
 
 val prove_nonzero : t -> Poly.t -> bool
 
+(** {1 Footprint-in-bounds queries}
+
+    Used by the memory-IR linter ({!Core.Memlint}) to discharge the
+    obligation that an index function's footprint stays inside its
+    memory block. *)
+
+val prove_in_range : t -> Poly.t -> lo:Poly.t -> hi:Poly.t -> bool
+(** [prove_in_range ctx p ~lo ~hi] proves [lo <= p <= hi] (inclusive on
+    both ends); sufficient-condition semantics like every [prove_*]. *)
+
+(** Three-valued range verdict: [Out_of_range] is itself a {e proof}
+    (of [p < lo] or [p > hi]), not merely a failure to prove
+    membership. *)
+type range_verdict = In_range | Out_of_range | Undecided
+
+val check_in_range : t -> Poly.t -> lo:Poly.t -> hi:Poly.t -> range_verdict
+
 (** Decidable-sign summary. *)
 type sign = Pos | Neg | Zero | Unknown
 

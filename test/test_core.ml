@@ -480,21 +480,46 @@ let test_memintro_if_existential () =
         [ Var (List.hd r) ])
   in
   let m = Core.Memintro.introduce (Clone.clone_prog prog) in
-  (* the if statement's pattern must bind a memory block and witnesses *)
+  (* the if statement's pattern must follow the [mem, witness...,
+     array] grouping: a TMem binder, i64 witnesses, then the array
+     annotated with that very block *)
   let if_stm =
     List.find
       (fun s -> match s.exp with EIf _ -> true | _ -> false)
       m.body.stms
   in
-  Alcotest.(check bool) "pattern binds TMem" true
-    (List.exists (fun pe -> pe.pt = TMem) if_stm.pat);
-  Alcotest.(check bool) "pattern binds witnesses" true
-    (List.length if_stm.pat > 2);
-  (* and the program still runs on both executors *)
-  let expect = Interp.run prog [ Value.VInt 3; Value.VBool true ] in
-  let got = Interp.run m [ Value.VInt 3; Value.VBool true ] in
-  Alcotest.(check bool) "annotated program unchanged semantically" true
-    (List.for_all2 Value.approx_equal expect got)
+  (match if_stm.pat with
+  | mem_pe :: rest ->
+      Alcotest.(check bool) "group starts with TMem" true (mem_pe.pt = TMem);
+      let wits, arr =
+        match List.rev rest with
+        | arr :: rwits -> (List.rev rwits, arr)
+        | [] -> Alcotest.fail "no array result in the group"
+      in
+      Alcotest.(check bool) "witnesses are i64" true
+        (wits <> [] && List.for_all (fun pe -> pe.pt = TScalar I64) wits);
+      Alcotest.(check bool) "array result is an array" true
+        (is_array_typ arr.pt);
+      (match arr.pmem with
+      | Some mi ->
+          Alcotest.(check string) "array lives in the existential block"
+            mem_pe.pv mi.block;
+          Alcotest.(check bool) "witnesses appear in the index function" true
+            (List.exists
+               (fun pe -> List.mem pe.pv (Lmads.Ixfn.vars mi.ixfn))
+               wits)
+      | None -> Alcotest.fail "array result lacks a memory annotation")
+  | [] -> Alcotest.fail "empty if pattern");
+  (* the annotated program round-trips through the type checker *)
+  Check.check_prog m;
+  (* and still runs: both branches (transposed and row-major layouts) *)
+  List.iter
+    (fun cond ->
+      let expect = Interp.run prog [ Value.VInt 3; Value.VBool cond ] in
+      let got = Interp.run m [ Value.VInt 3; Value.VBool cond ] in
+      Alcotest.(check bool) "annotated program unchanged semantically" true
+        (List.for_all2 Value.approx_equal expect got))
+    [ true; false ]
 
 (* ---------------------------------------------------------------- *)
 (* Randomized: NW over random shapes stays correct & short-circuits  *)

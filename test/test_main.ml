@@ -8,6 +8,7 @@ let () =
       ("nonoverlap", Test_nonoverlap_internals.tests);
       ("ir", Test_ir.tests);
       ("core", Test_core.tests);
+      ("memlint", Test_memlint.tests);
       ("frontend", Test_frontend.tests);
       ("gpu", Test_gpu.tests);
       ("bench", Test_bench.tests);
