@@ -2,6 +2,9 @@
 
      repro table <1..7|all>     regenerate the paper's tables
      repro validate [bench]     full-mode validation at reduced sizes
+     repro lint [bench]         static memory-IR verification (memlint)
+     repro trace [bench]        traced execution + dynamic cross-check
+                                (memtrace); --json dumps the event log
      repro dump <bench> [-O]    print the (memory-annotated) IR
      repro prove-nw             show the Fig. 9 non-overlap proof
 *)
@@ -96,9 +99,25 @@ let run_table which options =
     if options.Core.Shortcircuit.verbose then
       Fmt.pr "%a@.@." Core.Shortcircuit.pp_stats st
     else
-      Printf.printf "  short-circuiting: %d/%d candidates, %d vars rebased\n\n"
+      Printf.printf "  short-circuiting: %d/%d candidates, %d vars rebased\n"
         st.Core.Shortcircuit.succeeded st.Core.Shortcircuit.candidates
-        st.Core.Shortcircuit.rebased_vars
+        st.Core.Shortcircuit.rebased_vars;
+    (match o.Benchsuite.Runner.traffic with
+    | None -> ()
+    | Some t ->
+        let mb x = x /. 1e6 in
+        let dev m m' = if m' = 0. then 0. else 100. *. (m -. m') /. m' in
+        Printf.printf
+          "  traffic @ reduced size: kernels %.3f MB measured vs %.3f MB \
+           modeled (%+.1f%%), copies %.3f vs %.3f MB | memtrace %s\n"
+          (mb t.Benchsuite.Runner.measured_rw)
+          (mb t.Benchsuite.Runner.modeled_rw)
+          (dev t.Benchsuite.Runner.modeled_rw t.Benchsuite.Runner.measured_rw)
+          (mb t.Benchsuite.Runner.measured_copy)
+          (mb t.Benchsuite.Runner.modeled_copy)
+          (if Core.Memtrace.ok t.Benchsuite.Runner.check then "clean"
+           else "VIOLATIONS"));
+    print_newline ()
   in
   match which with
   | "all" ->
@@ -160,6 +179,81 @@ let run_lint which options verbose_reports =
   | s ->
       Result.bind (find_bench s) (fun b ->
           if lint b then Ok () else Error "lint failed")
+
+(* ---- trace ------------------------------------------------------- *)
+
+(* Full-mode traced execution of both pipeline variants at the reduced
+   size, cross-checked by memtrace.  Human output shows the checker's
+   verdict and the per-kernel traffic histogram of the optimized run;
+   [--json] emits the raw event logs instead (to stdout, or to
+   <out>/<bench>.json per benchmark when [-o] is given). *)
+
+let print_histogram t =
+  let tr = Core.Trace.traffic t in
+  Printf.printf "  %-18s %8s %12s %12s\n" "kernel" "launches" "read MB"
+    "write MB";
+  List.iter
+    (fun (label, launches, r, w) ->
+      Printf.printf "  %-18s %8d %12.4f %12.4f\n" label launches (r /. 1e6)
+        (w /. 1e6))
+    (Core.Trace.histogram t);
+  Printf.printf
+    "  total: %.4f MB read, %.4f MB written, %.4f MB copied (%.4f MB \
+     elided)\n"
+    (tr.Core.Trace.t_kernel_reads /. 1e6)
+    (tr.Core.Trace.t_kernel_writes /. 1e6)
+    (tr.Core.Trace.t_copy_bytes /. 1e6)
+    (tr.Core.Trace.t_elided_bytes /. 1e6)
+
+let bench_json (u : Benchsuite.Runner.traced)
+    (o : Benchsuite.Runner.traced) =
+  let clean =
+    Core.Memtrace.ok u.Benchsuite.Runner.check
+    && Core.Memtrace.ok o.Benchsuite.Runner.check
+  in
+  Printf.sprintf "{\"clean\": %b, \"unopt\": %s, \"opt\": %s}" clean
+    (Core.Trace.to_json u.Benchsuite.Runner.trace)
+    (Core.Trace.to_json o.Benchsuite.Runner.trace)
+
+let run_trace which json out =
+  let trace b =
+    let u, o =
+      Benchsuite.Runner.trace_check b.prog (Lazy.force b.small_args)
+    in
+    let clean =
+      Core.Memtrace.ok u.Benchsuite.Runner.check
+      && Core.Memtrace.ok o.Benchsuite.Runner.check
+    in
+    if json then (
+      let s = bench_json u o in
+      match out with
+      | None -> print_endline s
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path = Filename.concat dir (b.name ^ ".json") in
+          let oc = open_out path in
+          output_string oc s;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "%-14s wrote %s (%s)\n" b.name path
+            (if clean then "clean" else "VIOLATIONS"))
+    else begin
+      List.iter
+        (fun (t : Benchsuite.Runner.traced) ->
+          Fmt.pr "%a@." Core.Memtrace.pp_report t.Benchsuite.Runner.check)
+        [ u; o ];
+      print_histogram o.Benchsuite.Runner.trace;
+      print_newline ()
+    end;
+    clean
+  in
+  match which with
+  | "all" ->
+      let ok = List.fold_left (fun ok b -> trace b && ok) true benches in
+      if ok then Ok () else Error "memtrace cross-check failed"
+  | s ->
+      Result.bind (find_bench s) (fun b ->
+          if trace b then Ok () else Error "memtrace cross-check failed")
 
 (* ---- dump -------------------------------------------------------- *)
 
@@ -286,6 +380,32 @@ let lint_cmd =
       const (fun w o r -> to_exit (run_lint w o r))
       $ bench_arg $ options_term $ reports)
 
+let trace_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the raw event logs as JSON instead of the summary.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--json): write one $(i,BENCH).json per benchmark into \
+             $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Execute a benchmark (or all) in full mode with event tracing and \
+          cross-check the dynamic footprints against the static LMAD \
+          annotations")
+    Term.(
+      const (fun w j o -> to_exit (run_trace w j o))
+      $ bench_arg $ json $ out)
+
 let prove_cmd =
   Cmd.v (Cmd.info "prove-nw" ~doc:"Discharge the Fig. 9 proof obligation")
     Term.(const (fun () -> to_exit (run_prove_nw ())) $ const ())
@@ -295,4 +415,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "repro" ~doc)
-          [ table_cmd; validate_cmd; lint_cmd; dump_cmd; prove_cmd ]))
+          [ table_cmd; validate_cmd; lint_cmd; trace_cmd; dump_cmd; prove_cmd ]))

@@ -193,7 +193,8 @@ let datasets () =
     [ 8192; 16384; 32768 ]
 
 let table ?options () : Runner.outcome =
-  Runner.run_table ?options ~title:"Table III: Hotspot performance" ~runs:10 ~prog
+  Runner.run_table ?options ~trace_args:(args ~n:16 ~steps:3 ~shell:false)
+    ~title:"Table III: Hotspot performance" ~runs:10 ~prog
     ~datasets:(datasets ()) ~paper ()
 
 let small_args ~n ~steps = args ~n ~steps ~shell:false

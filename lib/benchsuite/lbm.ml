@@ -208,7 +208,8 @@ let datasets () =
     [ ("short", 10); ("long", 300) ]
 
 let table ?options () : Runner.outcome =
-  Runner.run_table ?options ~title:"Table IV: LBM performance" ~runs:100 ~prog
+  Runner.run_table ?options ~trace_args:(args ~n:8 ~steps:3 ~shell:false)
+    ~title:"Table IV: LBM performance" ~runs:100 ~prog
     ~datasets:(datasets ()) ~paper ()
 
 let small_args ~n ~steps = args ~n ~steps ~shell:false

@@ -204,7 +204,8 @@ let datasets () =
     ]
 
 let table ?options () : Runner.outcome =
-  Runner.run_table ?options ~title:"Table VI: LocVolCalib performance" ~runs:10 ~prog
+  Runner.run_table ?options ~trace_args:(args ~numo:6 ~numx:12 ~numt:4)
+    ~title:"Table VI: LocVolCalib performance" ~runs:10 ~prog
     ~datasets:(datasets ()) ~paper ()
 
 let small_args ~numo ~numx ~numt = args ~numo ~numx ~numt

@@ -164,7 +164,9 @@ let datasets () =
     [ 855280; 8552800; 85528000 ]
 
 let table ?options () : Runner.outcome =
-  Runner.run_table ?options ~title:"Table VII: NN performance" ~runs:100 ~prog
+  Runner.run_table ?options
+    ~trace_args:(args ~nrec:100 ~nbatch:4 ~bsz:8 ~shell:false)
+    ~title:"Table VII: NN performance" ~runs:100 ~prog
     ~datasets:(datasets ()) ~paper ()
 
 let small_args ~nrec ~nbatch ~bsz = args ~nrec ~nbatch ~bsz ~shell:false

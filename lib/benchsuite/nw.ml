@@ -292,7 +292,9 @@ let datasets () =
     [ 8192; 16384; 32768 ]
 
 let table ?options () : Runner.outcome =
-  Runner.run_table ?options ~title:"Table I: NW performance" ~runs:1000 ~prog
+  Runner.run_table ?options
+    ~trace_args:(args ~q:3 ~b:4 ~penalty:10.0 ~shell:false)
+    ~title:"Table I: NW performance" ~runs:1000 ~prog
     ~datasets:(datasets ()) ~paper ()
 
 (* Reduced-size instance for full-mode validation in the test suite. *)

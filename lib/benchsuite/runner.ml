@@ -32,6 +32,21 @@ let paper_tbl rows : paper_numbers =
     rows;
   t
 
+(* Measured-vs-modeled traffic: a Full-mode traced run counts every
+   DRAM access the optimized program makes, while a cost-only run of
+   the same program at the same (reduced) size *models* that traffic by
+   sampling mapnest bodies and long loops.  Close agreement is what
+   licenses the paper-scale cost-only numbers in the tables; the
+   memtrace cross-check rides along so every table also confirms the
+   dynamic footprints stayed inside the static annotations. *)
+type traffic_cmp = {
+  measured_rw : float; (* kernel read+write bytes, Full-mode trace *)
+  modeled_rw : float; (* same, cost-only sampled run *)
+  measured_copy : float;
+  modeled_copy : float;
+  check : Core.Memtrace.report; (* cross-check of the Full trace *)
+}
+
 type outcome = {
   table : Table.t;
   compiled : Core.Pipeline.compiled;
@@ -39,9 +54,31 @@ type outcome = {
       (* dataset label, unoptimized / optimized allocation volume (bytes):
          the footprint motivation of section I, realized by the
          dead-allocation cleanup after short-circuiting *)
+  traffic : traffic_cmp option;
+      (* present when the benchmark supplied reduced-size [trace_args] *)
 }
 
-let run_table ?options ~title ~runs ~(prog : Ir.Ast.prog)
+let traffic_comparison (compiled : Core.Pipeline.compiled)
+    (args : Ir.Value.t list) : traffic_cmp =
+  let opt = compiled.Core.Pipeline.opt in
+  let r_full = Exec.run ~mode:Exec.Full ~trace:true ~variant:"opt" opt args in
+  let r_cost = Exec.run ~mode:Exec.Cost_only opt args in
+  let t =
+    match r_full.Exec.trace with Some t -> t | None -> assert false
+  in
+  let tr = Core.Trace.traffic t in
+  {
+    measured_rw =
+      tr.Core.Trace.t_kernel_reads +. tr.Core.Trace.t_kernel_writes;
+    modeled_rw =
+      r_cost.Exec.counters.Device.kernel_reads
+      +. r_cost.Exec.counters.Device.kernel_writes;
+    measured_copy = tr.Core.Trace.t_copy_bytes;
+    modeled_copy = r_cost.Exec.counters.Device.copy_bytes;
+    check = Core.Memtrace.check t;
+  }
+
+let run_table ?options ?trace_args ~title ~runs ~(prog : Ir.Ast.prog)
     ~(datasets : dataset list)
     ~(paper : (string * string * (float * float * float * float)) list) () :
     outcome =
@@ -86,7 +123,29 @@ let run_table ?options ~title ~runs ~(prog : Ir.Ast.prog)
           opt_c.Device.alloc_bytes ))
       measured
   in
-  { table = { Table.title; runs; rows }; compiled; footprints }
+  let traffic = Option.map (traffic_comparison compiled) trace_args in
+  { table = { Table.title; runs; rows }; compiled; footprints; traffic }
+
+(* Traced execution of both pipeline variants at a reduced size, each
+   cross-checked by Memtrace.  This is the dynamic complement of
+   [validate]: validate confirms the optimized program computes the
+   right *values*, trace_check confirms it touched the right
+   *memory*. *)
+type traced = { trace : Core.Trace.t; check : Core.Memtrace.report }
+
+let trace_variant ~variant (p : Ir.Ast.prog) (args : Ir.Value.t list) : traced
+    =
+  let r = Exec.run ~mode:Exec.Full ~trace:true ~variant p args in
+  let t = match r.Exec.trace with Some t -> t | None -> assert false in
+  { trace = t; check = Core.Memtrace.check t }
+
+let trace_check ?(compiled : Core.Pipeline.compiled option)
+    (prog : Ir.Ast.prog) (args : Ir.Value.t list) : traced * traced =
+  let compiled =
+    match compiled with Some c -> c | None -> Core.Pipeline.compile prog
+  in
+  ( trace_variant ~variant:"unopt" compiled.Core.Pipeline.unopt args,
+    trace_variant ~variant:"opt" compiled.Core.Pipeline.opt args )
 
 (* Full-mode validation at a reduced size: the unoptimized and the
    short-circuited programs must agree with the reference interpreter

@@ -1,20 +1,43 @@
 (** Memlint: a static verifier for the memory IR.
 
     Checks, per statement, the invariants every pipeline pass must
-    preserve: alloc dominance and sizing (annotations name in-scope
-    blocks and their LMAD footprints provably fit in [0, size)),
-    alias/annotation consistency (change-of-layout operations share
-    their operand's block with the transformed index function; a
-    short-circuited copy source must be lastly used), existential
-    well-formedness (memintro's [mem, witness..., array] grouping of
-    [if]/[loop] results, with branch witnesses instantiating the
-    anti-unified index function), and mapnest write races (per-thread
-    writes to enclosing memory pairwise disjoint across threads).
+    preserve.  Violations are grouped into rule classes (the [rule]
+    field of {!violation}):
+
+    - [alloc-dominance] - every memory annotation names a block whose
+      allocation is in scope at the use site, and the annotation's
+      LMAD footprint provably fits in [\[0, size)] of that block.
+      Catches dropped or mis-hoisted allocations.
+    - [footprint] - the reference set of an index function stays
+      inside its block; discharged with the same {!Symalg.Prover} the
+      optimizer uses, under the program's size context.
+    - [layout] - a change-of-layout operation (transpose, reshape,
+      slice, reverse) produces an array in its operand's block, with
+      the correspondingly transformed index function.  Layout ops are
+      O(1) metadata surgery; claiming a different block would smuggle
+      in a copy.
+    - [last-use] - the source of a short-circuited copy is lastly used
+      at the circuit point: no statement after the rebased copy may
+      read the source variable, whose contents the destination's
+      writes are about to clobber.
+    - [existential] - [if]/[loop] results follow memintro's
+      [mem, witness..., array] grouping, branch witnesses instantiate
+      the anti-unified index function, and both branches agree on the
+      existential block.
+    - [write-race] - per-thread mapnest writes to enclosing memory are
+      pairwise disjoint across threads (the section V-B obligation);
+      LUD's interior-block races exercise the prover's
+      triangular-bound saturation here.
 
     Verdicts are three-valued: [Error] only for *provable* violations,
     [Warning] for obligations the sound-but-incomplete prover cannot
     decide.  A correct program never errors; the seven benchmark
-    programs lint clean at every pipeline stage. *)
+    programs lint clean at every pipeline stage.
+
+    Memlint is the static half of the verification stack; {!Memtrace}
+    replays executions against the same annotations dynamically.  The
+    narrative documentation, with a worked NW example, lives in
+    [docs/VERIFICATION.md]. *)
 
 type severity = Error | Warning
 

@@ -1,0 +1,416 @@
+(* Execution traces of the memory-aware GPU executor.
+
+   A trace is the dynamic counterpart of the static memory annotations:
+   every executed operation that touches memory appends a structured
+   event - allocations, kernel launches with their *declared* (static,
+   concretized) and *actual* (observed) footprints, copies with their
+   elision decision, and last-use markers.  The [Memtrace] checker
+   replays a trace against the declared footprints; this module only
+   collects and renders.
+
+   Events are device-level: offsets are flat element offsets into a
+   block, and declared regions are concrete LMADs ({!Lmads.Lmad.concrete})
+   obtained by evaluating the static annotations under the launch-time
+   environment.  A declared region of [None] means "the whole block"
+   (the static annotation mentioned per-thread variables that have no
+   single launch-time value, so the enumerable region degrades to the
+   block bound). *)
+
+module Lmad = Lmads.Lmad
+
+type clmad = Lmad.concrete
+
+type footprint = {
+  fvar : string; (* array variable the region belongs to *)
+  fbid : int; (* block id *)
+  fregion : clmad list option; (* None: anywhere in the block *)
+}
+
+type kernel = {
+  kid : int; (* launch sequence number *)
+  klabel : string; (* binding variable of the launching statement *)
+  kthreads : int;
+  declared_writes : footprint list;
+  declared_reads : footprint list;
+  fresh : int list; (* blocks allocated inside this kernel (thread-private) *)
+  writes : (int * int list) list; (* bid -> distinct offsets, sorted *)
+  reads : (int * int list) list;
+  read_bytes : float; (* modeled DRAM traffic of this launch *)
+  write_bytes : float;
+}
+
+type copy = {
+  csrc : int;
+  cdst : int;
+  cshape : int list; (* logical shape copied *)
+  csix : clmad list; (* concrete index function chains, head first *)
+  cdix : clmad list;
+  cbytes : float;
+  celided : bool;
+  cin_kernel : bool;
+}
+
+type event =
+  | Alloc of { bid : int; name : string; elems : int; in_kernel : bool }
+  | Kernel of kernel
+  | Copy of copy
+  | Last_use of { var : string; bid : int }
+
+type t = {
+  program : string;
+  variant : string; (* provenance: which pipeline stage produced the code *)
+  exact : bool; (* Full mode: offsets were recorded exhaustively *)
+  mutable events_rev : event list;
+  mutable next_kid : int;
+  mutable muted : bool; (* result readback is not part of the execution *)
+  (* current top-level kernel under construction *)
+  mutable cur : building option;
+}
+
+and building = {
+  b_label : string;
+  b_threads : int;
+  b_dw : footprint list;
+  b_dr : footprint list;
+  mutable b_fresh : int list;
+  b_wr : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  b_rd : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let create ~program ~variant ~exact () =
+  {
+    program;
+    variant;
+    exact;
+    events_rev = [];
+    next_kid = 0;
+    muted = false;
+    cur = None;
+  }
+
+let program t = t.program
+let variant t = t.variant
+let exact t = t.exact
+let events t = List.rev t.events_rev
+let emit t e = if not t.muted then t.events_rev <- e :: t.events_rev
+let mute t = t.muted <- true
+
+let alloc t ~bid ~name ~elems ~in_kernel =
+  emit t (Alloc { bid; name; elems; in_kernel });
+  if in_kernel then
+    match t.cur with Some b -> b.b_fresh <- bid :: b.b_fresh | None -> ()
+
+let last_use t ~var ~bid = emit t (Last_use { var; bid })
+
+let kernel_begin t ~label ~threads ~declared_writes ~declared_reads =
+  if not t.muted then
+    t.cur <-
+      Some
+        {
+          b_label = label;
+          b_threads = threads;
+          b_dw = declared_writes;
+          b_dr = declared_reads;
+          b_fresh = [];
+          b_wr = Hashtbl.create 16;
+          b_rd = Hashtbl.create 16;
+        }
+
+let touch tbl bid off =
+  let s =
+    match Hashtbl.find_opt tbl bid with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 64 in
+        Hashtbl.add tbl bid s;
+        s
+  in
+  Hashtbl.replace s off ()
+
+let kernel_read t ~bid ~off =
+  match t.cur with Some b when not t.muted -> touch b.b_rd bid off | _ -> ()
+
+let kernel_write t ~bid ~off =
+  match t.cur with Some b when not t.muted -> touch b.b_wr bid off | _ -> ()
+
+let offsets_of tbl =
+  Hashtbl.fold
+    (fun bid s acc ->
+      let offs = Hashtbl.fold (fun o () l -> o :: l) s [] in
+      (bid, List.sort compare offs) :: acc)
+    tbl []
+  |> List.sort compare
+
+let kernel_end t ~read_bytes ~write_bytes =
+  match t.cur with
+  | None -> ()
+  | Some b ->
+      let k =
+        {
+          kid = t.next_kid;
+          klabel = b.b_label;
+          kthreads = b.b_threads;
+          declared_writes = b.b_dw;
+          declared_reads = b.b_dr;
+          fresh = List.rev b.b_fresh;
+          writes = offsets_of b.b_wr;
+          reads = offsets_of b.b_rd;
+          read_bytes;
+          write_bytes;
+        }
+      in
+      t.next_kid <- t.next_kid + 1;
+      t.cur <- None;
+      emit t (Kernel k)
+
+let copy t ~src ~dst ~shape ~six ~dix ~bytes ~elided ~in_kernel =
+  emit t
+    (Copy
+       {
+         csrc = src;
+         cdst = dst;
+         cshape = shape;
+         csix = six;
+         cdix = dix;
+         cbytes = bytes;
+         celided = elided;
+         cin_kernel = in_kernel;
+       })
+
+(* ---------------------------------------------------------------- *)
+(* Replay helpers                                                    *)
+(* ---------------------------------------------------------------- *)
+
+(* Apply a concrete index-function chain to a logical index: the
+   executor's addressing, replicated so the checker can re-enumerate a
+   copy's image without executing anything. *)
+let apply (ix : clmad list) (idxs : int list) : int =
+  match ix with
+  | [] -> invalid_arg "Trace.apply: empty index function"
+  | first :: rest ->
+      let app (l : clmad) idxs =
+        List.fold_left2
+          (fun acc i (_, s) -> acc + (i * s))
+          l.Lmad.coff idxs l.Lmad.cdims
+      in
+      let o = ref (app first idxs) in
+      List.iter
+        (fun (l : clmad) ->
+          let shp = List.map fst l.Lmad.cdims in
+          let rec unrank o = function
+            | [] -> []
+            | [ _ ] -> [ o ]
+            | _ :: rest ->
+                let inner = List.fold_left ( * ) 1 rest in
+                (o / inner) :: unrank (o mod inner) rest
+          in
+          o := app l (unrank !o shp))
+        rest;
+      !o
+
+let image (ix : clmad list) (shape : int list) : int list =
+  List.sort_uniq compare
+    (List.map (apply ix) (Ir.Value.indices shape))
+
+(* ---------------------------------------------------------------- *)
+(* Derived summaries                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let block_names t =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Alloc { bid; name; _ } -> (bid, name) :: acc
+      | _ -> acc)
+    [] (events t)
+
+let kernels t =
+  List.filter_map (function Kernel k -> Some k | _ -> None) (events t)
+
+let copies t =
+  List.filter_map (function Copy c -> Some c | _ -> None) (events t)
+
+(* Per-kernel-label traffic histogram: (label, launches, read bytes,
+   write bytes), ordered by total traffic. *)
+let histogram t : (string * int * float * float) list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun k ->
+      let base = Ir.Names.base k.klabel in
+      let n, r, w =
+        Option.value (Hashtbl.find_opt tbl base) ~default:(0, 0., 0.)
+      in
+      Hashtbl.replace tbl base
+        (n + 1, r +. k.read_bytes, w +. k.write_bytes))
+    (kernels t);
+  Hashtbl.fold (fun l (n, r, w) acc -> (l, n, r, w) :: acc) tbl []
+  |> List.sort (fun (_, _, r1, w1) (_, _, r2, w2) ->
+         compare (r2 +. w2) (r1 +. w1))
+
+type traffic = {
+  t_kernel_reads : float;
+  t_kernel_writes : float;
+  t_copy_bytes : float;
+  t_elided_bytes : float;
+}
+
+let traffic t =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Kernel k ->
+          {
+            acc with
+            t_kernel_reads = acc.t_kernel_reads +. k.read_bytes;
+            t_kernel_writes = acc.t_kernel_writes +. k.write_bytes;
+          }
+      | Copy c when c.celided ->
+          { acc with t_elided_bytes = acc.t_elided_bytes +. c.cbytes }
+      | Copy c when not c.cin_kernel ->
+          { acc with t_copy_bytes = acc.t_copy_bytes +. c.cbytes }
+      | _ -> acc)
+    {
+      t_kernel_reads = 0.;
+      t_kernel_writes = 0.;
+      t_copy_bytes = 0.;
+      t_elided_bytes = 0.;
+    }
+    (events t)
+
+(* ---------------------------------------------------------------- *)
+(* Rendering                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let pp_region ppf = function
+  | None -> Fmt.string ppf "whole-block"
+  | Some ls -> Fmt.(list ~sep:(any " U ") Lmad.pp_concrete) ppf ls
+
+let pp_footprint ppf f =
+  Fmt.pf ppf "%s@@blk%d:%a" f.fvar f.fbid pp_region f.fregion
+
+let total_offsets l =
+  List.fold_left (fun acc (_, offs) -> acc + List.length offs) 0 l
+
+let pp_event ppf = function
+  | Alloc { bid; name; elems; in_kernel } ->
+      Fmt.pf ppf "alloc blk%d (%s) %d elems%s" bid name elems
+        (if in_kernel then " [in-kernel]" else "")
+  | Kernel k ->
+      Fmt.pf ppf
+        "@[<v2>kernel #%d %s: %d threads, %.0fB read, %.0fB written@,\
+         declared writes: %a@,\
+         declared reads:  %a@,\
+         touched: %d writes, %d reads across %d blocks@]" k.kid k.klabel
+        k.kthreads k.read_bytes k.write_bytes
+        Fmt.(list ~sep:comma pp_footprint)
+        k.declared_writes
+        Fmt.(list ~sep:comma pp_footprint)
+        k.declared_reads (total_offsets k.writes) (total_offsets k.reads)
+        (List.length
+           (List.sort_uniq compare (List.map fst k.writes @ List.map fst k.reads)))
+  | Copy c ->
+      Fmt.pf ppf "copy blk%d -> blk%d, %.0fB%s%s" c.csrc c.cdst c.cbytes
+        (if c.celided then " [ELIDED]" else "")
+        (if c.cin_kernel then " [in-kernel]" else "")
+  | Last_use { var; bid } -> Fmt.pf ppf "last-use %s (blk%d)" var bid
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>trace of %s (%s, %s)@,%a@]" t.program t.variant
+    (if t.exact then "exact" else "sampled")
+    Fmt.(list ~sep:cut pp_event)
+    (events t)
+
+(* ---------------------------------------------------------------- *)
+(* JSON                                                              *)
+(* ---------------------------------------------------------------- *)
+
+(* Hand-rolled: the schema is small and we avoid a json dependency. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_clmad (c : clmad) =
+  Printf.sprintf "{\"off\":%d,\"dims\":[%s]}" c.Lmad.coff
+    (String.concat ","
+       (List.map
+          (fun (n, s) -> Printf.sprintf "[%d,%d]" n s)
+          c.Lmad.cdims))
+
+let json_region = function
+  | None -> "null"
+  | Some ls -> "[" ^ String.concat "," (List.map json_clmad ls) ^ "]"
+
+let json_footprint f =
+  Printf.sprintf "{\"var\":\"%s\",\"block\":%d,\"region\":%s}"
+    (json_escape f.fvar) f.fbid (json_region f.fregion)
+
+let json_offsets l =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun (bid, offs) ->
+           Printf.sprintf "{\"block\":%d,\"offsets\":[%s]}" bid
+             (String.concat "," (List.map string_of_int offs)))
+         l)
+  ^ "]"
+
+let json_ints l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let json_event = function
+  | Alloc { bid; name; elems; in_kernel } ->
+      Printf.sprintf
+        "{\"event\":\"alloc\",\"block\":%d,\"name\":\"%s\",\"elems\":%d,\"in_kernel\":%b}"
+        bid (json_escape name) elems in_kernel
+  | Kernel k ->
+      Printf.sprintf
+        "{\"event\":\"kernel\",\"id\":%d,\"label\":\"%s\",\"threads\":%d,\"declared_writes\":[%s],\"declared_reads\":[%s],\"fresh\":%s,\"writes\":%s,\"reads\":%s,\"read_bytes\":%.0f,\"write_bytes\":%.0f}"
+        k.kid (json_escape k.klabel) k.kthreads
+        (String.concat "," (List.map json_footprint k.declared_writes))
+        (String.concat "," (List.map json_footprint k.declared_reads))
+        (json_ints k.fresh) (json_offsets k.writes) (json_offsets k.reads)
+        k.read_bytes k.write_bytes
+  | Copy c ->
+      Printf.sprintf
+        "{\"event\":\"copy\",\"src\":%d,\"dst\":%d,\"shape\":%s,\"src_ix\":%s,\"dst_ix\":%s,\"bytes\":%.0f,\"elided\":%b,\"in_kernel\":%b}"
+        c.csrc c.cdst (json_ints c.cshape)
+        (json_region (Some c.csix))
+        (json_region (Some c.cdix))
+        c.cbytes c.celided c.cin_kernel
+  | Last_use { var; bid } ->
+      Printf.sprintf "{\"event\":\"last_use\",\"var\":\"%s\",\"block\":%d}"
+        (json_escape var) bid
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"program\":\"%s\",\"variant\":\"%s\",\"exact\":%b,"
+       (json_escape t.program) (json_escape t.variant) t.exact);
+  let tr = traffic t in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"traffic\":{\"kernel_reads\":%.0f,\"kernel_writes\":%.0f,\"copy_bytes\":%.0f,\"elided_bytes\":%.0f},"
+       tr.t_kernel_reads tr.t_kernel_writes tr.t_copy_bytes tr.t_elided_bytes);
+  Buffer.add_string b "\"histogram\":[";
+  Buffer.add_string b
+    (String.concat ","
+       (List.map
+          (fun (l, n, r, w) ->
+            Printf.sprintf
+              "{\"label\":\"%s\",\"launches\":%d,\"read_bytes\":%.0f,\"write_bytes\":%.0f}"
+              (json_escape l) n r w)
+          (histogram t)));
+  Buffer.add_string b "],\"events\":[";
+  Buffer.add_string b (String.concat "," (List.map json_event (events t)));
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -25,6 +25,8 @@ open Ir.Ast
 module P = Symalg.Poly
 module Ixfn = Lmads.Ixfn
 module Lmad = Lmads.Lmad
+module Refset = Lmads.Refset
+module Trace = Core.Trace
 module SM = Map.Make (String)
 module Value = Ir.Value
 
@@ -33,6 +35,12 @@ exception Exec_error of string
 let err fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
 
 type mode = Full | Cost_only
+
+(* Fault injection for testing the dynamic checker: [Off_by_one_write]
+   shifts every in-kernel cell write by one element.  The static
+   annotations are untouched, so memlint still passes - only the
+   {!Core.Memtrace} cross-check of a traced run can observe the bug. *)
+type mutation = Off_by_one_write
 
 (* ---------------------------------------------------------------- *)
 (* Concrete memory                                                   *)
@@ -47,8 +55,14 @@ type blockv = {
   mutable payload : payload option; (* lazily materialized (Full mode) *)
 }
 
-(* Concrete index function: integer offsets/cardinals/strides. *)
-type clmad = { coff : int; cdims : (int * int) list (* card, stride *) }
+(* Concrete index function: integer offsets/cardinals/strides.  The
+   constituent LMADs are {!Lmads.Lmad.concrete}, shared with the trace
+   events so footprints flow into {!Core.Trace} without conversion. *)
+type clmad = Lmad.concrete = {
+  coff : int;
+  cdims : (int * int) list; (* card, stride *)
+}
+
 type cixfn = clmad list (* head first, memory side last *)
 
 type arrv = { elt : sct; shape : int list; block : blockv; ix : cixfn }
@@ -65,6 +79,9 @@ type env = aval SM.t
 type state = {
   mode : mode;
   counters : Device.counters;
+  mutable tracer : Trace.t option;
+      (* when set, every memory-relevant action appends a trace event *)
+  mutation : mutation option; (* fault injection (tests only) *)
   mutable kernel_depth : int;
   thread_writes : (int * int, unit) Hashtbl.t;
       (* (block id, offset) pairs written by the current kernel thread:
@@ -146,6 +163,134 @@ let capply (ix : cixfn) (idxs : int list) : int =
         rest;
       !o
 
+(* ---------------------------------------------------------------- *)
+(* Declared footprints (tracing)                                     *)
+(* ---------------------------------------------------------------- *)
+
+(* The declared region of a static index function at launch time: its
+   memory-side LMAD concretized under the environment, via the Refset
+   machinery the static analyses reason with.  Annotations mentioning
+   variables with no launch-time value (per-thread indices, inner loop
+   counters) have no single enumerable region and degrade to None -
+   "anywhere in the block", which is still bounded by the block size. *)
+let int_env env v =
+  match lookup env v with
+  | AInt i -> i
+  | _ -> err "exec: %s is not an integer (in footprint)" v
+
+let try_region env (ix : Ixfn.t) : clmad list option =
+  match List.rev (Ixfn.chain ix) with
+  | [] -> None
+  | mem :: _ -> (
+      try Refset.concretize (int_env env) (Refset.of_lmad mem)
+      with Exec_error _ -> None)
+
+(* An already-concrete array view's memory-side region. *)
+let region_of_cixfn (ix : cixfn) : clmad list option =
+  match List.rev ix with [] -> None | mem :: _ -> Some [ mem ]
+
+(* Declared write footprints of a kernel statement: the memory
+   annotations of its array-typed bindings. *)
+let pat_footprints env (s : stm) : Trace.footprint list =
+  List.filter_map
+    (fun pe ->
+      match (pe.pt, pe.pmem) with
+      | TArr _, Some m -> (
+          match lookup env m.block with
+          | AMem b ->
+              Some
+                {
+                  Trace.fvar = pe.pv;
+                  fbid = b.bid;
+                  fregion = try_region env m.ixfn;
+                }
+          | _ -> None)
+      | _ -> None)
+    s.pat
+
+(* Every variable name occurring in a block (conservative: includes
+   locally bound names, which simply fail the environment lookup). *)
+let rec names_in_block (blk : block) acc =
+  let acc = List.fold_left (fun acc s -> names_in_stm s acc) acc blk.stms in
+  List.fold_left (fun acc a -> name_of_atom a acc) acc blk.res
+
+and name_of_atom a acc = match a with Var v -> v :: acc | _ -> acc
+
+and names_in_stm (s : stm) acc =
+  match s.exp with
+  | EAtom a | EUn (_, a) -> name_of_atom a acc
+  | EBin (_, a, b) | ECmp (_, a, b) -> name_of_atom a (name_of_atom b acc)
+  | EIdx _ | EIota _ | EScratch _ | EAlloc _ -> acc
+  | EIndex (v, _)
+  | ESlice (v, _)
+  | ETranspose (v, _)
+  | EReshape (v, _)
+  | EReverse (v, _)
+  | ECopy v
+  | EArgmin v ->
+      v :: acc
+  | EConcat vs -> vs @ acc
+  | EReplicate (_, a) -> name_of_atom a acc
+  | EUpdate { dst; src; _ } -> (
+      let acc = dst :: acc in
+      match src with
+      | SrcScalar a -> name_of_atom a acc
+      | SrcArr v -> v :: acc)
+  | EMap { body; _ } -> names_in_block body acc
+  | EReduce { ne; arr; _ } -> name_of_atom ne (arr :: acc)
+  | ELoop { params; body; _ } ->
+      let acc =
+        List.fold_left (fun acc (_, init) -> name_of_atom init acc) acc params
+      in
+      names_in_block body acc
+  | EIf { cond; tb; fb } ->
+      name_of_atom cond (names_in_block tb (names_in_block fb acc))
+
+(* Memory destinations annotated anywhere inside a kernel body whose
+   block already exists at launch (hoisted scratch): the kernel is
+   declared to write - and therefore also read - them. *)
+let rec body_dest_footprints env (blk : block) acc =
+  List.fold_left
+    (fun acc s ->
+      let acc =
+        List.fold_left
+          (fun acc pe ->
+            match pe.pmem with
+            | Some m -> (
+                match SM.find_opt m.block env with
+                | Some (AMem b) ->
+                    { Trace.fvar = pe.pv; fbid = b.bid; fregion = None } :: acc
+                | _ -> acc)
+            | None -> acc)
+          acc s.pat
+      in
+      match s.exp with
+      | EMap { body; _ } | ELoop { body; _ } -> body_dest_footprints env body acc
+      | EIf { tb; fb; _ } ->
+          body_dest_footprints env tb (body_dest_footprints env fb acc)
+      | _ -> acc)
+    acc blk.stms
+
+(* Declared read footprints of a kernel body: the full (concrete) view
+   of every outer array the body mentions by name. *)
+let read_footprints env (blk : block) : Trace.footprint list =
+  let names = List.sort_uniq compare (names_in_block blk []) in
+  List.filter_map
+    (fun v ->
+      match SM.find_opt v env with
+      | Some (AArr a) ->
+          Some
+            {
+              Trace.fvar = v;
+              fbid = a.block.bid;
+              fregion = region_of_cixfn a.ix;
+            }
+      | _ -> None)
+    names
+
+let arr_footprint v (a : arrv) : Trace.footprint =
+  { Trace.fvar = v; fbid = a.block.bid; fregion = region_of_cixfn a.ix }
+
 (* Element-wise location equality (same block, same mapping): used to
    elide copies arranged by short-circuiting.  Cardinal-1 dimensions do
    not affect the mapping and are dropped before comparison. *)
@@ -187,6 +332,10 @@ let read_cell st (a : blockv) elt (off : int) : aval =
      st.counters.kernel_reads <- st.counters.kernel_reads +. elem_bytes
    else if not (Hashtbl.mem st.thread_writes (a.bid, off)) then
      tally_reads st a elem_bytes);
+  (match st.tracer with
+  | Some tr when st.kernel_depth > 0 && st.mode = Full ->
+      Trace.kernel_read tr ~bid:a.bid ~off
+  | _ -> ());
   match st.mode with
   | Cost_only -> (
       match elt with F64 -> AFloat 0.5 | I64 -> AInt 0 | Bool -> ABool true)
@@ -199,9 +348,18 @@ let read_cell st (a : blockv) elt (off : int) : aval =
       | PB d -> ABool d.(off))
 
 let write_cell st (a : blockv) elt (off : int) (v : aval) : unit =
+  let off =
+    match st.mutation with
+    | Some Off_by_one_write when st.kernel_depth > 0 -> off + 1
+    | _ -> off
+  in
   st.counters.kernel_writes <- st.counters.kernel_writes +. elem_bytes;
   if st.kernel_depth > 0 then
     Hashtbl.replace st.thread_writes (a.bid, off) ();
+  (match st.tracer with
+  | Some tr when st.kernel_depth > 0 && st.mode = Full ->
+      Trace.kernel_write tr ~bid:a.bid ~off
+  | _ -> ());
   match st.mode with
   | Cost_only -> ()
   | Full -> (
@@ -237,7 +395,13 @@ let count shape = List.fold_left ( * ) 1 shape
 let copy_logical st elt shape (sb : blockv) (six : cixfn) (db : blockv)
     (dix : cixfn) : unit =
   let bytes = float_of_int (count shape) *. elem_bytes in
-  if same_location sb six db dix then begin
+  let elided = same_location sb six db dix in
+  (match st.tracer with
+  | Some tr ->
+      Trace.copy tr ~src:sb.bid ~dst:db.bid ~shape ~six ~dix ~bytes ~elided
+        ~in_kernel:(st.kernel_depth > 0)
+  | None -> ());
+  if elided then begin
     st.counters.copies_elided <- st.counters.copies_elided + 1;
     st.counters.elided_bytes <- st.counters.elided_bytes +. bytes
   end
@@ -257,7 +421,14 @@ let copy_logical st elt shape (sb : blockv) (six : cixfn) (db : blockv)
     | Cost_only -> ()
     | Full ->
         List.iter
-          (fun idx -> move_cell sb db elt (capply six idx) (capply dix idx))
+          (fun idx ->
+            let so = capply six idx and dof = capply dix idx in
+            (match st.tracer with
+            | Some tr when st.kernel_depth > 0 ->
+                Trace.kernel_read tr ~bid:sb.bid ~off:so;
+                Trace.kernel_write tr ~bid:db.bid ~off:dof
+            | _ -> ());
+            move_cell sb db elt so dof)
           (indices shape)
   end
 
@@ -448,7 +619,9 @@ let rec exec_exp st env (s : stm) : aval list =
       let pe = List.hd s.pat in
       let out = arr_of_pat env pe in
       let n = eval_poly env n in
-      launch_kernel st (fun () ->
+      launch_kernel st ~label:pe.pv
+        ~declared:(fun () -> (pat_footprints env s, [], n))
+        (fun () ->
           match out with
           | AArr o ->
               (match st.mode with
@@ -465,7 +638,12 @@ let rec exec_exp st env (s : stm) : aval list =
       let pe = List.hd s.pat in
       let out = arr_of_pat env pe in
       let v = eval_atom env a in
-      launch_kernel st (fun () ->
+      launch_kernel st ~label:pe.pv
+        ~declared:(fun () ->
+          ( pat_footprints env s,
+            [],
+            match out with AArr o -> count o.shape | _ -> 0 ))
+        (fun () ->
           match out with
           | AArr o ->
               let n = count o.shape in
@@ -527,7 +705,10 @@ let rec exec_exp st env (s : stm) : aval list =
   | EReduce { op; ne; arr } ->
       let a = lookup_arr env arr in
       let n = count a.shape in
-      launch_kernel st (fun () ->
+      launch_kernel st
+        ~label:(match s.pat with pe :: _ -> pe.pv | [] -> "reduce")
+        ~declared:(fun () -> ([], [ arr_footprint arr a ], n))
+        (fun () ->
           match st.mode with
           | Full ->
               let acc = ref (eval_atom env ne) in
@@ -542,7 +723,10 @@ let rec exec_exp st env (s : stm) : aval list =
   | EArgmin arr ->
       let a = lookup_arr env arr in
       let n = count a.shape in
-      launch_kernel st (fun () ->
+      launch_kernel st
+        ~label:(match s.pat with pe :: _ -> pe.pv | [] -> "argmin")
+        ~declared:(fun () -> ([], [ arr_footprint arr a ], n))
+        (fun () ->
           match st.mode with
           | Full ->
               let best = ref infinity and besti = ref 0 in
@@ -598,7 +782,30 @@ let rec exec_exp st env (s : stm) : aval list =
       else begin
         let vals = ref (List.map (fun (_, init) -> eval_atom env init) params) in
         for i = 0 to n - 1 do
-          vals := run_iter !vals i
+          let prev = !vals in
+          vals := run_iter prev i;
+          (* A carried array whose block leaves the carried set dies
+             here: its last read was inside this iteration's body.
+             The static analysis attributes the carried value's
+             liveness to the loop statement as a whole, so without
+             this marker the trace would date the block's death to
+             the previous iteration's intra-body markers - before its
+             final read. *)
+          match st.tracer with
+          | Some tr when st.kernel_depth = 0 ->
+              let new_bids =
+                List.filter_map
+                  (function AArr a -> Some a.block.bid | _ -> None)
+                  !vals
+              in
+              List.iter2
+                (fun (pe, _) v ->
+                  match v with
+                  | AArr a when not (List.mem a.block.bid new_bids) ->
+                      Trace.last_use tr ~var:pe.pv ~bid:a.block.bid
+                  | _ -> ())
+                params prev
+          | _ -> ()
         done;
         !vals
       end
@@ -626,20 +833,31 @@ let rec exec_exp st env (s : stm) : aval list =
         if st.counters.live_bytes > st.counters.peak_bytes then
           st.counters.peak_bytes <- st.counters.live_bytes
       end;
+      (match st.tracer with
+      | Some tr ->
+          Trace.alloc tr ~bid:b.bid ~name:b.bname ~elems:n
+            ~in_kernel:(st.kernel_depth > 0)
+      | None -> ());
       [ AMem b ]
 
-and launch_kernel st f =
+and launch_kernel st ~label ~declared f =
   (* nested parallelism is flattened on a GPU: only top-level mapnests
      pay a launch *)
   let top = st.kernel_depth = 0 in
+  let r0 = st.counters.kernel_reads and w0 = st.counters.kernel_writes in
   if top then begin
     st.counters.kernels <- st.counters.kernels + 1;
-    Hashtbl.reset st.kernel_reads_tally
+    Hashtbl.reset st.kernel_reads_tally;
+    match st.tracer with
+    | Some tr ->
+        let declared_writes, declared_reads, threads = declared () in
+        Trace.kernel_begin tr ~label ~threads ~declared_writes ~declared_reads
+    | None -> ()
   end;
   st.kernel_depth <- st.kernel_depth + 1;
   let r = f () in
   st.kernel_depth <- st.kernel_depth - 1;
-  if top then
+  if top then begin
     (* perfect-L2: a kernel reads each block location from DRAM once *)
     Hashtbl.iter
       (fun _ (bytes, bsize) ->
@@ -647,6 +865,13 @@ and launch_kernel st f =
           st.counters.kernel_reads
           +. Float.min bytes (float_of_int bsize *. elem_bytes))
       st.kernel_reads_tally;
+    match st.tracer with
+    | Some tr ->
+        Trace.kernel_end tr
+          ~read_bytes:(st.counters.kernel_reads -. r0)
+          ~write_bytes:(st.counters.kernel_writes -. w0)
+    | None -> ()
+  end;
   r
 
 (* Mapnest execution: one kernel; full mode iterates every thread,
@@ -682,7 +907,13 @@ and exec_map st env (s : stm) nest body : aval list =
         | _ -> err "exec: mapnest result mismatch")
       outs results
   in
-  launch_kernel st (fun () ->
+  launch_kernel st
+    ~label:(match s.pat with pe :: _ -> pe.pv | [] -> "map")
+    ~declared:(fun () ->
+      ( pat_footprints env s @ body_dest_footprints env body [],
+        read_footprints env body,
+        points ))
+    (fun () ->
       (match st.mode with
       | Full -> List.iter (fun idx -> run_thread env idx) (indices dims)
       | Cost_only ->
@@ -736,7 +967,21 @@ and exec_block st env (b : block) : aval list =
         let vals = exec_exp st env s in
         if List.length vals <> List.length s.pat then
           err "exec: arity mismatch";
-        List.fold_left2 bind_result env s.pat vals)
+        let env = List.fold_left2 bind_result env s.pat vals in
+        (* Liveness markers are only meaningful at top level: inside a
+           kernel the same body runs once per thread, and per-thread
+           "deaths" say nothing about the cross-kernel liveness the
+           short-circuiting pass consumed. *)
+        (match st.tracer with
+        | Some tr when st.kernel_depth = 0 ->
+            List.iter
+              (fun v ->
+                match SM.find_opt v env with
+                | Some (AArr a) -> Trace.last_use tr ~var:v ~bid:a.block.bid
+                | _ -> ())
+              s.last_uses
+        | _ -> ());
+        env)
       env b.stms
   in
   List.map (eval_atom env) b.res
@@ -768,6 +1013,10 @@ let bind_param st env pe (v : Value.t) : env =
           | PB d, Value.DB s -> Array.blit s 0 d 0 n
           | _ -> err "exec: param payload mismatch")
       | Cost_only -> ());
+      (match st.tracer with
+      | Some tr ->
+          Trace.alloc tr ~bid:blk.bid ~name:m.block ~elems:n ~in_kernel:false
+      | None -> ());
       let env = SM.add m.block (AMem blk) env in
       SM.add pe.pv
         (AArr
@@ -825,13 +1074,23 @@ let materialize st (v : aval) : Value.t =
 type report = {
   results : Value.t list;
   counters : Device.counters;
+  trace : Trace.t option;
 }
 
-let run ?(mode = Full) (p : prog) (args : Value.t list) : report =
+let run ?(mode = Full) ?(trace = false) ?(variant = "program") ?mutation
+    (p : prog) (args : Value.t list) : report =
+  let tracer =
+    if trace then
+      Some
+        (Trace.create ~program:p.name ~variant ~exact:(mode = Full) ())
+    else None
+  in
   let st =
     {
       mode;
       counters = Device.fresh_counters ();
+      tracer;
+      mutation;
       kernel_depth = 0;
       thread_writes = Hashtbl.create 256;
       kernel_reads_tally = Hashtbl.create 64;
@@ -844,11 +1103,12 @@ let run ?(mode = Full) (p : prog) (args : Value.t list) : report =
       args
   in
   let res = exec_block st env p.body in
-  (* reading back results is not part of the measured cost *)
+  (* reading back results is not part of the measured cost (or trace) *)
   let saved = st.counters.kernel_reads in
+  Option.iter Trace.mute st.tracer;
   let results = List.map (materialize st) res in
   st.counters.kernel_reads <- saved;
-  { results; counters = st.counters }
+  { results; counters = st.counters; trace = tracer }
 
 (* Simulated time on a device for a completed run. *)
 let time device (r : report) = Device.time device r.counters

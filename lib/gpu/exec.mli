@@ -14,20 +14,45 @@
     two locality refinements: a thread's re-reads of locations it wrote
     itself are free (registers/shared memory), and a kernel's total DRAM
     reads from one block are capped at the block's footprint (perfect
-    L2 within a launch). *)
+    L2 within a launch).
+
+    With [~trace:true] the run additionally produces a {!Core.Trace.t}:
+    a structured event log of allocations, kernel launches (with their
+    declared-vs-actual footprints), copies and their elision decisions,
+    and last-use markers, ready for the {!Core.Memtrace} cross-check. *)
 
 exception Exec_error of string
 
 type mode = Full | Cost_only
 
+(** Fault injection for testing the dynamic checker:
+    [Off_by_one_write] shifts every in-kernel cell write by one
+    element.  The static annotations are untouched, so {!Core.Memlint}
+    still passes - only the {!Core.Memtrace} cross-check of a traced
+    run observes the bug. *)
+type mutation = Off_by_one_write
+
 type report = {
   results : Ir.Value.t list;
       (** program results; shape-only shells in cost-only mode *)
   counters : Device.counters;
+  trace : Core.Trace.t option;  (** present iff run with [~trace:true] *)
 }
 
-val run : ?mode:mode -> Ir.Ast.prog -> Ir.Value.t list -> report
+val run :
+  ?mode:mode ->
+  ?trace:bool ->
+  ?variant:string ->
+  ?mutation:mutation ->
+  Ir.Ast.prog ->
+  Ir.Value.t list ->
+  report
 (** Execute a memory-annotated program on the given arguments.
+    [?trace] (default [false]) collects a {!Core.Trace.t} as the run
+    proceeds; [?variant] labels the trace's provenance (which pipeline
+    stage produced the program, e.g. ["opt"]).  Offset-exact footprints
+    require [Full] mode; a cost-only trace keeps the event structure
+    with sampled traffic numbers.
     @raise Exec_error on missing annotations or out-of-bounds accesses
     (full mode checks bounds on every access). *)
 

@@ -321,17 +321,36 @@ let equal l1 l2 =
 (* Concrete enumeration (for testing and the reference executor)     *)
 (* ---------------------------------------------------------------- *)
 
-let eval_points (env : string -> int) l : int list =
-  let off = P.eval env l.off in
-  let dims =
-    List.map (fun d -> (P.eval env d.n, P.eval env d.s)) l.dims
-  in
+(* ---------------------------------------------------------------- *)
+(* Concrete LMADs                                                    *)
+(* ---------------------------------------------------------------- *)
+
+type concrete = { coff : int; cdims : (int * int) list }
+
+let concretize (env : string -> int) l : concrete =
+  {
+    coff = P.eval env l.off;
+    cdims = List.map (fun d -> (P.eval env d.n, P.eval env d.s)) l.dims;
+  }
+
+let concrete_points (c : concrete) : int list =
   let rec go acc = function
     | [] -> [ acc ]
     | (n, s) :: rest ->
         List.concat (List.init (max n 0) (fun i -> go (acc + (i * s)) rest))
   in
-  go off dims
+  go c.coff c.cdims
+
+let concrete_card (c : concrete) : int =
+  List.fold_left (fun acc (n, _) -> acc * max n 0) 1 c.cdims
+
+let pp_concrete ppf (c : concrete) =
+  Fmt.pf ppf "%d + {%a}" c.coff
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") int int))
+    c.cdims
+
+let eval_points (env : string -> int) l : int list =
+  concrete_points (concretize env l)
 
 (* ---------------------------------------------------------------- *)
 (* Printing                                                          *)

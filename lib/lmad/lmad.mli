@@ -129,9 +129,34 @@ val vars : t -> string list
 val equal : t -> t -> bool
 (** Component-wise polynomial (normal-form) equality. *)
 
-val eval_points : (string -> int) -> t -> int list
+(** {1 Concretization}
+
+    An LMAD whose polynomials have been evaluated under a concrete
+    assignment of the free variables: a plain integer offset plus
+    (cardinal, stride) pairs.  This is the currency of the execution
+    tracer ({!Core.Trace}): the executor concretizes the static
+    annotations at kernel launch, and the {!Core.Memtrace}
+    cross-checker later re-enumerates the point sets to compare them
+    with the offsets the kernel actually touched. *)
+
+type concrete = { coff : int; cdims : (int * int) list }
+
+val concretize : (string -> int) -> t -> concrete
+(** Evaluate offset and every (cardinal, stride) under [env].
+    @raise Invalid_argument if a free variable is unbound in [env]. *)
+
+val concrete_points : concrete -> int list
 (** Enumerate the concrete point set, in row-major order of the
-    dimensions (used by tests and the interpreter's slice semantics). *)
+    dimensions. *)
+
+val concrete_card : concrete -> int
+(** Number of points ([concrete_points] length) without enumerating. *)
+
+val pp_concrete : Format.formatter -> concrete -> unit
+
+val eval_points : (string -> int) -> t -> int list
+(** [concrete_points (concretize env l)] (used by tests and the
+    interpreter's slice semantics). *)
 
 (** {1 Printing} *)
 

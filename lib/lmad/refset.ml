@@ -76,6 +76,12 @@ let subst_map env = function
   | Top -> Top
   | Union xs -> Union (List.map (Lmad.subst_map env) xs)
 
+(* Concretize every constituent LMAD under an integer assignment; a
+   Top summary has no finite enumeration. *)
+let concretize env = function
+  | Top -> None
+  | Union xs -> Some (List.map (Lmad.concretize env) xs)
+
 (* Free variables (empty for Top). *)
 let vars = function
   | Top -> []

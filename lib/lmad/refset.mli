@@ -37,6 +37,12 @@ val expand_loop : Pr.t -> string -> count:P.t -> t -> t
 val subst : string -> P.t -> t -> t
 val subst_map : P.t P.SM.t -> t -> t
 
+val concretize : (string -> int) -> t -> Lmad.concrete list option
+(** Evaluate the summary under a concrete assignment: the finite union
+    of {!Lmad.concrete} point sets it denotes, or [None] for [Top]
+    (all of memory has no finite enumeration).  Used by the execution
+    tracer to turn static footprints into checkable offset sets. *)
+
 val vars : t -> string list
 (** Free variables (empty for [Top]). *)
 

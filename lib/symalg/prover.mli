@@ -50,6 +50,15 @@ val with_deadline : float -> (unit -> 'a) -> 'a
     the outermost deadline. *)
 
 val prove_nonneg : t -> Poly.t -> bool
+(** Entry point of the elimination search.  Before searching, the
+    context is {e saturated} with triangular-bound consequences: a
+    recorded pair [lo <= v <= hi] implies [hi - lo >= 0], and when
+    another variable occurs with a unit coefficient in that gap the
+    implication is itself a bound on it (from [0 <= j <= i - 1] and
+    [i <= m - 1] follow [i >= 1] and [m >= 2]).  This is what lets
+    obligations over triangular iteration spaces - LUD's interior
+    write-race disjointness - go through. *)
+
 val prove_pos : t -> Poly.t -> bool
 val prove_le : t -> Poly.t -> Poly.t -> bool
 val prove_lt : t -> Poly.t -> Poly.t -> bool

@@ -9,6 +9,7 @@ let () =
       ("ir", Test_ir.tests);
       ("core", Test_core.tests);
       ("memlint", Test_memlint.tests);
+      ("memtrace", Test_memtrace.tests);
       ("frontend", Test_frontend.tests);
       ("gpu", Test_gpu.tests);
       ("bench", Test_bench.tests);

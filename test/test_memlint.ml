@@ -211,6 +211,26 @@ let test_benchmarks_clean () =
       ("nn", Benchsuite.Nn.prog);
     ]
 
+(* Regression: LUD's interior write-race obligations need the prover's
+   triangular-bound saturation (from 0 <= jv <= bi - 1 and
+   bi <= m - 1 it must derive m >= 2 for the per-thread disjointness
+   proof); pin the benchmark to zero warnings at every stage so a
+   prover regression cannot silently reintroduce them. *)
+let test_lud_no_warnings () =
+  let compiled = Core.Pipeline.compile ~lint:true Benchsuite.Lud.prog in
+  Alcotest.(check int) "lud lints at every stage" 5
+    (List.length compiled.Core.Pipeline.lint);
+  List.iter
+    (fun (stage, r) ->
+      let pp vs = List.map (fun v -> Fmt.str "%a" ML.pp_violation v) vs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "lud %s: no errors" stage)
+        [] (pp (ML.errors r));
+      Alcotest.(check (list string))
+        (Printf.sprintf "lud %s: no warnings" stage)
+        [] (pp (ML.warnings r)))
+    compiled.Core.Pipeline.lint
+
 (* A pre-memory program is vacuously clean. *)
 let test_unannotated_clean () =
   let r = ML.check (base_fill ()) in
@@ -231,4 +251,6 @@ let tests =
       test_overlapping_threads;
     Alcotest.test_case "benchmarks lint clean per stage" `Slow
       test_benchmarks_clean;
+    Alcotest.test_case "lud: zero warnings (triangular bounds)" `Slow
+      test_lud_no_warnings;
   ]
