@@ -51,7 +51,10 @@ let run_tables () =
       sc_summary name compiled;
       Printf.printf "  (table regenerated in %.1fs)\n\n" elapsed;
       footprints :=
-        (name, compiled.Core.Pipeline.dead_allocs, o.Benchsuite.Runner.footprints)
+        ( name,
+          compiled.Core.Pipeline.dead_allocs,
+          compiled.Core.Pipeline.reuse_dead_allocs,
+          o.Benchsuite.Runner.footprints )
         :: !footprints;
       overheads :=
         (name, compiled.Core.Pipeline.time_base, compiled.Core.Pipeline.time_sc)
@@ -60,17 +63,22 @@ let run_tables () =
   (* Memory footprint: the paper's second motivation (section I). *)
   Printf.printf "%s\n" hr;
   Printf.printf
-    "Memory footprint: allocation volume, unoptimized vs short-circuited\n";
-  Printf.printf "%-15s %-10s %14s %14s %9s %s\n" "Benchmark" "dataset"
-    "unopt (MB)" "opt (MB)" "saved" "dead allocs";
+    "Memory footprint: peak live bytes, unoptimized / short-circuited / \
+     reused\n";
+  Printf.printf "%-15s %-10s %12s %12s %12s %9s %s\n" "Benchmark" "dataset"
+    "unopt (MB)" "opt (MB)" "reuse (MB)" "saved" "dead allocs (sc+reuse)";
   List.iter
-    (fun (name, dead, fps) ->
+    (fun (name, dead, rdead, fps) ->
       List.iter
-        (fun (ds, u, o) ->
-          Printf.printf "%-15s %-10s %14.1f %14.1f %8.0f%% %6d\n" name ds
-            (u /. 1e6) (o /. 1e6)
-            (100. *. (u -. o) /. Float.max 1.0 u)
-            dead)
+        (fun (ds, u, o, r) ->
+          let open Benchsuite.Runner in
+          Printf.printf "%-15s %-10s %12.1f %12.1f %12.1f %8.0f%% %5d+%d\n"
+            name ds (u.f_peak_bytes /. 1e6) (o.f_peak_bytes /. 1e6)
+            (r.f_peak_bytes /. 1e6)
+            (100.
+            *. (u.f_peak_bytes -. r.f_peak_bytes)
+            /. Float.max 1.0 u.f_peak_bytes)
+            dead rdead)
         fps)
     (List.rev !footprints);
   Printf.printf "\n";

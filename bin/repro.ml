@@ -1,11 +1,16 @@
 (* The `repro` command-line driver.
 
-     repro table <1..7|all>     regenerate the paper's tables
+     repro table <1..7|all>     regenerate the paper's tables (three
+                                variants: unoptimized, short-circuited,
+                                memory-reused); --bench-json writes a
+                                machine-readable perf record
      repro validate [bench]     full-mode validation at reduced sizes
      repro lint [bench]         static memory-IR verification (memlint)
      repro trace [bench]        traced execution + dynamic cross-check
-                                (memtrace); --json dumps the event log
-     repro dump <bench> [-O]    print the (memory-annotated) IR
+                                (memtrace); --json dumps the event log,
+                                --diff compares the variants' logical
+                                event skeletons
+     repro dump <bench> [-O|-R] print the (memory-annotated) IR
      repro prove-nw             show the Fig. 9 non-overlap proof
 *)
 
@@ -15,7 +20,10 @@ type bench = {
   name : string;
   table_no : int;
   table :
-    ?options:Core.Shortcircuit.options -> unit -> Benchsuite.Runner.outcome;
+    ?options:Core.Shortcircuit.options ->
+    ?reuse:Core.Reuse.options ->
+    unit ->
+    Benchsuite.Runner.outcome;
   prog : Ir.Ast.prog;
   small_args : Ir.Value.t list Lazy.t;
 }
@@ -91,17 +99,130 @@ let find_bench s =
 
 (* ---- table ----------------------------------------------------- *)
 
-let run_table which options =
+let pp_footprints (o : Benchsuite.Runner.outcome) =
+  List.iter
+    (fun (label, u, p, r) ->
+      let a (f : Benchsuite.Runner.footprint) =
+        if f.Benchsuite.Runner.f_scratch = 0 then
+          string_of_int f.Benchsuite.Runner.f_allocs
+        else
+          Printf.sprintf "%d+%ds" f.Benchsuite.Runner.f_allocs
+            f.Benchsuite.Runner.f_scratch
+      in
+      let pk (f : Benchsuite.Runner.footprint) =
+        f.Benchsuite.Runner.f_peak_bytes
+      in
+      Printf.printf
+        "  footprint %-9s allocs %s -> %s -> %s | peak %.3g -> %.3g -> \
+         %.3g B (unopt/opt/reuse)\n"
+        label (a u) (a p) (a r) (pk u) (pk p) (pk r))
+    o.Benchsuite.Runner.footprints
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(* One machine-readable performance record for the whole suite:
+   per-benchmark modeled times and impacts per (device, dataset),
+   memory footprints of the three variants, compile times, reuse-pass
+   statistics, and the prover's memoization effectiveness. *)
+let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
+    (pstats : Symalg.Prover.stats) : string =
+  let buf = Buffer.create 8192 in
+  let bench_obj (b, (o : Benchsuite.Runner.outcome)) =
+    let c = o.Benchsuite.Runner.compiled in
+    let rows =
+      String.concat ","
+        (List.map
+           (fun (r : Benchsuite.Table.row) ->
+             Printf.sprintf
+               "{\"device\":\"%s\",\"dataset\":\"%s\",\"ref_ms\":%g,\"unopt_ms\":%g,\"opt_ms\":%g,\"reuse_ms\":%g,\"impact\":%g,\"reuse_impact\":%g}"
+               (json_escape r.Benchsuite.Table.device)
+               (json_escape r.Benchsuite.Table.dataset)
+               r.Benchsuite.Table.ref_ms r.Benchsuite.Table.unopt_ms
+               r.Benchsuite.Table.opt_ms r.Benchsuite.Table.reuse_ms
+               r.Benchsuite.Table.impact r.Benchsuite.Table.reuse_impact)
+           o.Benchsuite.Runner.table.Benchsuite.Table.rows)
+    in
+    let fp (f : Benchsuite.Runner.footprint) =
+      Printf.sprintf
+        "{\"allocs\":%d,\"scratch\":%d,\"alloc_bytes\":%g,\"peak_bytes\":%g}"
+        f.Benchsuite.Runner.f_allocs f.Benchsuite.Runner.f_scratch
+        f.Benchsuite.Runner.f_alloc_bytes f.Benchsuite.Runner.f_peak_bytes
+    in
+    let fps =
+      String.concat ","
+        (List.map
+           (fun (label, u, p, r) ->
+             Printf.sprintf
+               "{\"dataset\":\"%s\",\"unopt\":%s,\"opt\":%s,\"reuse\":%s}"
+               (json_escape label) (fp u) (fp p) (fp r))
+           o.Benchsuite.Runner.footprints)
+    in
+    let rst = c.Core.Pipeline.reuse_stats in
+    Printf.sprintf
+      "{\"name\":\"%s\",\"table\":%d,\"rows\":[%s],\"footprints\":[%s],\"compile_s\":{\"base\":%g,\"shortcircuit\":%g,\"reuse\":%g},\"dead_allocs\":%d,\"reuse_dead_allocs\":%d,\"reuse_stats\":{\"candidates\":%d,\"coalesced\":%d,\"size_proofs\":%d,\"chain_links\":%d,\"rotated\":%d}}"
+      (json_escape b.name) b.table_no rows fps c.Core.Pipeline.time_base
+      c.Core.Pipeline.time_sc c.Core.Pipeline.time_reuse
+      c.Core.Pipeline.dead_allocs c.Core.Pipeline.reuse_dead_allocs
+      rst.Core.Reuse.candidates rst.Core.Reuse.coalesced
+      rst.Core.Reuse.size_proofs rst.Core.Reuse.chain_links
+      rst.Core.Reuse.rotated
+  in
+  let date =
+    let t = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02d" (t.Unix.tm_year + 1900)
+      (t.Unix.tm_mon + 1) t.Unix.tm_mday
+  in
+  let rate h m = if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m) in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"date\":\"%s\",\"benchmarks\":[%s],"
+       date
+       (String.concat "," (List.map bench_obj outcomes)));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"prover\":{\"sat_hits\":%d,\"sat_misses\":%d,\"sat_resets\":%d,\"sat_hit_rate\":%.4f,\"nonneg_hits\":%d,\"nonneg_misses\":%d,\"nonneg_resets\":%d,\"nonneg_hit_rate\":%.4f}}"
+       pstats.Symalg.Prover.sat_hits pstats.Symalg.Prover.sat_misses
+       pstats.Symalg.Prover.sat_resets
+       (rate pstats.Symalg.Prover.sat_hits pstats.Symalg.Prover.sat_misses)
+       pstats.Symalg.Prover.nonneg_hits pstats.Symalg.Prover.nonneg_misses
+       pstats.Symalg.Prover.nonneg_resets
+       (rate pstats.Symalg.Prover.nonneg_hits
+          pstats.Symalg.Prover.nonneg_misses));
+  Buffer.contents buf
+
+let default_bench_json_name () =
+  let t = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "BENCH_%04d-%02d-%02d.json" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday
+
+let run_table which options reuse bench_json out =
+  Symalg.Prover.reset_stats ();
   let run b =
-    let o = b.table ~options () in
+    let o = b.table ~options ~reuse () in
     print_string (Benchsuite.Table.to_string o.Benchsuite.Runner.table);
     let st = o.Benchsuite.Runner.compiled.Core.Pipeline.stats in
-    if options.Core.Shortcircuit.verbose then
-      Fmt.pr "%a@.@." Core.Shortcircuit.pp_stats st
-    else
+    let rst = o.Benchsuite.Runner.compiled.Core.Pipeline.reuse_stats in
+    if options.Core.Shortcircuit.verbose then begin
+      Fmt.pr "%a@.@." Core.Shortcircuit.pp_stats st;
+      Fmt.pr "%a@.@." Core.Reuse.pp_stats rst;
+      Fmt.pr "%a@.@." Symalg.Prover.pp_stats (Symalg.Prover.stats ())
+    end
+    else begin
       Printf.printf "  short-circuiting: %d/%d candidates, %d vars rebased\n"
         st.Core.Shortcircuit.succeeded st.Core.Shortcircuit.candidates
         st.Core.Shortcircuit.rebased_vars;
+      Printf.printf
+        "  memory reuse: %d chain links, %d rotated, %d/%d coalesced (%d \
+         more allocs dropped)\n"
+        rst.Core.Reuse.chain_links rst.Core.Reuse.rotated
+        rst.Core.Reuse.coalesced rst.Core.Reuse.candidates
+        o.Benchsuite.Runner.compiled.Core.Pipeline.reuse_dead_allocs
+    end;
+    pp_footprints o;
     (match o.Benchsuite.Runner.traffic with
     | None -> ()
     | Some t ->
@@ -117,13 +238,25 @@ let run_table which options =
           (mb t.Benchsuite.Runner.modeled_copy)
           (if Core.Memtrace.ok t.Benchsuite.Runner.check then "clean"
            else "VIOLATIONS"));
-    print_newline ()
+    print_newline ();
+    o
+  in
+  let finish outcomes =
+    if bench_json then begin
+      let path = Option.value out ~default:(default_bench_json_name ()) in
+      let json = bench_json_of outcomes (Symalg.Prover.stats ()) in
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    end
   in
   match which with
   | "all" ->
-      List.iter run benches;
+      finish (List.map (fun b -> (b, run b)) benches);
       Ok ()
-  | s -> Result.map run (find_bench s)
+  | s -> Result.map (fun b -> finish [ (b, run b) ]) (find_bench s)
 
 (* ---- validate --------------------------------------------------- *)
 
@@ -131,12 +264,14 @@ let run_validate which =
   let validate b =
     let v = Benchsuite.Runner.validate b.prog (Lazy.force b.small_args) in
     Printf.printf
-      "%-14s interp-match: unopt=%b opt=%b | copies %d -> %d (%d elided) | \
-       circuits %d\n"
+      "%-14s interp-match: unopt=%b opt=%b reuse=%b | copies %d -> %d (%d \
+       elided) | circuits %d\n"
       b.name v.Benchsuite.Runner.ok_unopt v.Benchsuite.Runner.ok_opt
-      v.Benchsuite.Runner.copies_unopt v.Benchsuite.Runner.copies_opt
-      v.Benchsuite.Runner.elided v.Benchsuite.Runner.sc_succeeded;
+      v.Benchsuite.Runner.ok_reuse v.Benchsuite.Runner.copies_unopt
+      v.Benchsuite.Runner.copies_opt v.Benchsuite.Runner.elided
+      v.Benchsuite.Runner.sc_succeeded;
     v.Benchsuite.Runner.ok_unopt && v.Benchsuite.Runner.ok_opt
+    && v.Benchsuite.Runner.ok_reuse
   in
   match which with
   | "all" ->
@@ -205,47 +340,77 @@ let print_histogram t =
     (tr.Core.Trace.t_copy_bytes /. 1e6)
     (tr.Core.Trace.t_elided_bytes /. 1e6)
 
-let bench_json (u : Benchsuite.Runner.traced)
-    (o : Benchsuite.Runner.traced) =
+let bench_json (u : Benchsuite.Runner.traced) (o : Benchsuite.Runner.traced)
+    (r : Benchsuite.Runner.traced) =
   let clean =
     Core.Memtrace.ok u.Benchsuite.Runner.check
     && Core.Memtrace.ok o.Benchsuite.Runner.check
+    && Core.Memtrace.ok r.Benchsuite.Runner.check
   in
-  Printf.sprintf "{\"clean\": %b, \"unopt\": %s, \"opt\": %s}" clean
+  Printf.sprintf
+    "{\"clean\": %b, \"unopt\": %s, \"opt\": %s, \"reuse\": %s}" clean
     (Core.Trace.to_json u.Benchsuite.Runner.trace)
     (Core.Trace.to_json o.Benchsuite.Runner.trace)
+    (Core.Trace.to_json r.Benchsuite.Runner.trace)
 
-let run_trace which json out =
+(* --diff: the optimizations may move and elide storage but must not
+   change the logical event sequence.  Compare the variants' trace
+   skeletons pairwise; any divergence is a failure. *)
+let diff_traces b (u : Benchsuite.Runner.traced)
+    (o : Benchsuite.Runner.traced) (r : Benchsuite.Runner.traced) : bool =
+  let pair ta tb =
+    match Core.Trace.diff ta tb with
+    | [] -> true
+    | ds ->
+        Printf.printf "%-14s %s vs %s: %d divergence(s)\n" b.name
+          (Core.Trace.variant ta) (Core.Trace.variant tb) (List.length ds);
+        List.iter (fun d -> Printf.printf "  %s\n" d) ds;
+        false
+  in
+  let ok_uo = pair u.Benchsuite.Runner.trace o.Benchsuite.Runner.trace in
+  let ok_or = pair o.Benchsuite.Runner.trace r.Benchsuite.Runner.trace in
+  if ok_uo && ok_or then
+    Printf.printf
+      "%-14s skeletons agree across unopt/opt/reuse (%d logical events)\n"
+      b.name
+      (List.length (Core.Trace.skeleton u.Benchsuite.Runner.trace));
+  ok_uo && ok_or
+
+let run_trace which json diff out =
   let trace b =
-    let u, o =
-      Benchsuite.Runner.trace_check b.prog (Lazy.force b.small_args)
+    let u, o, r =
+      Benchsuite.Runner.trace_check3 b.prog (Lazy.force b.small_args)
     in
     let clean =
       Core.Memtrace.ok u.Benchsuite.Runner.check
       && Core.Memtrace.ok o.Benchsuite.Runner.check
+      && Core.Memtrace.ok r.Benchsuite.Runner.check
     in
-    if json then (
-      let s = bench_json u o in
-      match out with
-      | None -> print_endline s
-      | Some dir ->
-          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-          let path = Filename.concat dir (b.name ^ ".json") in
-          let oc = open_out path in
-          output_string oc s;
-          output_char oc '\n';
-          close_out oc;
-          Printf.printf "%-14s wrote %s (%s)\n" b.name path
-            (if clean then "clean" else "VIOLATIONS"))
+    if diff then diff_traces b u o r && clean
     else begin
-      List.iter
-        (fun (t : Benchsuite.Runner.traced) ->
-          Fmt.pr "%a@." Core.Memtrace.pp_report t.Benchsuite.Runner.check)
-        [ u; o ];
-      print_histogram o.Benchsuite.Runner.trace;
-      print_newline ()
-    end;
-    clean
+      if json then (
+        let s = bench_json u o r in
+        match out with
+        | None -> print_endline s
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let path = Filename.concat dir (b.name ^ ".json") in
+            let oc = open_out path in
+            output_string oc s;
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "%-14s wrote %s (%s)\n" b.name path
+              (if clean then "clean" else "VIOLATIONS"))
+      else begin
+        List.iter
+          (fun (t : Benchsuite.Runner.traced) ->
+            Fmt.pr "%a@." Core.Memtrace.pp_report t.Benchsuite.Runner.check)
+          [ u; o; r ];
+        print_histogram o.Benchsuite.Runner.trace;
+        print_newline ()
+      end;
+      clean
+    end
   in
   match which with
   | "all" ->
@@ -257,11 +422,15 @@ let run_trace which json out =
 
 (* ---- dump -------------------------------------------------------- *)
 
-let run_dump which opt =
+let run_dump which opt reuse =
   Result.map
     (fun b ->
       let c = Core.Pipeline.compile b.prog in
-      let p = if opt then c.Core.Pipeline.opt else c.Core.Pipeline.unopt in
+      let p =
+        if reuse then c.Core.Pipeline.reuse
+        else if opt then c.Core.Pipeline.opt
+        else c.Core.Pipeline.unopt
+      in
       print_endline (Ir.Pretty.prog_to_string p))
     (find_bench which)
 
@@ -347,9 +516,51 @@ let options_term =
         })
     $ verbose $ no_refinement $ split_depth)
 
+(* Memory-reuse options: [--no-reuse] disables the pass (the reuse
+   variant then degenerates to a clone of the short-circuited one);
+   the pass's trace output follows the global verbosity. *)
+let reuse_term =
+  let no_reuse =
+    Arg.(
+      value & flag
+      & info [ "no-reuse" ]
+          ~doc:
+            "Disable the memory-block reuse pass (the third pipeline \
+             variant becomes a copy of the short-circuited one).")
+  in
+  Term.(
+    const (fun no_reuse (options : Core.Shortcircuit.options) ->
+        if no_reuse then Core.Reuse.disabled
+        else
+          {
+            Core.Reuse.default_options with
+            Core.Reuse.verbose = options.Core.Shortcircuit.verbose;
+          })
+    $ no_reuse $ options_term)
+
 let table_cmd =
+  let bench_json =
+    Arg.(
+      value & flag
+      & info [ "bench-json" ]
+          ~doc:
+            "Write a machine-readable performance record (modeled times, \
+             impacts, footprints, compile times, reuse statistics, prover \
+             cache rates) after the tables.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--bench-json): target file (default \
+             BENCH_<date>.json).")
+  in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table (1-7 or name or all)")
-    Term.(const (fun w o -> to_exit (run_table w o)) $ bench_arg $ options_term)
+    Term.(
+      const (fun w o r bj out -> to_exit (run_table w o r bj out))
+      $ bench_arg $ options_term $ reuse_term $ bench_json $ out)
 
 let validate_cmd =
   Cmd.v
@@ -361,8 +572,14 @@ let dump_cmd =
   let opt =
     Arg.(value & flag & info [ "O"; "optimized" ] ~doc:"Dump the optimized IR.")
   in
+  let reuse =
+    Arg.(
+      value & flag
+      & info [ "R"; "reuse" ] ~doc:"Dump the memory-reused IR.")
+  in
   Cmd.v (Cmd.info "dump" ~doc:"Print a benchmark's memory-annotated IR")
-    Term.(const (fun w o -> to_exit (run_dump w o)) $ bench_arg $ opt)
+    Term.(
+      const (fun w o r -> to_exit (run_dump w o r)) $ bench_arg $ opt $ reuse)
 
 let lint_cmd =
   let reports =
@@ -387,6 +604,15 @@ let trace_cmd =
       & info [ "json" ]
           ~doc:"Emit the raw event logs as JSON instead of the summary.")
   in
+  let diff =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Compare the unopt/opt/reuse traces' logical event skeletons; \
+             the optimizations may move or elide storage but must not \
+             change the event sequence.")
+  in
   let out =
     Arg.(
       value
@@ -403,8 +629,8 @@ let trace_cmd =
           cross-check the dynamic footprints against the static LMAD \
           annotations")
     Term.(
-      const (fun w j o -> to_exit (run_trace w j o))
-      $ bench_arg $ json $ out)
+      const (fun w j d o -> to_exit (run_trace w j d o))
+      $ bench_arg $ json $ diff $ out)
 
 let prove_cmd =
   Cmd.v (Cmd.info "prove-nw" ~doc:"Discharge the Fig. 9 proof obligation")

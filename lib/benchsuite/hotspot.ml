@@ -21,7 +21,10 @@ module Pr = Symalg.Prover
 module B = Ir.Build
 module Value = Ir.Value
 
-let ctx0 = Pr.add_range Pr.empty "n" ~lo:(P.const 4) ()
+let ctx0 =
+  Pr.add_range
+    (Pr.add_range Pr.empty "n" ~lo:(P.const 4) ())
+    "steps" ~lo:P.one ()
 
 (* Physical coefficients of the Rodinia kernel (simplified constants). *)
 let c_center = 0.6
@@ -192,8 +195,8 @@ let datasets () =
       })
     [ 8192; 16384; 32768 ]
 
-let table ?options () : Runner.outcome =
-  Runner.run_table ?options ~trace_args:(args ~n:16 ~steps:3 ~shell:false)
+let table ?options ?reuse () : Runner.outcome =
+  Runner.run_table ?options ?reuse ~trace_args:(args ~n:16 ~steps:3 ~shell:false)
     ~title:"Table III: Hotspot performance" ~runs:10 ~prog
     ~datasets:(datasets ()) ~paper ()
 

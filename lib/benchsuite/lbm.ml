@@ -27,7 +27,10 @@ let weights =
   [| 4. /. 9.; 1. /. 9.; 1. /. 9.; 1. /. 9.; 1. /. 9.;
      1. /. 36.; 1. /. 36.; 1. /. 36.; 1. /. 36. |]
 
-let ctx0 = Pr.add_range Pr.empty "n" ~lo:(P.const 2) ()
+let ctx0 =
+  Pr.add_range
+    (Pr.add_range Pr.empty "n" ~lo:(P.const 2) ())
+    "steps" ~lo:P.one ()
 
 let prog : prog =
   let n = P.var "n" in
@@ -207,8 +210,8 @@ let datasets () =
       })
     [ ("short", 10); ("long", 300) ]
 
-let table ?options () : Runner.outcome =
-  Runner.run_table ?options ~trace_args:(args ~n:8 ~steps:3 ~shell:false)
+let table ?options ?reuse () : Runner.outcome =
+  Runner.run_table ?options ?reuse ~trace_args:(args ~n:8 ~steps:3 ~shell:false)
     ~title:"Table IV: LBM performance" ~runs:100 ~prog
     ~datasets:(datasets ()) ~paper ()
 

@@ -47,13 +47,31 @@ type traffic_cmp = {
   check : Core.Memtrace.report; (* cross-check of the Full trace *)
 }
 
+(* The memory behaviour of one variant on one dataset: allocation
+   count and volume (the footprint motivation of section I, realized
+   by the dead-allocation cleanup and the reuse pass) plus the modeled
+   peak of live device memory. *)
+type footprint = {
+  f_allocs : int; (* top-level allocations *)
+  f_scratch : int; (* in-kernel (thread-private) allocations *)
+  f_alloc_bytes : float;
+  f_peak_bytes : float;
+}
+
+let footprint_of (c : Device.counters) : footprint =
+  {
+    f_allocs = c.Device.allocs;
+    f_scratch = c.Device.scratch_allocs;
+    f_alloc_bytes = c.Device.alloc_bytes +. c.Device.scratch_bytes;
+    f_peak_bytes = c.Device.peak_bytes;
+  }
+
 type outcome = {
   table : Table.t;
   compiled : Core.Pipeline.compiled;
-  footprints : (string * float * float) list;
-      (* dataset label, unoptimized / optimized allocation volume (bytes):
-         the footprint motivation of section I, realized by the
-         dead-allocation cleanup after short-circuiting *)
+  footprints : (string * footprint * footprint * footprint) list;
+      (* dataset label, unoptimized / optimized / reused memory
+         behaviour *)
   traffic : traffic_cmp option;
       (* present when the benchmark supplied reduced-size [trace_args] *)
 }
@@ -78,11 +96,11 @@ let traffic_comparison (compiled : Core.Pipeline.compiled)
     check = Core.Memtrace.check t;
   }
 
-let run_table ?options ?trace_args ~title ~runs ~(prog : Ir.Ast.prog)
+let run_table ?options ?reuse ?trace_args ~title ~runs ~(prog : Ir.Ast.prog)
     ~(datasets : dataset list)
     ~(paper : (string * string * (float * float * float * float)) list) () :
     outcome =
-  let compiled = Core.Pipeline.compile ?options prog in
+  let compiled = Core.Pipeline.compile ?options ?reuse prog in
   let paper = paper_tbl paper in
   (* counters are device-independent: execute once per dataset *)
   let measured =
@@ -94,33 +112,40 @@ let run_table ?options ?trace_args ~title ~runs ~(prog : Ir.Ast.prog)
         let r_opt =
           Exec.run ~mode:Exec.Cost_only compiled.Core.Pipeline.opt ds.args
         in
+        let r_reuse =
+          Exec.run ~mode:Exec.Cost_only compiled.Core.Pipeline.reuse ds.args
+        in
         let ref_c =
           match ds.ref_counters with
           | Static c -> c
           | From_opt f -> f r_opt.Exec.counters
         in
-        (ds, ref_c, r_unopt.Exec.counters, r_opt.Exec.counters))
+        ( ds,
+          ref_c,
+          r_unopt.Exec.counters,
+          r_opt.Exec.counters,
+          r_reuse.Exec.counters ))
       datasets
   in
   let rows =
     List.concat_map
       (fun device ->
         List.map
-          (fun (ds, ref_c, unopt_c, opt_c) ->
+          (fun (ds, ref_c, unopt_c, opt_c, reuse_c) ->
             Table.make_row ~device:device.Device.name ~dataset:ds.label
               ~ref_time:(Device.time device ref_c)
               ~unopt_time:(Device.time device unopt_c)
               ~opt_time:(Device.time device opt_c)
+              ~reuse_time:(Device.time device reuse_c)
               ~paper:(Hashtbl.find_opt paper (device.Device.name, ds.label)))
           measured)
       devices
   in
   let footprints =
     List.map
-      (fun (ds, _, unopt_c, opt_c) ->
-        ( ds.label,
-          unopt_c.Device.alloc_bytes,
-          opt_c.Device.alloc_bytes ))
+      (fun (ds, _, unopt_c, opt_c, reuse_c) ->
+        (ds.label, footprint_of unopt_c, footprint_of opt_c,
+         footprint_of reuse_c))
       measured
   in
   let traffic = Option.map (traffic_comparison compiled) trace_args in
@@ -147,6 +172,17 @@ let trace_check ?(compiled : Core.Pipeline.compiled option)
   ( trace_variant ~variant:"unopt" compiled.Core.Pipeline.unopt args,
     trace_variant ~variant:"opt" compiled.Core.Pipeline.opt args )
 
+(* All three pipeline variants traced and cross-checked. *)
+let trace_check3 ?(compiled : Core.Pipeline.compiled option)
+    (prog : Ir.Ast.prog) (args : Ir.Value.t list) : traced * traced * traced
+    =
+  let compiled =
+    match compiled with Some c -> c | None -> Core.Pipeline.compile prog
+  in
+  ( trace_variant ~variant:"unopt" compiled.Core.Pipeline.unopt args,
+    trace_variant ~variant:"opt" compiled.Core.Pipeline.opt args,
+    trace_variant ~variant:"reuse" compiled.Core.Pipeline.reuse args )
+
 (* Full-mode validation at a reduced size: the unoptimized and the
    short-circuited programs must agree with the reference interpreter
    (and the optimized run must elide at least [min_elided] copies when
@@ -154,6 +190,7 @@ let trace_check ?(compiled : Core.Pipeline.compiled option)
 type validation = {
   ok_unopt : bool;
   ok_opt : bool;
+  ok_reuse : bool;
   elided : int;
   copies_unopt : int;
   copies_opt : int;
@@ -168,12 +205,16 @@ let validate ?(compiled : Core.Pipeline.compiled option)
   let expect = Ir.Interp.run compiled.Core.Pipeline.source args in
   let r_unopt = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.unopt args in
   let r_opt = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.opt args in
+  let r_reuse = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.reuse args in
   {
     ok_unopt =
       List.for_all2 (Value.approx_equal ~eps:1e-6) expect
         r_unopt.Exec.results;
     ok_opt =
       List.for_all2 (Value.approx_equal ~eps:1e-6) expect r_opt.Exec.results;
+    ok_reuse =
+      List.for_all2 (Value.approx_equal ~eps:1e-6) expect
+        r_reuse.Exec.results;
     elided = r_opt.Exec.counters.Device.copies_elided;
     copies_unopt = r_unopt.Exec.counters.Device.copies;
     copies_opt = r_opt.Exec.counters.Device.copies;

@@ -2,19 +2,25 @@
 
    Each benchmark reproduces one of the paper's Tables I-VII: rows are
    (device, dataset), columns are the reference implementation's
-   simulated time, the unoptimized and short-circuited Futhark-style
-   versions' performance *relative to the reference* (higher = faster,
-   as in the paper), and the optimization impact (unoptimized time /
-   optimized time).  The paper's published numbers ride along so every
-   rendering shows measured-vs-paper side by side. *)
+   simulated time, the unoptimized, short-circuited and memory-reused
+   Futhark-style versions' performance *relative to the reference*
+   (higher = faster, as in the paper), and the optimization impact
+   (unoptimized time / optimized time).  The paper's published numbers
+   ride along so every rendering shows measured-vs-paper side by
+   side. *)
 
 type row = {
   device : string;
   dataset : string;
   ref_ms : float; (* simulated reference time, milliseconds *)
+  unopt_ms : float; (* raw modeled times, for the machine-readable dump *)
+  opt_ms : float;
+  reuse_ms : float;
   unopt_rel : float; (* ref_time / unopt_time *)
   opt_rel : float; (* ref_time / opt_time *)
-  impact : float; (* unopt_time / opt_time *)
+  reuse_rel : float; (* ref_time / reuse_time *)
+  impact : float; (* unopt_time / opt_time (the paper's column) *)
+  reuse_impact : float; (* unopt_time / reuse_time *)
   paper : (float * float * float * float) option;
       (* (ref ms, unopt x, opt x, impact) published in the paper *)
 }
@@ -25,23 +31,28 @@ type t = {
   rows : row list;
 }
 
-let make_row ~device ~dataset ~ref_time ~unopt_time ~opt_time ~paper =
+let make_row ~device ~dataset ~ref_time ~unopt_time ~opt_time ~reuse_time
+    ~paper =
   {
     device;
     dataset;
     ref_ms = ref_time *. 1e3;
+    unopt_ms = unopt_time *. 1e3;
+    opt_ms = opt_time *. 1e3;
+    reuse_ms = reuse_time *. 1e3;
     unopt_rel = ref_time /. unopt_time;
     opt_rel = ref_time /. opt_time;
+    reuse_rel = ref_time /. reuse_time;
     impact = unopt_time /. opt_time;
+    reuse_impact = unopt_time /. reuse_time;
     paper;
   }
 
 let pp ppf (t : t) =
   Fmt.pf ppf "%s (%d runs)@." t.title t.runs;
-  Fmt.pf ppf
-    "%-6s %-9s | %10s %8s %8s %8s | %s@."
-    "Device" "Dataset" "Ref." "Unopt." "Opt." "Impact" "Paper (Ref/Unopt/Opt/Impact)";
-  Fmt.pf ppf "%s@." (String.make 100 '-');
+  Fmt.pf ppf "%-6s %-9s | %10s %8s %8s %8s %8s | %s@." "Device" "Dataset"
+    "Ref." "Unopt." "Opt." "Reuse" "Impact" "Paper (Ref/Unopt/Opt/Impact)";
+  Fmt.pf ppf "%s@." (String.make 108 '-');
   List.iter
     (fun r ->
       let paper =
@@ -50,8 +61,9 @@ let pp ppf (t : t) =
             Printf.sprintf "%gms / %.2fx / %.2fx / %.2fx" rm u o i
         | None -> "-"
       in
-      Fmt.pf ppf "%-6s %-9s | %8.2fms %7.2fx %7.2fx %7.2fx | %s@." r.device
-        r.dataset r.ref_ms r.unopt_rel r.opt_rel r.impact paper)
+      Fmt.pf ppf "%-6s %-9s | %8.2fms %7.2fx %7.2fx %7.2fx %7.2fx | %s@."
+        r.device r.dataset r.ref_ms r.unopt_rel r.opt_rel r.reuse_rel
+        r.impact paper)
     t.rows
 
 let to_string t = Fmt.str "%a" pp t
@@ -59,6 +71,7 @@ let to_string t = Fmt.str "%a" pp t
 (* Shape checks used by the test-suite: the qualitative claims of the
    paper's evaluation that must survive the simulation substitution. *)
 let impacts t = List.map (fun r -> r.impact) t.rows
+let reuse_impacts t = List.map (fun r -> r.reuse_impact) t.rows
 
 let min_impact t = List.fold_left Float.min infinity (impacts t)
 let max_impact t = List.fold_left Float.max neg_infinity (impacts t)

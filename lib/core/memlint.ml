@@ -54,7 +54,7 @@ type severity = Error | Warning
 type violation = {
   severity : severity;
   rule : string; (* alloc-dominance | footprint | layout | last-use
-                    | existential | write-race *)
+                    | existential | write-race | reuse *)
   binding : string; (* the pattern variable the violation is about *)
   detail : string;
 }
@@ -68,6 +68,8 @@ type report = {
   bounds_undecided : int;
   races_proved : int; (* mapnest write sets proved disjoint *)
   races_undecided : int;
+  reuse_proved : int; (* same-block live-range overlaps proved disjoint *)
+  reuse_undecided : int;
   violations : violation list;
 }
 
@@ -97,6 +99,9 @@ let pp_report ppf r =
       ( "mapnest write races",
         Fmt.str "%d proved disjoint, %d undecided" r.races_proved
           r.races_undecided );
+      ( "block reuse",
+        Fmt.str "%d proved disjoint, %d undecided" r.reuse_proved
+          r.reuse_undecided );
       ("errors / warnings", Fmt.str "%d / %d" n_err n_warn);
     ];
   if r.violations <> [] then
@@ -124,6 +129,8 @@ type acc = {
   mutable n_bounds_undec : int;
   mutable n_races_proved : int;
   mutable n_races_undec : int;
+  mutable n_reuse_proved : int;
+  mutable n_reuse_undec : int;
   mutable viols : violation list; (* reversed *)
   aliases : Alias.t;
 }
@@ -683,7 +690,117 @@ let check_index acc env ctx ~who v idxs =
   | _ -> ()
 
 let rec check_block acc env ctx (b : block) : env =
-  List.fold_left (fun env s -> check_stm acc env ctx s) env b.stms
+  let env' = List.fold_left (fun env s -> check_stm acc env ctx s) env b.stms in
+  check_reuse acc env' ctx b;
+  env'
+
+(* Memory-block reuse discipline (the {!Reuse} pass's contract): two
+   arrays bound at the same lexical level into the same block must not
+   have overlapping live ranges - unless they alias each other (views
+   of the same data), the data demonstrably flows between them through
+   the block (a statement reading one while binding an array into the
+   block: the short-circuited concat/update/mapnest circuits), or
+   their footprints are provably disjoint.  A live range runs from the
+   binding statement to the last statement referencing the array or
+   any alias of it (the block result counts as one past the end).
+
+   A violation is an [Error] only when the clobber is total: the two
+   memory-side LMADs are structurally equal, so the later binding
+   provably overwrites every element of the earlier one while it is
+   still read.  Anything the prover cannot separate is a [Warning]. *)
+and check_reuse acc env ctx (b : block) =
+  let stms = Array.of_list b.stms in
+  let n = Array.length stms in
+  (* last textual reference of each variable at this level; nested
+     bodies count toward their enclosing statement's index *)
+  let last_ref = Hashtbl.create 16 in
+  Array.iteri
+    (fun j s -> SS.iter (fun v -> Hashtbl.replace last_ref v j) (fv_stm s))
+    stms;
+  List.iter
+    (function Var v -> Hashtbl.replace last_ref v n | _ -> ())
+    b.res;
+  let ref_of v =
+    match Hashtbl.find_opt last_ref v with Some j -> j | None -> -1
+  in
+  let live_end v i =
+    SS.fold
+      (fun w e -> max e (ref_of w))
+      (Alias.closure acc.aliases v)
+      (max i (ref_of v))
+  in
+  (* data flows from [v] into block [blk]: some statement reads [v]
+     and binds an array into [blk] (concat parts, update circuits,
+     mapnest results) - the overlap is then the point of the reuse,
+     not a clobber of live contents *)
+  let justified v blk =
+    Array.exists
+      (fun s ->
+        SS.mem v (fv_stm s)
+        && List.exists
+             (fun pe ->
+               is_array_typ pe.pt
+               && match pe.pmem with
+                  | Some m -> m.block = blk
+                  | None -> false)
+             s.pat)
+      stms
+  in
+  (* arrays bound at this level, grouped by block name, in binding
+     order.  Scratch bindings declare a layout without writing, so
+     they cannot clobber anything: skip them as the later binding. *)
+  let binds = Hashtbl.create 8 in
+  Array.iteri
+    (fun i s ->
+      List.iter
+        (fun pe ->
+          match pe.pmem with
+          | Some m when is_array_typ pe.pt ->
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt binds m.block)
+              in
+              let writes = match s.exp with EScratch _ -> false | _ -> true in
+              Hashtbl.replace binds m.block ((pe.pv, i, m, writes) :: prev)
+        | _ -> ())
+        s.pat)
+    stms;
+  Hashtbl.iter
+    (fun blk entries ->
+      let entries = List.rev entries (* binding order *) in
+      let rec pairs = function
+        | [] -> ()
+        | (va, ia, ma, _) :: rest ->
+            List.iter
+              (fun (vb, ib, mb, wb) ->
+                if wb && ib < live_end va ia then
+                  if
+                    SS.mem vb (Alias.closure acc.aliases va)
+                    || justified va blk || justified vb blk
+                  then ()
+                  else
+                    let la = resolve_lmad env (memory_lmad ma.ixfn)
+                    and lb = resolve_lmad env (memory_lmad mb.ixfn) in
+                    if
+                      Refset.disjoint ctx (Refset.of_lmad la)
+                        (Refset.of_lmad lb)
+                    then acc.n_reuse_proved <- acc.n_reuse_proved + 1
+                    else if Lmad.equal la lb then
+                      report acc Error "reuse" vb
+                        "rebinds block %s with the footprint of %s, which is \
+                         still live (read after this binding)"
+                        blk va
+                    else begin
+                      acc.n_reuse_undec <- acc.n_reuse_undec + 1;
+                      report acc Warning "reuse" vb
+                        "shares block %s with %s while both are live; cannot \
+                         prove their footprints disjoint"
+                        blk va
+                    end)
+              rest;
+            pairs rest
+      in
+      pairs entries)
+    binds
 
 and check_stm acc env ctx (s : stm) : env =
   acc.n_stms <- acc.n_stms + 1;
@@ -849,6 +966,8 @@ let check ?(stage = "") (p0 : prog) : report =
       n_bounds_undec = 0;
       n_races_proved = 0;
       n_races_undec = 0;
+      n_reuse_proved = 0;
+      n_reuse_undec = 0;
       viols = [];
       aliases;
     }
@@ -886,5 +1005,7 @@ let check ?(stage = "") (p0 : prog) : report =
     bounds_undecided = acc.n_bounds_undec;
     races_proved = acc.n_races_proved;
     races_undecided = acc.n_races_undec;
+    reuse_proved = acc.n_reuse_proved;
+    reuse_undecided = acc.n_reuse_undec;
     violations = List.rev acc.viols;
   }

@@ -28,6 +28,14 @@
       pairwise disjoint across threads (the section V-B obligation);
       LUD's interior-block races exercise the prover's
       triangular-bound saturation here.
+    - [reuse] - the {!Reuse} pass's contract: two arrays bound at the
+      same lexical level into one block must not have overlapping live
+      ranges, unless they alias each other, the data demonstrably
+      flows between them through the block (a statement reading one
+      while binding an array into the block - the short-circuited
+      concat/update/mapnest circuits), or their footprints are proved
+      disjoint.  An [Error] only when the clobber is total (equal
+      memory-side LMADs); undecided separations are [Warning]s.
 
     Verdicts are three-valued: [Error] only for *provable* violations,
     [Warning] for obligations the sound-but-incomplete prover cannot
@@ -45,7 +53,7 @@ type violation = {
   severity : severity;
   rule : string;
       (** one of [alloc-dominance], [footprint], [layout], [last-use],
-          [existential], [write-race] *)
+          [existential], [write-race], [reuse] *)
   binding : string;  (** the pattern variable the violation is about *)
   detail : string;
 }
@@ -59,6 +67,9 @@ type report = {
   bounds_undecided : int;
   races_proved : int;  (** mapnest write sets proved thread-disjoint *)
   races_undecided : int;
+  reuse_proved : int;
+      (** same-block live-range overlaps proved footprint-disjoint *)
+  reuse_undecided : int;
   violations : violation list;
 }
 

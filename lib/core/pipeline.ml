@@ -18,10 +18,14 @@ type compiled = {
   source : prog; (* pristine, memory-agnostic *)
   unopt : prog; (* memory-introduced + hoisted *)
   opt : prog; (* additionally short-circuited + dead allocs removed *)
+  reuse : prog; (* additionally memory-block reused (third variant) *)
   stats : Shortcircuit.stats;
+  reuse_stats : Reuse.stats;
   dead_allocs : int; (* allocations eliminated by short-circuiting *)
+  reuse_dead_allocs : int; (* further allocations eliminated by reuse *)
   time_base : float; (* seconds: memory intro + hoisting *)
   time_sc : float; (* seconds: short-circuiting pass alone *)
+  time_reuse : float; (* seconds: memory-block reuse pass alone *)
   lint : (string * Memlint.report) list;
       (* one memlint report per pipeline stage, in pass order; empty
          unless compiled with ~lint:true *)
@@ -39,8 +43,9 @@ let to_memory_ir (p : prog) : prog =
   ignore (Lastuse.annotate p);
   p
 
-let compile ?(options = Shortcircuit.default_options) ?(rounds = 2)
-    ?(lint = false) (p : prog) : compiled =
+let compile ?(options = Shortcircuit.default_options)
+    ?(reuse = Reuse.default_options) ?(rounds = 2) ?(lint = false) (p : prog)
+    : compiled =
   (* With ~lint:true the memory linter runs after every pass of the
      optimized build; the first stage whose report errors is the pass
      that introduced the violation (earlier stages were clean). *)
@@ -64,14 +69,30 @@ let compile ?(options = Shortcircuit.default_options) ?(rounds = 2)
   lint_after "shortcircuit" opt;
   let opt, dead_allocs = Cleanup.run opt in
   lint_after "cleanup" opt;
+  (* third variant: memory-block reuse on a private clone of the
+     short-circuited program, followed by a liveness refresh and a
+     cleanup round to collect the allocations the pass orphaned *)
+  let (reuse_p, reuse_stats), time_reuse =
+    timed (fun () ->
+        let q = Ir.Clone.clone_prog opt in
+        let q, rst = Reuse.optimize ~options:reuse q in
+        ignore (Lastuse.annotate q);
+        (q, rst))
+  in
+  let reuse_p, reuse_dead_allocs = Cleanup.run reuse_p in
+  lint_after "reuse" reuse_p;
   {
     source = p;
     unopt;
     opt;
+    reuse = reuse_p;
     stats;
+    reuse_stats;
     dead_allocs;
+    reuse_dead_allocs;
     time_base;
     time_sc;
+    time_reuse;
     lint = List.rev !reports;
   }
 

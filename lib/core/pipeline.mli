@@ -7,14 +7,22 @@ type compiled = {
   unopt : Ir.Ast.prog;  (** memory-introduced + hoisted *)
   opt : Ir.Ast.prog;
       (** additionally short-circuited, dead allocations removed *)
+  reuse : Ir.Ast.prog;
+      (** additionally memory-block reused ({!Reuse}): dead blocks
+          coalesced, per-iteration buffers double-buffered, dead
+          existential chains removed *)
   stats : Shortcircuit.stats;
+  reuse_stats : Reuse.stats;
   dead_allocs : int;  (** allocations eliminated by short-circuiting *)
+  reuse_dead_allocs : int;
+      (** further allocations eliminated by the reuse pass *)
   time_base : float;  (** seconds: memory introduction + hoisting *)
   time_sc : float;  (** seconds: the short-circuiting pass alone *)
+  time_reuse : float;  (** seconds: the memory-block reuse pass alone *)
   lint : (string * Memlint.report) list;
       (** one {!Memlint} report per pipeline stage (memintro, hoist,
-          lastuse, shortcircuit, cleanup), in pass order; empty unless
-          compiled with [~lint:true] *)
+          lastuse, shortcircuit, cleanup, reuse), in pass order; empty
+          unless compiled with [~lint:true] *)
 }
 
 val to_memory_ir : Ir.Ast.prog -> Ir.Ast.prog
@@ -23,16 +31,19 @@ val to_memory_ir : Ir.Ast.prog -> Ir.Ast.prog
 
 val compile :
   ?options:Shortcircuit.options ->
+  ?reuse:Reuse.options ->
   ?rounds:int ->
   ?lint:bool ->
   Ir.Ast.prog ->
   compiled
-(** Produce both configurations from a source program (which is cloned,
-    never mutated), timing the passes for the section V-D comparison.
-    [options] configures the short-circuiting pass
-    ({!Shortcircuit.default_options} if omitted).  With [~lint:true]
-    the {!Memlint} verifier runs after every pass of the optimized
-    build and the reports are collected in {!compiled.lint}. *)
+(** Produce all three configurations from a source program (which is
+    cloned, never mutated), timing the passes for the section V-D
+    comparison.  [options] configures the short-circuiting pass
+    ({!Shortcircuit.default_options} if omitted); [reuse] the
+    memory-block reuse pass (pass {!Reuse.disabled} for [--no-reuse],
+    making [reuse] a clone of [opt]).  With [~lint:true] the
+    {!Memlint} verifier runs after every pass of the optimized build
+    and the reports are collected in {!compiled.lint}. *)
 
 val first_lint_error :
   (string * Memlint.report) list -> (string * Memlint.violation) option

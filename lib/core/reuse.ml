@@ -1,0 +1,746 @@
+(* Memory-block reuse: coalesce allocations whose live ranges do not
+   interfere (the companion optimization to short-circuiting).
+
+   Short-circuiting removes copies but leaves every temporary its own
+   [EAlloc]; the cost model charges each discrete allocation, and the
+   arena never shrinks, so a loop that materializes a fresh buffer per
+   iteration grows the footprint linearly in the trip count.  This pass
+   runs after short-circuiting + cleanup and reclaims dead blocks with
+   three strategies, in increasing order of specificity:
+
+   1. *Dead existential chains*: a [mem, array] loop group whose memory
+      component is referenced by no annotation anywhere (every array of
+      the group was rebased into an enclosing block by
+      short-circuiting) threads a block through the loop for nothing.
+      The mem components - loop parameter, initializer atom, body
+      result atom, outer pattern binder - are removed group-wise, which
+      orphans the feeding [EAlloc] for {!Cleanup} to collect.  This is
+      what eliminates NW's per-thread [b*b] scratch allocations.
+
+   2. *Double-buffer rotation*: a loop that allocates a fresh block
+      every iteration, writes the next generation into it, and returns
+      it as its carried state ([loop (m, a) = ... do alloc; ...;
+      in (m', a')]) only ever needs two physical buffers: the one
+      holding the previous generation and a spare.  The rewrite hoists
+      one spare allocation above the loop, threads it as a second
+      carried [mem, array] group, and rotates the two groups in the
+      body's result, dropping the per-iteration allocation.  Peak
+      footprint falls from [trip * size] to [2 * size] (Hotspot's and
+      LBM's time-stepping loops).
+
+   3. *Same-scope coalescing*: within one lexical block, a later
+      allocation [L] may rebind into an earlier allocation [E] whose
+      live range ended before [L]'s began, provided [E]'s symbolic size
+      dominates [L]'s.  Interference is live-range overlap over the
+      statement index order; liveness of a block is the span from its
+      allocation to the last statement referencing any array annotated
+      into it (computed from the same last-use/alias machinery the
+      short-circuiting pass uses, with every free array variable mapped
+      through its annotation).  Size domination is discharged by
+      {!Symalg.Prover.prove_ge} on the resolved allocation sizes, or
+      failing that by proving every rebased annotation's LMAD footprint
+      ({!Lmads.Lmad.bounds}) fits in [0, size E).
+
+   Safety is verified from both sides: {!Memlint}'s [reuse] rule
+   rejects any coalescing whose live ranges actually overlap, and
+   {!Memtrace}'s dead-contents/revive checks replay traced executions
+   of the reused program.  The pass mutates its input (annotations are
+   mutable); {!Pipeline.compile} hands it a private clone. *)
+
+open Ir.Ast
+module P = Symalg.Poly
+module Pr = Symalg.Prover
+module Lmad = Lmads.Lmad
+module Ixfn = Lmads.Ixfn
+module SM = Map.Make (String)
+module SS = Ir.Ast.SS
+
+(* ---------------------------------------------------------------- *)
+(* Options and statistics                                            *)
+(* ---------------------------------------------------------------- *)
+
+type options = {
+  verbose : bool;
+  coalesce : bool; (* same-scope coalescing (strategy 3) *)
+  chains : bool; (* dead existential chain removal (strategy 1) *)
+  rotation : bool; (* double-buffer rotation (strategy 2) *)
+}
+
+let default_options =
+  { verbose = false; coalesce = true; chains = true; rotation = true }
+
+let disabled =
+  { verbose = false; coalesce = false; chains = false; rotation = false }
+
+type stats = {
+  mutable candidates : int; (* (earlier, later) alloc pairs examined *)
+  mutable coalesced : int; (* later allocs rebound into earlier blocks *)
+  mutable size_proofs : int; (* prover obligations discharged *)
+  mutable chain_links : int; (* dead existential mem positions removed *)
+  mutable rotated : int; (* loops rewritten to double-buffering *)
+}
+
+let fresh_stats () =
+  { candidates = 0; coalesced = 0; size_proofs = 0; chain_links = 0; rotated = 0 }
+
+let pp_stats ppf (s : stats) =
+  Report.section ~title:"memory reuse" ppf
+    [
+      ( "coalesced",
+        Fmt.str "%d of %d candidate pairs" s.coalesced s.candidates );
+      ("size-domination proofs", string_of_int s.size_proofs);
+      ("dead chain links removed", string_of_int s.chain_links);
+      ("loops double-buffered", string_of_int s.rotated);
+    ]
+
+let trace opts fmt =
+  if opts.verbose then Fmt.epr (fmt ^^ "@.") else Fmt.kstr (fun _ -> ()) fmt
+
+(* ---------------------------------------------------------------- *)
+(* Shared helpers                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let resolve scalars p = try P.subst_fixpoint scalars p with Failure _ -> p
+
+let resolve_lmad scalars l =
+  try Lmad.subst_fixpoint scalars l with Failure _ -> l
+
+(* The LMAD adjacent to memory: a chain's footprint is a subset of the
+   last link's point set (same convention as Memlint). *)
+let memory_lmad ixfn =
+  match List.rev (Ixfn.chain ixfn) with l :: _ -> l | [] -> assert false
+
+let atom_poly = function
+  | Int c -> Some (P.const c)
+  | Var v -> Some (P.var v)
+  | _ -> None
+
+(* i64 scalar definitions usable for size resolution (the same table
+   Shortcircuit and Memlint build). *)
+let scalar_def (s : stm) : (string * P.t) option =
+  match (s.pat, s.exp) with
+  | [ pe ], EIdx p when pe.pt = TScalar I64 -> Some (pe.pv, p)
+  | [ pe ], EAtom (Int c) when pe.pt = TScalar I64 -> Some (pe.pv, P.const c)
+  | [ pe ], EAtom (Var v) when pe.pt = TScalar I64 -> Some (pe.pv, P.var v)
+  | [ pe ], EBin (op, a, b) when pe.pt = TScalar I64 -> (
+      match (atom_poly a, atom_poly b) with
+      | Some pa, Some pb -> (
+          match op with
+          | Add -> Some (pe.pv, P.add pa pb)
+          | Sub -> Some (pe.pv, P.sub pa pb)
+          | Mul -> Some (pe.pv, P.mul pa pb)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Rename block [oldm] to [newm] in every annotation of a statement
+   subtree (annotations are the only legitimate occurrences the
+   coalescer allows, so exps need no rewriting). *)
+let rename_pe oldm newm pe =
+  match pe.pmem with
+  | Some mi when mi.block = oldm -> pe.pmem <- Some { mi with block = newm }
+  | _ -> ()
+
+let rec rename_annots_stm oldm newm (s : stm) : unit =
+  List.iter (rename_pe oldm newm) s.pat;
+  match s.exp with
+  | EMap { body; _ } -> rename_annots_block oldm newm body
+  | ELoop { params; body; _ } ->
+      List.iter (fun (pe, _) -> rename_pe oldm newm pe) params;
+      rename_annots_block oldm newm body
+  | EIf { tb; fb; _ } ->
+      rename_annots_block oldm newm tb;
+      rename_annots_block oldm newm fb
+  | _ -> ()
+
+and rename_annots_block oldm newm (b : block) : unit =
+  List.iter (rename_annots_stm oldm newm) b.stms
+
+(* Variables occurring in *expression* position anywhere in a subtree:
+   atoms, array operands, concat/update names, loop initializers and
+   body results - everything except memory annotations and index
+   polynomials (whose variables are scalars).  A block name with such
+   an occurrence is structurally load-bearing and never coalesced. *)
+let rec exp_vars (e : exp) (acc : SS.t) : SS.t =
+  let atom acc = function Var v -> SS.add v acc | _ -> acc in
+  match e with
+  | EAtom a | EUn (_, a) | EReplicate (_, a) -> atom acc a
+  | EBin (_, a, b) | ECmp (_, a, b) -> atom (atom acc a) b
+  | EIdx _ | EIota _ | EScratch _ | EAlloc _ -> acc
+  | EIndex (v, _)
+  | ESlice (v, _)
+  | ETranspose (v, _)
+  | EReshape (v, _)
+  | EReverse (v, _)
+  | ECopy v
+  | EArgmin v ->
+      SS.add v acc
+  | EConcat vs -> List.fold_left (fun acc v -> SS.add v acc) acc vs
+  | EReduce { ne; arr; _ } -> atom (SS.add arr acc) ne
+  | EUpdate { dst; src; _ } -> (
+      let acc = SS.add dst acc in
+      match src with SrcArr v -> SS.add v acc | SrcScalar a -> atom acc a)
+  | EMap { body; _ } -> exp_vars_block body acc
+  | ELoop { params; body; _ } ->
+      let acc = List.fold_left (fun acc (_, a) -> atom acc a) acc params in
+      exp_vars_block body acc
+  | EIf { cond; tb; fb } ->
+      exp_vars_block fb (exp_vars_block tb (atom acc cond))
+
+and exp_vars_block (b : block) (acc : SS.t) : SS.t =
+  let acc = List.fold_left (fun acc s -> exp_vars s.exp acc) acc b.stms in
+  List.fold_left
+    (fun acc a -> match a with Var v -> SS.add v acc | _ -> acc)
+    acc b.res
+
+(* ---------------------------------------------------------------- *)
+(* Strategy 1: dead existential chain removal                        *)
+(* ---------------------------------------------------------------- *)
+
+(* A loop's [mem] position is dead when neither the parameter nor the
+   outer pattern binder is referenced by any annotation or any
+   expression occurrence outside the chain's own structure (the
+   initializer atom feeding it and the body result atom returning it).
+   Removing the position group-wise - parameter, initializer, body
+   result atom, outer binder - makes the feeding allocation dead too.
+
+   Occurrence classification: walking the program, an atom at the
+   initializer of a TMem parameter or at a TMem position of a loop
+   body's result is *structural*; every other occurrence is *hard*.
+   Structural occurrences disappear exactly when their position is
+   removed, so candidacy is computed to a fixpoint: a name referenced
+   from a position that will *not* be removed is evicted, which may
+   block further positions, and so on. *)
+
+type chain_occ = {
+  co_loop : stm; (* the loop statement *)
+  co_idx : int; (* position index within params/pat/body.res *)
+  co_name : string; (* the referenced name (init or res atom) *)
+}
+
+let chain_analysis (p : prog) =
+  (* annotation-referenced blocks, TMem binder inventory, hard
+     occurrences, structural occurrences *)
+  let annot = ref SS.empty in
+  let hard = ref SS.empty in
+  let structural : chain_occ list ref = ref [] in
+  let mem_binders = ref SS.empty in
+  let note_pe pe =
+    match pe.pmem with
+    | Some mi -> annot := SS.add mi.block !annot
+    | None -> ()
+  in
+  let note_atom_hard = function
+    | Var v -> hard := SS.add v !hard
+    | _ -> ()
+  in
+  let rec go_stm (s : stm) =
+    List.iter note_pe s.pat;
+    (match s.exp with
+    | ELoop { params; body; _ } ->
+        List.iteri
+          (fun i (pe, init) ->
+            note_pe pe;
+            if pe.pt = TMem then begin
+              mem_binders := SS.add pe.pv !mem_binders;
+              (match init with
+              | Var v ->
+                  structural := { co_loop = s; co_idx = i; co_name = v } :: !structural
+              | _ -> ());
+              (* the outer binder for this position *)
+              match List.nth_opt s.pat i with
+              | Some q when q.pt = TMem ->
+                  mem_binders := SS.add q.pv !mem_binders
+              | _ -> ()
+            end
+            else note_atom_hard init)
+          params;
+        List.iter go_stm body.stms;
+        List.iteri
+          (fun i a ->
+            let structural_pos =
+              match List.nth_opt params i with
+              | Some (pe, _) -> pe.pt = TMem
+              | None -> false
+            in
+            if structural_pos then (
+              match a with
+              | Var v ->
+                  structural := { co_loop = s; co_idx = i; co_name = v } :: !structural
+              | _ -> ())
+            else note_atom_hard a)
+          body.res
+    | EMap { body; _ } ->
+        List.iter go_stm body.stms;
+        List.iter note_atom_hard body.res
+    | EIf { cond; tb; fb } ->
+        note_atom_hard cond;
+        List.iter go_stm tb.stms;
+        List.iter note_atom_hard tb.res;
+        List.iter go_stm fb.stms;
+        List.iter note_atom_hard fb.res
+    | EAlloc _ -> (
+        match s.pat with
+        | [ pe ] when pe.pt = TMem -> mem_binders := SS.add pe.pv !mem_binders
+        | _ -> ())
+    | e -> SS.iter (fun v -> hard := SS.add v !hard) (exp_vars e SS.empty));
+    ()
+  in
+  List.iter note_pe p.params;
+  List.iter go_stm p.body.stms;
+  List.iter (fun a -> note_atom_hard a) p.body.res;
+  (!annot, !hard, !structural, !mem_binders)
+
+let remove_dead_chains (st : stats) opts (p : prog) : prog =
+  let annot, hard, structural, mem_binders = chain_analysis p in
+  let candidates =
+    ref (SS.diff mem_binders (SS.union annot hard))
+  in
+  (* a position is removable iff both its parameter and its outer
+     binder are candidates *)
+  let removable_pos (s : stm) i =
+    match (List.nth_opt (match s.exp with ELoop { params; _ } -> params | _ -> []) i,
+           List.nth_opt s.pat i)
+    with
+    | Some (pe, _), Some q ->
+        SS.mem pe.pv !candidates && SS.mem q.pv !candidates
+    | _ -> false
+  in
+  (* evict names referenced from positions that will survive *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun occ ->
+        if (not (removable_pos occ.co_loop occ.co_idx))
+           && SS.mem occ.co_name !candidates
+        then begin
+          candidates := SS.remove occ.co_name !candidates;
+          changed := true
+        end)
+      structural
+  done;
+  if SS.is_empty !candidates then p
+  else begin
+    let filter_pos (s : stm) (l : stm list) : stm list =
+      match s.exp with
+      | ELoop ({ params; body; _ } as lp) ->
+          let keep = Array.make (List.length params) true in
+          List.iteri
+            (fun i _ ->
+              if removable_pos s i then begin
+                keep.(i) <- false;
+                st.chain_links <- st.chain_links + 1;
+                trace opts "reuse: dropping dead mem chain position %d of loop %s"
+                  i
+                  (match s.pat with pe :: _ -> pe.pv | [] -> "?")
+              end)
+            params;
+          if Array.for_all Fun.id keep then l @ [ s ]
+          else
+            let sel xs =
+              List.filteri (fun i _ -> i >= Array.length keep || keep.(i)) xs
+            in
+            let params' = sel params in
+            let res' = sel body.res in
+            let pat' = sel s.pat in
+            l
+            @ [
+                {
+                  s with
+                  pat = pat';
+                  exp = ELoop { lp with params = params'; body = { body with res = res' } };
+                };
+              ]
+      | _ -> l @ [ s ]
+    in
+    let rewrite (b : block) : block =
+      { b with stms = List.fold_left (fun l s -> filter_pos s l) [] b.stms }
+    in
+    (* apply to every lexical block, innermost first, then the top *)
+    let body = map_blocks_block rewrite p.body in
+    { p with body = rewrite body }
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Strategy 2: double-buffer rotation                                *)
+(* ---------------------------------------------------------------- *)
+
+(* Recognize [loop (m : mem, a @ m) = (im, ia) for v < n do
+     let rm : mem = alloc s in ... let ra @ rm = ... in (rm, ra)]
+   where the fresh allocation's size is loop-invariant, the trip count
+   is provably positive, and neither the initializer array nor its
+   block is referenced after the loop (iteration 2 clobbers it).  The
+   rewrite threads one hoisted spare as a second carried group and
+   rotates the groups in the result, so generation [i+1] overwrites
+   generation [i-1]'s (dead) buffer. *)
+
+let try_rotate (st : stats) opts ctx scalars ~tail_refs (s : stm) :
+    stm list option =
+  match (s.exp, s.pat) with
+  | ( ELoop { params = [ (pm, Var im); (pa, Var ia) ]; var; bound; body },
+      [ qm; qa ] )
+    when pm.pt = TMem && qm.pt = TMem -> (
+      let annotated_into blk pe =
+        match pe.pmem with Some mi -> mi.block = blk | None -> false
+      in
+      match (pa.pmem, qa.pmem, body.res) with
+      | Some pmi, Some _, [ Var rm; Var ra ]
+        when annotated_into pm.pv pa && annotated_into qm.pv qa ->
+          (* the fresh per-iteration allocation *)
+          let alloc_size =
+            List.find_map
+              (fun bs ->
+                match (bs.pat, bs.exp) with
+                | [ pe ], EAlloc sz when pe.pv = rm -> Some sz
+                | _ -> None)
+              body.stms
+          in
+          let ra_in_rm =
+            List.exists
+              (fun bs -> List.exists (fun pe -> pe.pv = ra && annotated_into rm pe) bs.pat)
+              body.stms
+          in
+          let body_bound =
+            List.fold_left
+              (fun acc bs ->
+                List.fold_left (fun acc pe -> SS.add pe.pv acc) acc bs.pat)
+              (SS.of_list [ var; pm.pv; pa.pv ])
+              body.stms
+          in
+          let body_fv = fv_block body in
+          (* the fresh block must have no expression-position use in the
+             body (e.g. feeding an inner existential loop): annotations
+             are all the rewrite renames *)
+          let body_exp_vars =
+            List.fold_left (fun acc bs -> exp_vars bs.exp acc) SS.empty
+              body.stms
+          in
+          (match alloc_size with
+          | Some sz
+            when ra_in_rm
+                 && (not (SS.mem rm body_exp_vars))
+                 && SS.is_empty (SS.inter (SS.of_list (P.vars sz)) body_bound)
+                 && (not (SS.mem ia body_fv))
+                 && (not (SS.mem im body_fv))
+                 && (not (SS.mem ia tail_refs))
+                 && (not (SS.mem im tail_refs))
+                 && Pr.prove_ge ctx (resolve scalars bound) P.one ->
+              st.size_proofs <- st.size_proofs + 1;
+              (* hoisted spare buffer *)
+              let smem = Ir.Names.fresh (pm.pv ^ "_spare") in
+              let sarr = Ir.Names.fresh (pa.pv ^ "_spare") in
+              let elt, shape =
+                match pa.pt with
+                | TArr (elt, shape) -> (elt, shape)
+                | _ -> assert false
+              in
+              let alloc_stm = stm [ pat_elem smem TMem ] (EAlloc sz) in
+              let scratch_stm =
+                stm
+                  [ pat_elem ~mem:{ block = smem; ixfn = pmi.ixfn } sarr pa.pt ]
+                  (EScratch (elt, shape))
+              in
+              (* second carried group *)
+              let psm = pat_elem (Ir.Names.fresh (pm.pv ^ "_rot")) TMem in
+              let psa =
+                pat_elem
+                  ~mem:{ block = psm.pv; ixfn = pmi.ixfn }
+                  (Ir.Names.fresh (pa.pv ^ "_rot"))
+                  pa.pt
+              in
+              (* generation i+1 now writes into the spare *)
+              List.iter (rename_annots_stm rm psm.pv) body.stms;
+              let body' =
+                {
+                  body with
+                  res = [ Var psm.pv; Var ra; Var pm.pv; Var pa.pv ];
+                }
+              in
+              let q2m = pat_elem (Ir.Names.fresh (qm.pv ^ "_rot")) TMem in
+              let q2a =
+                pat_elem
+                  ~mem:
+                    {
+                      block = q2m.pv;
+                      ixfn =
+                        (match qa.pmem with
+                        | Some mi -> mi.ixfn
+                        | None -> pmi.ixfn);
+                    }
+                  (Ir.Names.fresh (qa.pv ^ "_rot"))
+                  pa.pt
+              in
+              let loop' =
+                {
+                  s with
+                  pat = [ qm; qa; q2m; q2a ];
+                  exp =
+                    ELoop
+                      {
+                        params =
+                          [
+                            (pm, Var im);
+                            (pa, Var ia);
+                            (psm, Var smem);
+                            (psa, Var sarr);
+                          ];
+                        var;
+                        bound;
+                        body = body';
+                      };
+                }
+              in
+              st.rotated <- st.rotated + 1;
+              trace opts "reuse: double-buffered loop %s (spare %s)" qa.pv smem;
+              Some [ alloc_stm; scratch_stm; loop' ]
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* Strategy 3: same-scope coalescing                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* Per lexical block: statement-indexed live ranges, a greedy first-fit
+   over allocation order.  [mems] maps every array variable in scope to
+   its (annotation) block, so a free variable occurrence extends its
+   block's range even when the block name itself does not appear. *)
+
+let block_refs mems (s : stm) : SS.t =
+  let fv = fv_stm s in
+  SS.fold
+    (fun v acc ->
+      match SM.find_opt v mems with Some m -> SS.add m acc | None -> acc)
+    fv fv
+
+let res_refs mems (b : block) : SS.t =
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Var v -> (
+          let acc = SS.add v acc in
+          match SM.find_opt v mems with
+          | Some m -> SS.add m acc
+          | None -> acc)
+      | _ -> acc)
+    SS.empty b.res
+
+let coalesce_block (st : stats) opts ctx scalars mems (b : block) : unit =
+  let stms = Array.of_list b.stms in
+  let n = Array.length stms in
+  let refs = Array.map (block_refs mems) stms in
+  let escape = res_refs mems b in
+  (* names with expression-position occurrences anywhere in this block
+     are structurally load-bearing (loop-carried mems etc.) *)
+  let hard = exp_vars_block b SS.empty in
+  (* annotations per block, for the footprint-fit fallback *)
+  let annots_of blk =
+    let acc = ref [] in
+    let note pe =
+      match pe.pmem with
+      | Some mi when mi.block = blk -> acc := mi :: !acc
+      | _ -> ()
+    in
+    Array.iter
+      (fun s ->
+        List.iter
+          (fun sub ->
+            List.iter note sub.pat;
+            match sub.exp with
+            | ELoop { params; _ } -> List.iter (fun (pe, _) -> note pe) params
+            | _ -> ())
+          (all_stms_block { stms = [ s ]; res = [] }))
+      stms;
+    !acc
+  in
+  let last_ref blk =
+    let last = ref (-1) in
+    Array.iteri (fun i r -> if SS.mem blk r then last := i) refs;
+    !last
+  in
+  (* A block's live interval starts at its first reference - the first
+     array bound into it - not at its [EAlloc], which hoisting has
+     moved to the top of the block.  (The alloc statement itself never
+     references the block: the pattern binds it and carries no
+     annotation.) *)
+  let first_ref blk =
+    let first = ref max_int in
+    Array.iteri (fun i r -> if SS.mem blk r && i < !first then first := i) refs;
+    !first
+  in
+  let size_dominates sizee sizel blk_l =
+    let se = resolve scalars sizee and sl = resolve scalars sizel in
+    if Pr.prove_ge ctx se sl then begin
+      st.size_proofs <- st.size_proofs + 1;
+      true
+    end
+    else
+      (* fallback: every annotation moving into E stays in [0, size E) *)
+      let fits mi =
+        match Lmad.bounds ctx (resolve_lmad scalars (memory_lmad mi.ixfn)) with
+        | None -> false
+        | Some (lo, hi) ->
+            Pr.prove_in_range ctx lo ~lo:P.zero ~hi:(P.sub se P.one)
+            && Pr.prove_in_range ctx hi ~lo:P.zero ~hi:(P.sub se P.one)
+      in
+      let annots = annots_of blk_l in
+      let ok = annots <> [] && List.for_all fits annots in
+      if ok then st.size_proofs <- st.size_proofs + 1;
+      ok
+  in
+  (* allocations in statement order *)
+  let allocs = ref [] in
+  Array.iteri
+    (fun i s ->
+      match (s.pat, s.exp) with
+      | [ pe ], EAlloc sz when pe.pt = TMem -> allocs := (i, pe.pv, sz) :: !allocs
+      | _ -> ())
+    stms;
+  let allocs = List.rev !allocs in
+  (* greedy first-fit: earlier blocks are targets; [t_last] tracks the
+     merged live range *)
+  let targets : (int * string * idx * int ref) list ref = ref [] in
+  List.iter
+    (fun (di, l, sz_l) ->
+      let l_first = first_ref l in
+      if (not (SS.mem l hard)) && (not (SS.mem l escape)) && l_first < max_int
+      then begin
+        let l_last = last_ref l in
+        let rec fit = function
+          | [] ->
+              targets := !targets @ [ (di, l, sz_l, ref l_last) ]
+          | (ei, e, sz_e, e_last) :: rest ->
+              st.candidates <- st.candidates + 1;
+              if
+                ei < di && !e_last < l_first
+                && (not (SS.mem e escape))
+                (* a block in expression position (a loop initializer,
+                   say) may be aliased by existential results whose
+                   liveness the reference scan cannot see: never a
+                   target *)
+                && (not (SS.mem e hard))
+                && size_dominates sz_e sz_l l
+              then begin
+                (* rebind L's annotations into E from L's definition on *)
+                for i = di to n - 1 do
+                  rename_annots_stm l e stms.(i)
+                done;
+                e_last := max !e_last l_last;
+                st.coalesced <- st.coalesced + 1;
+                trace opts "reuse: coalesced block %s into %s" l e
+              end
+              else fit rest
+        in
+        fit !targets
+      end
+      else targets := !targets @ [ (di, l, sz_l, ref (last_ref l)) ])
+    allocs
+
+(* ---------------------------------------------------------------- *)
+(* Driver                                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* One walk applies rotation (rewriting statement lists), then
+   coalescing on the rewritten list, then recurses into sub-blocks
+   with the extended prover context and scope maps. *)
+let rec walk st opts ctx scalars mems (b : block) : block =
+  (* scope maps visible to this block and below *)
+  let scalars =
+    List.fold_left
+      (fun sc s ->
+        match scalar_def s with
+        | Some (v, p) -> P.SM.add v p sc
+        | None -> sc)
+      scalars b.stms
+  in
+  let note_mems mems (pes : pat_elem list) =
+    List.fold_left
+      (fun mems pe ->
+        match pe.pmem with
+        | Some mi -> SM.add pe.pv mi.block mems
+        | None -> mems)
+      mems pes
+  in
+  let mems =
+    List.fold_left
+      (fun mems s ->
+        let mems = note_mems mems s.pat in
+        match s.exp with
+        | ELoop { params; _ } -> note_mems mems (List.map fst params)
+        | _ -> mems)
+      mems b.stms
+  in
+  (* rotation: rewrite the statement list back to front so [tail_refs]
+     is exact for the statements following each candidate *)
+  let b =
+    if not opts.rotation then b
+    else begin
+      let tail = ref (res_refs mems b) in
+      let stms' =
+        List.fold_right
+          (fun s acc ->
+            let out =
+              match try_rotate st opts ctx scalars ~tail_refs:!tail s with
+              | Some ss -> ss
+              | None -> [ s ]
+            in
+            List.iter
+              (fun s' -> tail := SS.union !tail (block_refs mems s'))
+              out;
+            out @ acc)
+          b.stms []
+      in
+      { b with stms = stms' }
+    end
+  in
+  if opts.coalesce then coalesce_block st opts ctx scalars mems b;
+  (* recurse, extending the context with iteration-space ranges *)
+  let stms =
+    List.map
+      (fun s ->
+        let exp =
+          match s.exp with
+          | EMap { nest; body } ->
+              let ctx' =
+                List.fold_left
+                  (fun c (v, n) ->
+                    Pr.add_range c v ~lo:P.zero
+                      ~hi:(P.sub (resolve scalars n) P.one) ())
+                  ctx nest
+              in
+              EMap { nest; body = walk st opts ctx' scalars mems body }
+          | ELoop ({ var; bound; body; params } as lp) ->
+              let ctx' =
+                Pr.add_range ctx var ~lo:P.zero
+                  ~hi:(P.sub (resolve scalars bound) P.one) ()
+              in
+              let mems' = note_mems mems (List.map fst params) in
+              ELoop { lp with body = walk st opts ctx' scalars mems' body }
+          | EIf ({ tb; fb; _ } as i) ->
+              EIf
+                {
+                  i with
+                  tb = walk st opts ctx scalars mems tb;
+                  fb = walk st opts ctx scalars mems fb;
+                }
+          | e -> e
+        in
+        { s with exp })
+      b.stms
+  in
+  { b with stms }
+
+let optimize ?(options = default_options) (p : prog) : prog * stats =
+  let st = fresh_stats () in
+  let p = if options.chains then remove_dead_chains st options p else p in
+  let mems0 =
+    List.fold_left
+      (fun m pe ->
+        match pe.pmem with
+        | Some mi -> SM.add pe.pv mi.block m
+        | None -> m)
+      SM.empty p.params
+  in
+  let body = walk st options p.ctx P.SM.empty mems0 p.body in
+  ({ p with body }, st)

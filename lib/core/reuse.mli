@@ -1,0 +1,60 @@
+(** Memory-block reuse: coalesce allocations whose live ranges do not
+    interfere.
+
+    Runs after short-circuiting + cleanup as the pipeline's third
+    variant ([Pipeline.compile] exposes it as [reuse]).  Three
+    strategies:
+
+    - {e dead existential chains} - [mem, array] loop groups whose
+      memory component no annotation references (every array was
+      rebased into an enclosing block by short-circuiting) are removed
+      group-wise, orphaning their [EAlloc] for {!Cleanup};
+    - {e double-buffer rotation} - a loop allocating a fresh block per
+      iteration and carrying it forward is rewritten to rotate two
+      physical buffers (one hoisted spare), dropping the per-iteration
+      allocation and collapsing peak footprint from [trip * size] to
+      [2 * size];
+    - {e same-scope coalescing} - within a lexical block, a later
+      allocation rebinds into an earlier one that is provably dead
+      (live ranges ordered by statement index) and provably large
+      enough ({!Symalg.Prover.prove_ge} on the sizes, or per-annotation
+      {!Lmads.Lmad.bounds} footprint fitting).
+
+    Liveness comes from the same reference/alias machinery as the
+    last-use analysis: a block is live from its allocation to the last
+    statement whose free variables include it or any array annotated
+    into it.  {!Memlint}'s [reuse] rule independently rejects
+    coalescings whose live ranges overlap; {!Memtrace} replays traced
+    executions of the reused program.
+
+    The pass mutates its input program (annotations are mutable);
+    {!Pipeline.compile} hands it a private clone. *)
+
+type options = {
+  verbose : bool;
+  coalesce : bool;  (** same-scope coalescing *)
+  chains : bool;  (** dead existential chain removal *)
+  rotation : bool;  (** double-buffer rotation *)
+}
+
+val default_options : options
+(** All strategies enabled, quiet. *)
+
+val disabled : options
+(** Identity pass ([--no-reuse]). *)
+
+type stats = {
+  mutable candidates : int;  (** (earlier, later) alloc pairs examined *)
+  mutable coalesced : int;
+  mutable size_proofs : int;  (** prover obligations discharged *)
+  mutable chain_links : int;  (** dead existential mem positions removed *)
+  mutable rotated : int;  (** loops rewritten to double-buffering *)
+}
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val optimize : ?options:options -> Ir.Ast.prog -> Ir.Ast.prog * stats
+(** Apply the reuse strategies.  Mutates (and returns) the given
+    program; re-run {!Lastuse.annotate} and {!Cleanup.run} afterwards
+    to refresh liveness markers and collect orphaned allocations. *)

@@ -414,3 +414,69 @@ let to_json t =
   Buffer.add_string b (String.concat "," (List.map json_event (events t)));
   Buffer.add_string b "]}";
   Buffer.contents b
+
+(* ---------------------------------------------------------------- *)
+(* Skeletons: variant-invariant logical event sequences              *)
+(* ---------------------------------------------------------------- *)
+
+(* The memory optimizations relocate and elide storage; they must not
+   change *what* the program computes.  The skeleton of a trace is the
+   sequence of logical actions - kernel launches (by base label and
+   thread count) and logical copies (by shape) - with everything the
+   optimizer is allowed to change stripped: block identities, copy
+   elision, allocations, liveness markers.  Two variants of one
+   program must produce identical skeletons. *)
+type skeleton_event =
+  | SKernel of { slabel : string; sthreads : int }
+  | SCopy of { sshape : int list }
+
+let skeleton t : skeleton_event list =
+  List.filter_map
+    (function
+      | Kernel k ->
+          Some
+            (SKernel
+               { slabel = Ir.Names.base k.klabel; sthreads = k.kthreads })
+      | Copy c when not c.cin_kernel -> Some (SCopy { sshape = c.cshape })
+      | Alloc _ | Copy _ | Last_use _ -> None)
+    (events t)
+
+let pp_skeleton_event ppf = function
+  | SKernel { slabel; sthreads } ->
+      Fmt.pf ppf "kernel %s (%d threads)" slabel sthreads
+  | SCopy { sshape } ->
+      Fmt.pf ppf "copy [%a]" Fmt.(list ~sep:comma int) sshape
+
+(* First [limit] skeleton divergences between two traces of the same
+   program, rendered; empty means the variants agree on the logical
+   event sequence. *)
+let diff ?(limit = 10) ta tb : string list =
+  let sa = Array.of_list (skeleton ta)
+  and sb = Array.of_list (skeleton tb) in
+  let na = Array.length sa and nb = Array.length sb in
+  let out = ref [] and count = ref 0 in
+  let emit fmt = Fmt.kstr (fun s -> out := s :: !out; incr count) fmt in
+  let i = ref 0 in
+  while !i < max na nb && !count < limit do
+    (match
+       ( (if !i < na then Some sa.(!i) else None),
+         if !i < nb then Some sb.(!i) else None )
+     with
+    | Some a, Some b when a = b -> ()
+    | Some a, Some b ->
+        emit "event %d: %s %a <> %s %a" !i (variant ta) pp_skeleton_event a
+          (variant tb) pp_skeleton_event b
+    | Some a, None ->
+        emit "event %d: only in %s: %a" !i (variant ta) pp_skeleton_event a
+    | None, Some b ->
+        emit "event %d: only in %s: %a" !i (variant tb) pp_skeleton_event b
+    | None, None -> ());
+    incr i
+  done;
+  let rest = max na nb - !i in
+  if !count >= limit && rest > 0 then
+    emit "... (%d further events not compared)" rest;
+  if na <> nb && !count < limit then
+    emit "event counts differ: %s has %d, %s has %d" (variant ta) na
+      (variant tb) nb;
+  List.rev !out

@@ -160,3 +160,26 @@ val pp : Format.formatter -> t -> unit
 val to_json : t -> string
 (** The whole trace as a single JSON object: provenance, traffic
     totals, the per-kernel histogram, and the event list. *)
+
+(** {2 Skeletons}
+
+    The memory optimizations relocate and elide storage; they must not
+    change what the program computes.  The {e skeleton} of a trace is
+    its sequence of logical actions - kernel launches (base label,
+    thread count) and logical copies (shape) - with everything the
+    optimizer may legitimately change stripped out: block identities,
+    copy elision flags, allocations, and liveness markers.  Two
+    variants of one program must produce identical skeletons; [repro
+    trace --diff] checks exactly this. *)
+
+type skeleton_event =
+  | SKernel of { slabel : string; sthreads : int }
+  | SCopy of { sshape : int list }
+
+val skeleton : t -> skeleton_event list
+val pp_skeleton_event : Format.formatter -> skeleton_event -> unit
+
+val diff : ?limit:int -> t -> t -> string list
+(** Rendered skeleton divergences between two traces of the same
+    program (at most [limit], default 10); [[]] means the variants
+    agree on the logical event sequence. *)

@@ -54,6 +54,8 @@ type counters = {
   mutable elided_bytes : float;
   mutable allocs : int;
   mutable alloc_bytes : float;
+  mutable scratch_allocs : int; (* per-thread allocations inside kernels *)
+  mutable scratch_bytes : float; (* bytes those scratch allocations cover *)
   mutable peak_bytes : float;
   mutable live_bytes : float;
 }
@@ -70,6 +72,8 @@ let fresh_counters () =
     elided_bytes = 0.;
     allocs = 0;
     alloc_bytes = 0.;
+    scratch_allocs = 0;
+    scratch_bytes = 0.;
     peak_bytes = 0.;
     live_bytes = 0.;
   }
@@ -101,9 +105,10 @@ let pp_counters ppf c =
   Fmt.pf ppf
     "@[<v>kernels: %d (%.3g B read, %.3g B written, %.3g flops)@,\
      copies: %d (%.3g B); elided: %d (%.3g B)@,\
-     allocs: %d (%.3g B, peak %.3g B)@]"
+     allocs: %d (%.3g B) + %d scratch (%.3g B); peak %.3g B@]"
     c.kernels c.kernel_reads c.kernel_writes c.flops c.copies c.copy_bytes
-    c.copies_elided c.elided_bytes c.allocs c.alloc_bytes c.peak_bytes
+    c.copies_elided c.elided_bytes c.allocs c.alloc_bytes c.scratch_allocs
+    c.scratch_bytes c.peak_bytes
 
 (* Counter snapshots for sampled cost estimation. *)
 let clone (c : counters) : counters =
@@ -118,6 +123,8 @@ let clone (c : counters) : counters =
     elided_bytes = c.elided_bytes;
     allocs = c.allocs;
     alloc_bytes = c.alloc_bytes;
+    scratch_allocs = c.scratch_allocs;
+    scratch_bytes = c.scratch_bytes;
     peak_bytes = c.peak_bytes;
     live_bytes = c.live_bytes;
   }
@@ -133,6 +140,8 @@ let assign (dst : counters) (src : counters) : unit =
   dst.elided_bytes <- src.elided_bytes;
   dst.allocs <- src.allocs;
   dst.alloc_bytes <- src.alloc_bytes;
+  dst.scratch_allocs <- src.scratch_allocs;
+  dst.scratch_bytes <- src.scratch_bytes;
   dst.peak_bytes <- src.peak_bytes;
   dst.live_bytes <- src.live_bytes
 
@@ -160,4 +169,18 @@ let add_simpson (dst : counters)
   dst.copies_elided <- dst.copies_elided + wi (fun c -> c.copies_elided);
   dst.elided_bytes <- dst.elided_bytes +. wflt (fun c -> c.elided_bytes);
   dst.allocs <- dst.allocs + wi (fun c -> c.allocs);
-  dst.alloc_bytes <- dst.alloc_bytes +. wflt (fun c -> c.alloc_bytes)
+  dst.alloc_bytes <- dst.alloc_bytes +. wflt (fun c -> c.alloc_bytes);
+  dst.scratch_allocs <- dst.scratch_allocs + wi (fun c -> c.scratch_allocs);
+  dst.scratch_bytes <- dst.scratch_bytes +. wflt (fun c -> c.scratch_bytes);
+  (* Live bytes extrapolate like any other accumulating quantity; the
+     peak cannot be summed, so take the largest headroom any sampled
+     iteration showed above its own live line and replay it on top of
+     the extrapolated live volume (transient in-kernel scratch spikes
+     recur every iteration but do not stack). *)
+  dst.live_bytes <- dst.live_bytes +. wflt (fun c -> c.live_bytes);
+  let overhang =
+    List.fold_left
+      (fun acc a -> Float.max acc (a.peak_bytes -. a.live_bytes))
+      0. [ a0; am; al ]
+  in
+  dst.peak_bytes <- Float.max dst.peak_bytes (dst.live_bytes +. overhang)

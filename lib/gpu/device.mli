@@ -36,7 +36,14 @@ type counters = {
   mutable elided_bytes : float;
   mutable allocs : int;
   mutable alloc_bytes : float;
+  mutable scratch_allocs : int;
+      (** per-thread allocations made inside kernels (CUDA local-memory
+          model); not charged {!type-t.alloc_overhead} but counted
+          toward {!peak_bytes} for the duration of their kernel *)
+  mutable scratch_bytes : float;
   mutable peak_bytes : float;
+      (** high-water mark of [live_bytes] plus any in-flight kernel
+          scratch *)
   mutable live_bytes : float;
 }
 

@@ -83,6 +83,10 @@ type state = {
       (* when set, every memory-relevant action appends a trace event *)
   mutation : mutation option; (* fault injection (tests only) *)
   mutable kernel_depth : int;
+  mutable kernel_scratch : float;
+      (* bytes of per-thread scratch allocated by the kernel currently
+         in flight (CUDA local-memory model): raises the peak while the
+         kernel runs, released when it retires *)
   thread_writes : (int * int, unit) Hashtbl.t;
       (* (block id, offset) pairs written by the current kernel thread:
          re-reads of a thread's own writes hit registers/shared memory
@@ -832,6 +836,19 @@ let rec exec_exp st env (s : stm) : aval list =
         st.counters.live_bytes <- st.counters.live_bytes +. bytes;
         if st.counters.live_bytes > st.counters.peak_bytes then
           st.counters.peak_bytes <- st.counters.live_bytes
+      end
+      else begin
+        (* per-thread scratch: lives only for the kernel's duration,
+           but while the kernel is in flight every thread's copy exists
+           at once, so it counts toward the peak *)
+        st.counters.scratch_allocs <- st.counters.scratch_allocs + 1;
+        let bytes = float_of_int n *. elem_bytes in
+        st.counters.scratch_bytes <- st.counters.scratch_bytes +. bytes;
+        st.kernel_scratch <- st.kernel_scratch +. bytes;
+        if st.counters.live_bytes +. st.kernel_scratch > st.counters.peak_bytes
+        then
+          st.counters.peak_bytes <-
+            st.counters.live_bytes +. st.kernel_scratch
       end;
       (match st.tracer with
       | Some tr ->
@@ -847,6 +864,7 @@ and launch_kernel st ~label ~declared f =
   let r0 = st.counters.kernel_reads and w0 = st.counters.kernel_writes in
   if top then begin
     st.counters.kernels <- st.counters.kernels + 1;
+    st.kernel_scratch <- 0.;
     Hashtbl.reset st.kernel_reads_tally;
     match st.tracer with
     | Some tr ->
@@ -865,6 +883,10 @@ and launch_kernel st ~label ~declared f =
           st.counters.kernel_reads
           +. Float.min bytes (float_of_int bsize *. elem_bytes))
       st.kernel_reads_tally;
+    if st.counters.live_bytes +. st.kernel_scratch > st.counters.peak_bytes
+    then
+      st.counters.peak_bytes <- st.counters.live_bytes +. st.kernel_scratch;
+    st.kernel_scratch <- 0.;
     match st.tracer with
     | Some tr ->
         Trace.kernel_end tr
@@ -920,8 +942,19 @@ and exec_map st env (s : stm) nest body : aval list =
           if points > 0 then begin
             let mid = List.map (fun d -> d / 2) dims in
             let snap = snapshot st.counters in
+            let ks0 = st.kernel_scratch in
             run_thread env mid;
             scale_delta st.counters snap (float_of_int points);
+            (* every thread holds its own scratch while the kernel is
+               in flight *)
+            st.kernel_scratch <-
+              ks0 +. ((st.kernel_scratch -. ks0) *. float_of_int points);
+            if
+              st.counters.live_bytes +. st.kernel_scratch
+              > st.counters.peak_bytes
+            then
+              st.counters.peak_bytes <-
+                st.counters.live_bytes +. st.kernel_scratch;
             (* scale the per-block read tallies by the thread count
                (capping happens when the kernel retires) *)
             let scaled =
@@ -944,23 +977,33 @@ and snapshot (c : Device.counters) =
       c.copies,
       c.copy_bytes,
       c.copies_elided,
-      c.elided_bytes )
+      c.elided_bytes,
+      c.scratch_allocs,
+      c.scratch_bytes )
 
 (* Scale the per-thread cost deltas by the thread count (the kernel
    launch itself is not scaled).  Per-thread copies are GPU-side
    gather/scatter, so their count is folded into traffic rather than
    per-copy overhead. *)
 and scale_delta (c : Device.counters) snap factor =
-  let w0, f0, cp0, cb0, ce0, eb0 = snap in
+  let w0, f0, cp0, cb0, ce0, eb0, sa0, sb0 = snap in
   let open Device in
   c.kernel_writes <- w0 +. ((c.kernel_writes -. w0) *. factor);
   c.flops <- f0 +. ((c.flops -. f0) *. factor);
   c.copies <- cp0 + (if c.copies > cp0 then 1 else 0);
   c.copy_bytes <- cb0 +. ((c.copy_bytes -. cb0) *. factor);
   c.copies_elided <- ce0 + (if c.copies_elided > ce0 then 1 else 0);
-  c.elided_bytes <- eb0 +. ((c.elided_bytes -. eb0) *. factor)
+  c.elided_bytes <- eb0 +. ((c.elided_bytes -. eb0) *. factor);
+  c.scratch_allocs <-
+    sa0
+    + int_of_float
+        (Float.round (float_of_int (c.scratch_allocs - sa0) *. factor));
+  c.scratch_bytes <- sb0 +. ((c.scratch_bytes -. sb0) *. factor)
 
 and exec_block st env (b : block) : aval list =
+  let res_vars =
+    List.filter_map (function Var v -> Some v | _ -> None) b.res
+  in
   let env =
     List.fold_left
       (fun env s ->
@@ -974,10 +1017,26 @@ and exec_block st env (b : block) : aval list =
            short-circuiting pass consumed. *)
         (match st.tracer with
         | Some tr when st.kernel_depth = 0 ->
+            (* A block aliased by a value this lexical block returns
+               provably flows past every statement here (a rotated
+               loop re-reads the carried buffer next iteration; a
+               result block is read by the enclosing code), so a
+               last-use marker for a variable living in it would date
+               the block's death too early. *)
+            let res_bids =
+              List.filter_map
+                (fun v ->
+                  match SM.find_opt v env with
+                  | Some (AArr a) -> Some a.block.bid
+                  | Some (AMem blk) -> Some blk.bid
+                  | _ -> None)
+                res_vars
+            in
             List.iter
               (fun v ->
                 match SM.find_opt v env with
-                | Some (AArr a) -> Trace.last_use tr ~var:v ~bid:a.block.bid
+                | Some (AArr a) when not (List.mem a.block.bid res_bids) ->
+                    Trace.last_use tr ~var:v ~bid:a.block.bid
                 | _ -> ())
               s.last_uses
         | _ -> ());
@@ -1092,6 +1151,7 @@ let run ?(mode = Full) ?(trace = false) ?(variant = "program") ?mutation
       tracer;
       mutation;
       kernel_depth = 0;
+      kernel_scratch = 0.;
       thread_writes = Hashtbl.create 256;
       kernel_reads_tally = Hashtbl.create 64;
     }

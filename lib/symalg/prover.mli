@@ -93,3 +93,37 @@ type sign = Pos | Neg | Zero | Unknown
 
 val sign : t -> Poly.t -> sign
 val pp : Format.formatter -> t -> unit
+
+(** {1 Memoization limits and statistics}
+
+    The prover keeps two memo tables: saturated contexts and decided
+    nonnegativity obligations.  Each is flushed wholesale when it
+    outgrows its cap (bounded residency beats an eviction policy for
+    the bursty obligation streams the pipeline produces). *)
+
+type limits = { sat_cap : int; nonneg_cap : int }
+
+val default_limits : limits
+(** [{ sat_cap = 50_000; nonneg_cap = 500_000 }] - the former
+    hard-coded reset thresholds. *)
+
+val set_limits : limits -> unit
+val get_limits : unit -> limits
+
+(** Cache effectiveness counters (process-wide, monotone until
+    {!reset_stats}): a miss is a full saturation / elimination search,
+    a reset discards the accumulated table. *)
+type stats = {
+  mutable sat_hits : int;
+  mutable sat_misses : int;
+  mutable sat_resets : int;
+  mutable nonneg_hits : int;
+  mutable nonneg_misses : int;
+  mutable nonneg_resets : int;
+}
+
+val stats : unit -> stats
+(** A snapshot copy; safe to retain across further proving. *)
+
+val reset_stats : unit -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -10,7 +10,8 @@ module V = Ir.Value
 
 let check_validation name (v : R.validation) =
   Alcotest.(check bool) (name ^ ": unopt = interp") true v.R.ok_unopt;
-  Alcotest.(check bool) (name ^ ": opt = interp") true v.R.ok_opt
+  Alcotest.(check bool) (name ^ ": opt = interp") true v.R.ok_opt;
+  Alcotest.(check bool) (name ^ ": reuse = interp") true v.R.ok_reuse
 
 let check_oracle name out expect =
   match out with
@@ -131,7 +132,17 @@ let test_table_shape () =
     (let st = o.R.compiled.Core.Pipeline.stats in
      st.Core.Shortcircuit.succeeded = st.Core.Shortcircuit.candidates);
   Alcotest.(check bool) "footprint shrinks" true
-    (List.for_all (fun (_, u, opt) -> opt < u) o.R.footprints)
+    (List.for_all
+       (fun (_, u, opt, _) ->
+         opt.R.f_alloc_bytes < u.R.f_alloc_bytes
+         && opt.R.f_peak_bytes < u.R.f_peak_bytes)
+       o.R.footprints);
+  Alcotest.(check bool) "reuse shrinks further (hotspot rotation)" true
+    (List.for_all
+       (fun (_, _, opt, reuse) ->
+         reuse.R.f_allocs < opt.R.f_allocs
+         && reuse.R.f_peak_bytes < opt.R.f_peak_bytes)
+       o.R.footprints)
 
 let tests =
   [

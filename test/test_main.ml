@@ -10,6 +10,7 @@ let () =
       ("core", Test_core.tests);
       ("memlint", Test_memlint.tests);
       ("memtrace", Test_memtrace.tests);
+      ("reuse", Test_reuse.tests);
       ("frontend", Test_frontend.tests);
       ("gpu", Test_gpu.tests);
       ("bench", Test_bench.tests);

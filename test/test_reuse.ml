@@ -1,0 +1,280 @@
+(* Tests for the memory-block reuse pass (Reuse).
+
+   Differential design, mirroring the memlint/memtrace suites: the
+   reuse variant of every program must compute the same values as the
+   reference interpreter, lint clean at every pipeline stage,
+   trace-check clean under Memtrace, and keep the same logical event
+   skeleton as the optimized variant - while never increasing (and on
+   the flagship benchmarks strictly shrinking) the measured memory
+   footprint.  A hand-mutated annotation that fakes a coalescing with
+   overlapping live ranges must be rejected by Memlint's [reuse]
+   rule. *)
+
+open Ir
+open Ast
+module P = Symalg.Poly
+module Pr = Symalg.Prover
+module B = Build
+module ML = Core.Memlint
+module MT = Core.Memtrace
+module R = Benchsuite.Runner
+module Device = Gpu.Device
+module Exec = Gpu.Exec
+
+let c = P.const
+let n = P.var "n"
+let ctx_n2 = Pr.add_range Pr.empty "n" ~lo:(c 2) ()
+
+let fill b name cnt seed =
+  B.mapnest b name [ (Names.fresh "i", cnt) ] (fun bb ->
+      [ B.fadd bb (Float seed) (Float 0.0) ])
+
+(* a = fill n; b = a + 1; c = b + 2.  [a]'s block is dead once [b] is
+   built, so the later allocations can recycle it - the smallest
+   program on which same-scope coalescing fires. *)
+let chain_prog () =
+  B.prog "rcchain" ~ctx:ctx_n2 ~params:[ pat_elem "n" i64 ]
+    ~ret:[ arr F64 [ n ] ]
+    (fun b ->
+      let a = fill b "as" n 1.0 in
+      let iv = Names.fresh "i" in
+      let bs =
+        B.mapnest b "bs" [ (iv, n) ] (fun bb ->
+            [ B.fadd bb (B.index bb a [ P.var iv ]) (Float 1.0) ])
+      in
+      let jv = Names.fresh "j" in
+      let cs =
+        B.mapnest b "cs" [ (jv, n) ] (fun bb ->
+            [ B.fadd bb (B.index bb bs [ P.var jv ]) (Float 2.0) ])
+      in
+      let kv = Names.fresh "k" in
+      let ds =
+        B.mapnest b "ds" [ (kv, n) ] (fun bb ->
+            [ B.fadd bb (B.index bb cs [ P.var kv ]) (Float 3.0) ])
+      in
+      [ Var ds ])
+
+let chain_args nv = [ Value.VInt nv ]
+
+(* a = fill n; b = fill n; c = a + b.  Both fills are live until [c],
+   so no legal coalescing exists between them. *)
+let overlap_prog () =
+  B.prog "rcoverlap" ~ctx:ctx_n2 ~params:[ pat_elem "n" i64 ]
+    ~ret:[ arr F64 [ n ] ]
+    (fun b ->
+      let a = fill b "as" n 1.0 in
+      let bs = fill b "bs" n 2.0 in
+      let iv = Names.fresh "i" in
+      let cs =
+        B.mapnest b "cs" [ (iv, n) ] (fun bb ->
+            [
+              B.fadd bb
+                (B.index bb a [ P.var iv ])
+                (B.index bb bs [ P.var iv ]);
+            ])
+      in
+      [ Var cs ])
+
+(* ---------------------------------------------------------------- *)
+(* Shared checks                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let cost_counters p args = (Exec.run ~mode:Exec.Cost_only p args).Exec.counters
+let total_allocs (ct : Device.counters) = ct.Device.allocs + ct.Device.scratch_allocs
+
+(* Compile and return (compiled, opt counters, reuse counters). *)
+let compiled_footprints ?reuse prog args =
+  let cpl = Core.Pipeline.compile ?reuse prog in
+  ( cpl,
+    cost_counters cpl.Core.Pipeline.opt args,
+    cost_counters cpl.Core.Pipeline.reuse args )
+
+(* ---------------------------------------------------------------- *)
+(* Same-scope coalescing on the sequential chain                     *)
+(* ---------------------------------------------------------------- *)
+
+let test_chain_coalesces () =
+  let cpl, opt_c, reuse_c = compiled_footprints (chain_prog ()) (chain_args 8) in
+  let st = cpl.Core.Pipeline.reuse_stats in
+  Alcotest.(check bool) "coalescing fired" true (st.Core.Reuse.coalesced >= 1);
+  Alcotest.(check bool) "size proof discharged" true
+    (st.Core.Reuse.size_proofs >= 1);
+  Alcotest.(check bool) "fewer allocations" true
+    (total_allocs reuse_c < total_allocs opt_c);
+  Alcotest.(check bool) "lower peak" true
+    (reuse_c.Device.peak_bytes < opt_c.Device.peak_bytes);
+  (* the coalesced program still computes a+3 everywhere *)
+  let v = R.validate ~compiled:cpl (chain_prog ()) (chain_args 8) in
+  Alcotest.(check bool) "chain: reuse = interp" true v.R.ok_reuse
+
+(* No legal coalescing on the overlapping program: the pass must
+   refuse, and the footprint is simply unchanged. *)
+let test_overlap_untouched () =
+  let cpl, opt_c, reuse_c =
+    compiled_footprints (overlap_prog ()) (chain_args 8)
+  in
+  let st = cpl.Core.Pipeline.reuse_stats in
+  Alcotest.(check int) "nothing coalesced" 0 st.Core.Reuse.coalesced;
+  Alcotest.(check int) "allocs unchanged" (total_allocs opt_c)
+    (total_allocs reuse_c);
+  let v = R.validate ~compiled:cpl (overlap_prog ()) (chain_args 8) in
+  Alcotest.(check bool) "overlap: reuse = interp" true v.R.ok_reuse
+
+(* ---------------------------------------------------------------- *)
+(* Mutation: a coalescing with overlapping live ranges is rejected   *)
+(* ---------------------------------------------------------------- *)
+
+(* Hand-forge the illegal version of [overlap_prog]: rebind the second
+   fill into the first fill's block.  Both fills stay live until the
+   final sum, so Memlint's [reuse] rule must reject the clobber. *)
+let test_illegal_coalesce_rejected () =
+  let p = Core.Pipeline.to_memory_ir (overlap_prog ()) in
+  let r0 = ML.check p in
+  Alcotest.(check (list string)) "seed lints clean" []
+    (List.map (fun v -> v.ML.detail) (ML.errors r0));
+  let fills =
+    List.filter_map
+      (fun s ->
+        match s.exp with
+        | EMap _ ->
+            List.find_opt
+              (fun pe -> is_array_typ pe.pt && pe.pmem <> None)
+              s.pat
+        | _ -> None)
+      p.body.stms
+  in
+  match fills with
+  | pe_a :: pe_b :: _ ->
+      pe_b.pmem <- pe_a.pmem;
+      let r = ML.check p in
+      Alcotest.(check bool) "forged coalescing rejected" true (not (ML.ok r));
+      Alcotest.(check bool) "blames [reuse]" true
+        (List.exists (fun v -> v.ML.rule = "reuse") (ML.errors r))
+  | _ -> Alcotest.fail "expected two annotated fills"
+
+(* ---------------------------------------------------------------- *)
+(* Flagship benchmarks: strict footprint reductions                  *)
+(* ---------------------------------------------------------------- *)
+
+let test_nw_footprint () =
+  let args = Benchsuite.Nw.small_args ~q:3 ~b:4 in
+  let cpl, opt_c, reuse_c = compiled_footprints Benchsuite.Nw.prog args in
+  let st = cpl.Core.Pipeline.reuse_stats in
+  Alcotest.(check bool) "nw: dead existential chains removed" true
+    (st.Core.Reuse.chain_links >= 4);
+  Alcotest.(check int) "nw: no scratch left" 0 reuse_c.Device.scratch_allocs;
+  Alcotest.(check bool) "nw: strictly fewer allocations" true
+    (total_allocs reuse_c < total_allocs opt_c);
+  Alcotest.(check bool) "nw: strictly lower peak" true
+    (reuse_c.Device.peak_bytes < opt_c.Device.peak_bytes)
+
+let test_hotspot_footprint () =
+  let args = Benchsuite.Hotspot.small_args ~n:16 ~steps:3 in
+  let cpl, opt_c, reuse_c = compiled_footprints Benchsuite.Hotspot.prog args in
+  let st = cpl.Core.Pipeline.reuse_stats in
+  Alcotest.(check bool) "hotspot: loop double-buffered" true
+    (st.Core.Reuse.rotated >= 1);
+  Alcotest.(check bool) "hotspot: strictly fewer allocations" true
+    (total_allocs reuse_c < total_allocs opt_c);
+  Alcotest.(check bool) "hotspot: strictly lower peak" true
+    (reuse_c.Device.peak_bytes < opt_c.Device.peak_bytes)
+
+let test_lbm_footprint () =
+  let args = Benchsuite.Lbm.small_args ~n:8 ~steps:3 in
+  let cpl, opt_c, reuse_c = compiled_footprints Benchsuite.Lbm.prog args in
+  let st = cpl.Core.Pipeline.reuse_stats in
+  Alcotest.(check bool) "lbm: loop double-buffered" true
+    (st.Core.Reuse.rotated >= 1);
+  Alcotest.(check bool) "lbm: strictly fewer allocations" true
+    (total_allocs reuse_c < total_allocs opt_c);
+  Alcotest.(check bool) "lbm: strictly lower peak" true
+    (reuse_c.Device.peak_bytes < opt_c.Device.peak_bytes)
+
+(* --no-reuse is the identity: the reuse variant degenerates to a
+   clone of opt with zeroed statistics. *)
+let test_disabled_is_identity () =
+  let args = Benchsuite.Hotspot.small_args ~n:16 ~steps:3 in
+  let cpl, opt_c, reuse_c =
+    compiled_footprints ~reuse:Core.Reuse.disabled Benchsuite.Hotspot.prog
+      args
+  in
+  let st = cpl.Core.Pipeline.reuse_stats in
+  Alcotest.(check int) "no rotations" 0 st.Core.Reuse.rotated;
+  Alcotest.(check int) "no coalescings" 0 st.Core.Reuse.coalesced;
+  Alcotest.(check int) "no chain removals" 0 st.Core.Reuse.chain_links;
+  Alcotest.(check int) "no allocations dropped" 0
+    cpl.Core.Pipeline.reuse_dead_allocs;
+  Alcotest.(check int) "allocs identical" (total_allocs opt_c)
+    (total_allocs reuse_c);
+  Alcotest.(check (float 0.0)) "peak identical" opt_c.Device.peak_bytes
+    reuse_c.Device.peak_bytes
+
+(* ---------------------------------------------------------------- *)
+(* qcheck: the full verification stack over random sizes             *)
+(* ---------------------------------------------------------------- *)
+
+(* Every generated instance must: lint clean at all six stages,
+   trace-check clean on the reuse variant, compute the interpreter's
+   values, keep the optimized variant's logical event skeleton, and
+   never increase the footprint. *)
+let reuse_verified prog args =
+  let compiled = Core.Pipeline.compile ~lint:true prog in
+  (match Core.Pipeline.first_lint_error compiled.Core.Pipeline.lint with
+  | None -> ()
+  | Some (stage, v) ->
+      QCheck.Test.fail_reportf "memlint (%s): %a" stage ML.pp_violation v);
+  let _, o, r = R.trace_check3 ~compiled prog args in
+  if not (MT.ok r.R.check) then
+    QCheck.Test.fail_reportf "memtrace (reuse): %a" MT.pp_report r.R.check;
+  (match Core.Trace.diff o.R.trace r.R.trace with
+  | [] -> ()
+  | d :: _ -> QCheck.Test.fail_reportf "skeletons diverge: %s" d);
+  let expect = Ir.Interp.run compiled.Core.Pipeline.source args in
+  let rr = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.reuse args in
+  if
+    not
+      (List.for_all2 (Value.approx_equal ~eps:1e-6) expect rr.Exec.results)
+  then QCheck.Test.fail_reportf "reuse variant changed the results";
+  let opt_c = cost_counters compiled.Core.Pipeline.opt args in
+  let reuse_c = cost_counters compiled.Core.Pipeline.reuse args in
+  if total_allocs reuse_c > total_allocs opt_c then
+    QCheck.Test.fail_reportf "reuse increased allocations: %d > %d"
+      (total_allocs reuse_c) (total_allocs opt_c);
+  if reuse_c.Device.peak_bytes > opt_c.Device.peak_bytes then
+    QCheck.Test.fail_reportf "reuse increased peak: %g > %g"
+      reuse_c.Device.peak_bytes opt_c.Device.peak_bytes;
+  true
+
+let prop_nw_reuse_verified =
+  QCheck.Test.make ~name:"NW reuse verified (values/lint/trace/footprint)"
+    ~count:3
+    (QCheck.make
+       ~print:(fun (q, b) -> Printf.sprintf "q=%d b=%d" q b)
+       QCheck.Gen.(pair (int_range 2 3) (int_range 2 4)))
+    (fun (q, b) ->
+      reuse_verified Benchsuite.Nw.prog (Benchsuite.Nw.small_args ~q ~b))
+
+let prop_chain_reuse_verified =
+  QCheck.Test.make ~name:"chain coalescing verified at random sizes" ~count:6
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 12))
+    (fun nv -> reuse_verified (chain_prog ()) (chain_args nv))
+
+let tests =
+  [
+    Alcotest.test_case "chain: same-scope coalescing" `Quick
+      test_chain_coalesces;
+    Alcotest.test_case "overlap: no illegal coalescing" `Quick
+      test_overlap_untouched;
+    Alcotest.test_case "mutation: overlapping-live coalesce rejected" `Quick
+      test_illegal_coalesce_rejected;
+    Alcotest.test_case "nw: footprint strictly shrinks" `Quick
+      test_nw_footprint;
+    Alcotest.test_case "hotspot: rotation strictly shrinks" `Quick
+      test_hotspot_footprint;
+    Alcotest.test_case "lbm: rotation strictly shrinks" `Quick
+      test_lbm_footprint;
+    Alcotest.test_case "--no-reuse is the identity" `Quick
+      test_disabled_is_identity;
+    QCheck_alcotest.to_alcotest prop_nw_reuse_verified;
+    QCheck_alcotest.to_alcotest prop_chain_reuse_verified;
+  ]
