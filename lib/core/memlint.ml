@@ -729,17 +729,24 @@ and check_reuse acc env ctx (b : block) =
       (Alias.closure acc.aliases v)
       (max i (ref_of v))
   in
-  (* data flows from [v] into block [blk]: some statement reads [v]
-     and binds an array into [blk] (concat parts, update circuits,
-     mapnest results) - the overlap is then the point of the reuse,
-     not a clobber of live contents *)
-  let justified v blk =
+  (* data flows from the earlier array [va] into the later binding
+     [vb] through block [blk]: the statement that binds [vb] itself
+     (or an alias of [vb]) into the block reads [va] or an alias of it
+     (concat parts, update circuits, mapnest results) - the overlap is
+     then the point of the reuse, not a clobber of live contents.  An
+     unrelated flow-through statement elsewhere in the block must NOT
+     exempt the pair: the reuse rule is the coalescer's safety net,
+     and a genuine clobber can share a block with an innocent circuit. *)
+  let justified blk va vb =
+    let va_closure = Alias.closure acc.aliases va in
+    let vb_closure = Alias.closure acc.aliases vb in
     Array.exists
       (fun s ->
-        SS.mem v (fv_stm s)
+        (not (SS.is_empty (SS.inter va_closure (fv_stm s))))
         && List.exists
              (fun pe ->
                is_array_typ pe.pt
+               && SS.mem pe.pv vb_closure
                && match pe.pmem with
                   | Some m -> m.block = blk
                   | None -> false)
@@ -775,7 +782,7 @@ and check_reuse acc env ctx (b : block) =
                 if wb && ib < live_end va ia then
                   if
                     SS.mem vb (Alias.closure acc.aliases va)
-                    || justified va blk || justified vb blk
+                    || justified blk va vb
                   then ()
                   else
                     let la = resolve_lmad env (memory_lmad ma.ixfn)

@@ -193,6 +193,48 @@ and exp_vars_block (b : block) (acc : SS.t) : SS.t =
     (fun acc a -> match a with Var v -> SS.add v acc | _ -> acc)
     acc b.res
 
+(* Every annotation into block [blk] anywhere in a subtree (pattern
+   elements and loop parameters, nested bodies included) - the full
+   set that [rename_annots_stm] would move - each paired with the
+   prover context extended by the iteration-space ranges of the
+   enclosing map/loop nests inside the subtree, so bounds of
+   index-dependent footprints ([9*i*n + 9*j + {(9 : 1)}] under a
+   mapnest) can be discharged. *)
+let annots_into ctx scalars blk (b : block) :
+    (string * mem_info * Pr.t) list =
+  let acc = ref [] in
+  let note ctx pe =
+    match pe.pmem with
+    | Some mi when mi.block = blk -> acc := (pe.pv, mi, ctx) :: !acc
+    | _ -> ()
+  in
+  let rec go_stm ctx (s : stm) =
+    List.iter (note ctx) s.pat;
+    match s.exp with
+    | EMap { nest; body } ->
+        let ctx' =
+          List.fold_left
+            (fun c (v, n) ->
+              Pr.add_range c v ~lo:P.zero
+                ~hi:(P.sub (resolve scalars n) P.one) ())
+            ctx nest
+        in
+        go_block ctx' body
+    | ELoop { params; var; bound; body } ->
+        List.iter (fun (pe, _) -> note ctx pe) params;
+        let ctx' =
+          Pr.add_range ctx var ~lo:P.zero
+            ~hi:(P.sub (resolve scalars bound) P.one) ()
+        in
+        go_block ctx' body
+    | EIf { tb; fb; _ } ->
+        go_block ctx tb;
+        go_block ctx fb
+    | _ -> ()
+  and go_block ctx (b : block) = List.iter (go_stm ctx) b.stms in
+  go_block ctx b;
+  !acc
+
 (* ---------------------------------------------------------------- *)
 (* Strategy 1: dead existential chain removal                        *)
 (* ---------------------------------------------------------------- *)
@@ -373,9 +415,29 @@ let remove_dead_chains (st : stats) opts (p : prog) : prog =
    block is referenced after the loop (iteration 2 clobbers it).  The
    rewrite threads one hoisted spare as a second carried group and
    rotates the groups in the result, so generation [i+1] overwrites
-   generation [i-1]'s (dead) buffer. *)
+   generation [i-1]'s (dead) buffer.
 
-let try_rotate (st : stats) opts ctx scalars ~tail_refs (s : stm) :
+   From iteration 2 on the renamed writes land in the *initializer's*
+   buffer, whose allocation the loop never sees, so the rewrite owes a
+   proof that the buffer can hold everything [rename_annots_stm] moves
+   into it.  Three ways to discharge it, any one suffices:
+
+   - the fresh block's only annotated occupant is the carried result
+     itself with the carried array's own index function, which the
+     initializer buffer demonstrably holds (it fed that very footprint
+     into iteration 1);
+   - the initializer block's allocation size provably dominates the
+     per-iteration size [s] ([alloc_sizes] carries every [EAlloc] in
+     scope);
+   - the initializer is opaque (a program parameter, say) but every
+     annotation moving into it has memory-LMAD bounds inside the
+     carried footprint's own address range [0, hi] - addresses the
+     buffer provably contains, because an allocation is contiguous
+     from 0 and the carried footprint reaches [hi] (the
+     short-circuited concat-piece layout: top/mid/bot at offsets
+     within the full array). *)
+
+let try_rotate (st : stats) opts ctx scalars ~alloc_sizes ~tail_refs (s : stm) :
     stm list option =
   match (s.exp, s.pat) with
   | ( ELoop { params = [ (pm, Var im); (pa, Var ia) ]; var; bound; body },
@@ -425,7 +487,57 @@ let try_rotate (st : stats) opts ctx scalars ~tail_refs (s : stm) :
                  && (not (SS.mem im body_fv))
                  && (not (SS.mem ia tail_refs))
                  && (not (SS.mem im tail_refs))
-                 && Pr.prove_ge ctx (resolve scalars bound) P.one ->
+                 && Pr.prove_ge ctx (resolve scalars bound) P.one
+                 && (* size obligation for the redirected writes *)
+                 (let rm_annots = annots_into ctx scalars rm body in
+                  let sole_carried_occupant =
+                    rm_annots <> []
+                    && List.for_all
+                         (fun (v, mi, _) ->
+                           v = ra && Ixfn.equal mi.ixfn pmi.ixfn)
+                         rm_annots
+                  in
+                  let init_size_dominates () =
+                    match SM.find_opt im alloc_sizes with
+                    | Some size_im
+                      when Pr.prove_ge ctx
+                             (resolve scalars size_im)
+                             (resolve scalars sz) ->
+                        st.size_proofs <- st.size_proofs + 1;
+                        true
+                    | _ -> false
+                  in
+                  let fits_carried_footprint () =
+                    match
+                      Lmad.bounds ctx
+                        (resolve_lmad scalars (memory_lmad pmi.ixfn))
+                    with
+                    | None -> false
+                    | Some (_, hi_c) ->
+                        let fits (_, (mi : mem_info), actx) =
+                          match
+                            Lmad.bounds actx
+                              (resolve_lmad scalars (memory_lmad mi.ixfn))
+                          with
+                          | None -> false
+                          | Some (lo, hi) ->
+                              Pr.prove_in_range actx lo ~lo:P.zero ~hi:hi_c
+                              && Pr.prove_in_range actx hi ~lo:P.zero ~hi:hi_c
+                        in
+                        let ok =
+                          rm_annots <> [] && List.for_all fits rm_annots
+                        in
+                        if ok then st.size_proofs <- st.size_proofs + 1;
+                        ok
+                  in
+                  sole_carried_occupant || init_size_dominates ()
+                  || fits_carried_footprint ()
+                  ||
+                  (trace opts
+                     "reuse: not rotating %s: cannot prove the initializer \
+                      block %s holds the per-iteration footprint"
+                     qa.pv im;
+                   false)) ->
               st.size_proofs <- st.size_proofs + 1;
               (* hoisted spare buffer *)
               let smem = Ir.Names.fresh (pm.pv ^ "_spare") in
@@ -644,7 +756,7 @@ let coalesce_block (st : stats) opts ctx scalars mems (b : block) : unit =
 (* One walk applies rotation (rewriting statement lists), then
    coalescing on the rewritten list, then recurses into sub-blocks
    with the extended prover context and scope maps. *)
-let rec walk st opts ctx scalars mems (b : block) : block =
+let rec walk st opts ctx scalars allocs mems (b : block) : block =
   (* scope maps visible to this block and below *)
   let scalars =
     List.fold_left
@@ -653,6 +765,14 @@ let rec walk st opts ctx scalars mems (b : block) : block =
         | Some (v, p) -> P.SM.add v p sc
         | None -> sc)
       scalars b.stms
+  in
+  let allocs =
+    List.fold_left
+      (fun al (s : stm) ->
+        match (s.pat, s.exp) with
+        | [ pe ], EAlloc sz when pe.pt = TMem -> SM.add pe.pv sz al
+        | _ -> al)
+      allocs b.stms
   in
   let note_mems mems (pes : pat_elem list) =
     List.fold_left
@@ -681,7 +801,10 @@ let rec walk st opts ctx scalars mems (b : block) : block =
         List.fold_right
           (fun s acc ->
             let out =
-              match try_rotate st opts ctx scalars ~tail_refs:!tail s with
+              match
+                try_rotate st opts ctx scalars ~alloc_sizes:allocs
+                  ~tail_refs:!tail s
+              with
               | Some ss -> ss
               | None -> [ s ]
             in
@@ -709,20 +832,20 @@ let rec walk st opts ctx scalars mems (b : block) : block =
                       ~hi:(P.sub (resolve scalars n) P.one) ())
                   ctx nest
               in
-              EMap { nest; body = walk st opts ctx' scalars mems body }
+              EMap { nest; body = walk st opts ctx' scalars allocs mems body }
           | ELoop ({ var; bound; body; params } as lp) ->
               let ctx' =
                 Pr.add_range ctx var ~lo:P.zero
                   ~hi:(P.sub (resolve scalars bound) P.one) ()
               in
               let mems' = note_mems mems (List.map fst params) in
-              ELoop { lp with body = walk st opts ctx' scalars mems' body }
+              ELoop { lp with body = walk st opts ctx' scalars allocs mems' body }
           | EIf ({ tb; fb; _ } as i) ->
               EIf
                 {
                   i with
-                  tb = walk st opts ctx scalars mems tb;
-                  fb = walk st opts ctx scalars mems fb;
+                  tb = walk st opts ctx scalars allocs mems tb;
+                  fb = walk st opts ctx scalars allocs mems fb;
                 }
           | e -> e
         in
@@ -742,5 +865,5 @@ let optimize ?(options = default_options) (p : prog) : prog * stats =
         | None -> m)
       SM.empty p.params
   in
-  let body = walk st options p.ctx P.SM.empty mems0 p.body in
+  let body = walk st options p.ctx P.SM.empty SM.empty mems0 p.body in
   ({ p with body }, st)

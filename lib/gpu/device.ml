@@ -173,14 +173,21 @@ let add_simpson (dst : counters)
   dst.scratch_allocs <- dst.scratch_allocs + wi (fun c -> c.scratch_allocs);
   dst.scratch_bytes <- dst.scratch_bytes +. wflt (fun c -> c.scratch_bytes);
   (* Live bytes extrapolate like any other accumulating quantity; the
-     peak cannot be summed, so take the largest headroom any sampled
-     iteration showed above its own live line and replay it on top of
-     the extrapolated live volume (transient in-kernel scratch spikes
-     recur every iteration but do not stack). *)
+     peak cannot be summed, so take the largest transient any sampled
+     iteration showed *within itself* - how far it pushed the peak
+     above both the peak at its start and its own ending live line -
+     and replay it on top of the extrapolated live volume (transient
+     in-kernel scratch spikes recur every iteration but do not stack).
+     Measuring against the start-of-iteration snapshot keeps a stale
+     program-wide maximum (a large temporary freed before the loop)
+     from being re-added on top of the extrapolation, and an iteration
+     that never raises the running peak contributes zero. *)
   dst.live_bytes <- dst.live_bytes +. wflt (fun c -> c.live_bytes);
   let overhang =
     List.fold_left
-      (fun acc a -> Float.max acc (a.peak_bytes -. a.live_bytes))
-      0. [ a0; am; al ]
+      (fun acc (b, a) ->
+        Float.max acc (a.peak_bytes -. Float.max b.peak_bytes a.live_bytes))
+      0.
+      [ (b0, a0); (bm, am); (bl, al) ]
   in
   dst.peak_bytes <- Float.max dst.peak_bytes (dst.live_bytes +. overhang)

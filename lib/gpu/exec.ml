@@ -1004,6 +1004,24 @@ and exec_block st env (b : block) : aval list =
   let res_vars =
     List.filter_map (function Var v -> Some v | _ -> None) b.res
   in
+  (* Annotated block names of result variables bound by this block's
+     own statements.  A result variable bound by a LATER statement is
+     not yet in [env] while earlier statements execute, so its block
+     id must be resolved through the annotation name (the [EAlloc]
+     precedes any use of the block) - otherwise a last-use marker for
+     a co-resident variable would date the block's death before a
+     later in-block write (the rotated-loop pattern). *)
+  let res_blocks =
+    List.fold_left
+      (fun m (s : Ir.Ast.stm) ->
+        List.fold_left
+          (fun m (pe : Ir.Ast.pat_elem) ->
+            match pe.pmem with
+            | Some mi when List.mem pe.pv res_vars -> SM.add pe.pv mi.block m
+            | _ -> m)
+          m s.pat)
+      SM.empty b.stms
+  in
   let env =
     List.fold_left
       (fun env s ->
@@ -1029,7 +1047,16 @@ and exec_block st env (b : block) : aval list =
                   match SM.find_opt v env with
                   | Some (AArr a) -> Some a.block.bid
                   | Some (AMem blk) -> Some blk.bid
-                  | _ -> None)
+                  | _ -> (
+                      (* not bound yet: a later statement in this
+                         block binds it - resolve the annotated block
+                         name instead *)
+                      match SM.find_opt v res_blocks with
+                      | Some bname -> (
+                          match SM.find_opt bname env with
+                          | Some (AMem blk) -> Some blk.bid
+                          | _ -> None)
+                      | None -> None))
                 res_vars
             in
             List.iter
