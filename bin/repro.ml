@@ -11,6 +11,10 @@
                                 --diff compares the variants' logical
                                 event skeletons
      repro dump <bench> [-O|-R] print the (memory-annotated) IR
+     repro bench [--check]      emit the BENCH.json performance record;
+                                with --check, gate it against the
+                                committed bench/baseline.json and exit
+                                nonzero on regression
      repro prove-nw             show the Fig. 9 non-overlap proof
 *)
 
@@ -22,6 +26,7 @@ type bench = {
   table :
     ?options:Core.Shortcircuit.options ->
     ?reuse:Core.Reuse.options ->
+    ?pool:bool ->
     unit ->
     Benchsuite.Runner.outcome;
   prog : Ir.Ast.prog;
@@ -99,7 +104,7 @@ let find_bench s =
 
 (* ---- table ----------------------------------------------------- *)
 
-let pp_footprints (o : Benchsuite.Runner.outcome) =
+let pp_footprints ?(verbose = false) (o : Benchsuite.Runner.outcome) =
   List.iter
     (fun (label, u, p, r) ->
       let a (f : Benchsuite.Runner.footprint) =
@@ -115,7 +120,27 @@ let pp_footprints (o : Benchsuite.Runner.outcome) =
       Printf.printf
         "  footprint %-9s allocs %s -> %s -> %s | peak %.3g -> %.3g -> \
          %.3g B (unopt/opt/reuse)\n"
-        label (a u) (a p) (a r) (pk u) (pk p) (pk r))
+        label (a u) (a p) (a r) (pk u) (pk p) (pk r);
+      let hm (f : Benchsuite.Runner.footprint) =
+        Printf.sprintf "%d/%d" f.Benchsuite.Runner.f_pool_hits
+          f.Benchsuite.Runner.f_pool_misses
+      in
+      match (u.Benchsuite.Runner.f_pool, p.Benchsuite.Runner.f_pool,
+             r.Benchsuite.Runner.f_pool)
+      with
+      | Some pu, Some pp_, Some pr ->
+          Printf.printf "  pool      %-9s hit/miss %s -> %s -> %s\n" label
+            (hm u) (hm p) (hm r);
+          if verbose then
+            Printf.printf
+              "  pool      %-9s high-water %.3g -> %.3g -> %.3g B | \
+               fragmentation %.0f%% -> %.0f%% -> %.0f%%\n"
+              label pu.Gpu.Device.Pool.p_high_water
+              pp_.Gpu.Device.Pool.p_high_water pr.Gpu.Device.Pool.p_high_water
+              (100. *. pu.Gpu.Device.Pool.p_fragmentation)
+              (100. *. pp_.Gpu.Device.Pool.p_fragmentation)
+              (100. *. pr.Gpu.Device.Pool.p_fragmentation)
+      | _ -> ())
     o.Benchsuite.Runner.footprints
 
 let json_escape s =
@@ -148,10 +173,23 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
            o.Benchsuite.Runner.table.Benchsuite.Table.rows)
     in
     let fp (f : Benchsuite.Runner.footprint) =
+      let pool =
+        match f.Benchsuite.Runner.f_pool with
+        | Some ps ->
+            Printf.sprintf
+              ",\"pool\":{\"hits\":%d,\"misses\":%d,\"device_bytes\":%g,\"high_water_bytes\":%g,\"fragmentation\":%.4f}"
+              f.Benchsuite.Runner.f_pool_hits
+              f.Benchsuite.Runner.f_pool_misses
+              ps.Gpu.Device.Pool.p_device_bytes
+              ps.Gpu.Device.Pool.p_high_water
+              ps.Gpu.Device.Pool.p_fragmentation
+        | None -> ""
+      in
       Printf.sprintf
-        "{\"allocs\":%d,\"scratch\":%d,\"alloc_bytes\":%g,\"peak_bytes\":%g}"
+        "{\"allocs\":%d,\"scratch\":%d,\"alloc_bytes\":%g,\"peak_bytes\":%g%s}"
         f.Benchsuite.Runner.f_allocs f.Benchsuite.Runner.f_scratch
         f.Benchsuite.Runner.f_alloc_bytes f.Benchsuite.Runner.f_peak_bytes
+        pool
     in
     let fps =
       String.concat ","
@@ -164,13 +202,13 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
     in
     let rst = c.Core.Pipeline.reuse_stats in
     Printf.sprintf
-      "{\"name\":\"%s\",\"table\":%d,\"rows\":[%s],\"footprints\":[%s],\"compile_s\":{\"base\":%g,\"shortcircuit\":%g,\"reuse\":%g},\"dead_allocs\":%d,\"reuse_dead_allocs\":%d,\"reuse_stats\":{\"candidates\":%d,\"coalesced\":%d,\"size_proofs\":%d,\"chain_links\":%d,\"rotated\":%d}}"
+      "{\"name\":\"%s\",\"table\":%d,\"rows\":[%s],\"footprints\":[%s],\"compile_s\":{\"base\":%g,\"shortcircuit\":%g,\"reuse\":%g},\"dead_allocs\":%d,\"reuse_dead_allocs\":%d,\"reuse_stats\":{\"candidates\":%d,\"coalesced\":%d,\"size_proofs\":%d,\"chain_links\":%d,\"rotated\":%d,\"hoisted\":%d}}"
       (json_escape b.name) b.table_no rows fps c.Core.Pipeline.time_base
       c.Core.Pipeline.time_sc c.Core.Pipeline.time_reuse
       c.Core.Pipeline.dead_allocs c.Core.Pipeline.reuse_dead_allocs
       rst.Core.Reuse.candidates rst.Core.Reuse.coalesced
       rst.Core.Reuse.size_proofs rst.Core.Reuse.chain_links
-      rst.Core.Reuse.rotated
+      rst.Core.Reuse.rotated rst.Core.Reuse.hoisted
   in
   let date =
     let t = Unix.localtime (Unix.time ()) in
@@ -199,10 +237,10 @@ let default_bench_json_name () =
   Printf.sprintf "BENCH_%04d-%02d-%02d.json" (t.Unix.tm_year + 1900)
     (t.Unix.tm_mon + 1) t.Unix.tm_mday
 
-let run_table which options reuse bench_json out =
+let run_table which options reuse pool bench_json out =
   Symalg.Prover.reset_stats ();
   let run b =
-    let o = b.table ~options ~reuse () in
+    let o = b.table ~options ~reuse ~pool () in
     print_string (Benchsuite.Table.to_string o.Benchsuite.Runner.table);
     let st = o.Benchsuite.Runner.compiled.Core.Pipeline.stats in
     let rst = o.Benchsuite.Runner.compiled.Core.Pipeline.reuse_stats in
@@ -216,13 +254,14 @@ let run_table which options reuse bench_json out =
         st.Core.Shortcircuit.succeeded st.Core.Shortcircuit.candidates
         st.Core.Shortcircuit.rebased_vars;
       Printf.printf
-        "  memory reuse: %d chain links, %d rotated, %d/%d coalesced (%d \
-         more allocs dropped)\n"
+        "  memory reuse: %d chain links, %d rotated, %d hoisted, %d/%d \
+         coalesced (%d more allocs dropped)\n"
         rst.Core.Reuse.chain_links rst.Core.Reuse.rotated
-        rst.Core.Reuse.coalesced rst.Core.Reuse.candidates
+        rst.Core.Reuse.hoisted rst.Core.Reuse.coalesced
+        rst.Core.Reuse.candidates
         o.Benchsuite.Runner.compiled.Core.Pipeline.reuse_dead_allocs
     end;
-    pp_footprints o;
+    pp_footprints ~verbose:options.Core.Shortcircuit.verbose o;
     (match o.Benchsuite.Runner.traffic with
     | None -> ()
     | Some t ->
@@ -434,6 +473,94 @@ let run_dump which opt reuse =
       print_endline (Ir.Pretty.prog_to_string p))
     (find_bench which)
 
+(* ---- bench ------------------------------------------------------- *)
+
+(* The bench-trajectory gate: emit a fresh BENCH.json (or reuse one via
+   [--current]) and, with [--check], compare it against the committed
+   baseline.  Regressions - modeled times above tolerance, growing
+   allocation counts or peak footprints - exit nonzero; the textual
+   diff report goes to stdout and, with [--report], to a file CI can
+   upload as an artifact.  Refresh the baseline with
+   `repro bench -o bench/baseline.json`. *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error e -> Error e
+
+let run_bench options reuse pool check baseline tolerance out current report =
+  let obtain_current () =
+    match current with
+    | Some path -> read_file path
+    | None ->
+        Symalg.Prover.reset_stats ();
+        let outcomes =
+          List.map
+            (fun b ->
+              Printf.printf "bench %-14s running...\n%!" b.name;
+              (b, b.table ~options ~reuse ~pool ()))
+            benches
+        in
+        let json = bench_json_of outcomes (Symalg.Prover.stats ()) in
+        (match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc json;
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+        | None ->
+            if not check then begin
+              let path = default_bench_json_name () in
+              let oc = open_out path in
+              output_string oc json;
+              output_char oc '\n';
+              close_out oc;
+              Printf.printf "wrote %s\n" path
+            end);
+        Ok json
+  in
+  Result.bind (obtain_current ()) (fun cur_s ->
+      if not check then Ok ()
+      else
+        Result.bind
+          (Result.map_error
+             (fun e -> Printf.sprintf "baseline %s: %s" baseline e)
+             (read_file baseline))
+          (fun base_s ->
+            Result.bind
+              (Result.map_error
+                 (fun e -> "baseline parse error: " ^ e)
+                 (Benchsuite.Benchjson.parse base_s))
+              (fun base ->
+                Result.bind
+                  (Result.map_error
+                     (fun e -> "current parse error: " ^ e)
+                     (Benchsuite.Benchjson.parse cur_s))
+                  (fun cur ->
+                    let g =
+                      Benchsuite.Benchjson.gate ~tolerance ~baseline:base
+                        ~current:cur ()
+                    in
+                    let rep = Benchsuite.Benchjson.report g in
+                    print_string rep;
+                    (match report with
+                    | Some path ->
+                        let oc = open_out path in
+                        output_string oc rep;
+                        close_out oc;
+                        Printf.printf "wrote %s\n" path
+                    | None -> ());
+                    if Benchsuite.Benchjson.ok g then Ok ()
+                    else
+                      Error
+                        (Printf.sprintf "bench gate failed: %d regression(s)"
+                           (List.length g.Benchsuite.Benchjson.regressions))))))
+
 (* ---- prove-nw ---------------------------------------------------- *)
 
 let run_prove_nw () =
@@ -538,6 +665,21 @@ let reuse_term =
           })
     $ no_reuse $ options_term)
 
+(* [--no-pool] reverts the allocator model to all-miss: every top-level
+   allocation is charged [alloc_miss_cost], as before the pool existed
+   (the A/B baseline for the pool's latency effect). *)
+let pool_term =
+  let no_pool =
+    Arg.(
+      value & flag
+      & info [ "no-pool" ]
+          ~doc:
+            "Disable the size-class allocation pool: every top-level \
+             allocation is charged the full device-allocation cost \
+             (A/B baseline).")
+  in
+  Term.(const (fun no_pool -> not no_pool) $ no_pool)
+
 let table_cmd =
   let bench_json =
     Arg.(
@@ -545,8 +687,8 @@ let table_cmd =
       & info [ "bench-json" ]
           ~doc:
             "Write a machine-readable performance record (modeled times, \
-             impacts, footprints, compile times, reuse statistics, prover \
-             cache rates) after the tables.")
+             impacts, footprints, pool behaviour, compile times, reuse \
+             statistics, prover cache rates) after the tables.")
   in
   let out =
     Arg.(
@@ -559,8 +701,8 @@ let table_cmd =
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table (1-7 or name or all)")
     Term.(
-      const (fun w o r bj out -> to_exit (run_table w o r bj out))
-      $ bench_arg $ options_term $ reuse_term $ bench_json $ out)
+      const (fun w o r p bj out -> to_exit (run_table w o r p bj out))
+      $ bench_arg $ options_term $ reuse_term $ pool_term $ bench_json $ out)
 
 let validate_cmd =
   Cmd.v
@@ -632,6 +774,69 @@ let trace_cmd =
       const (fun w j d o -> to_exit (run_trace w j d o))
       $ bench_arg $ json $ diff $ out)
 
+let bench_cmd =
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Compare the performance record against $(b,--baseline) and \
+             exit nonzero on any regression (time above tolerance, \
+             growing allocation count or peak footprint).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt string "bench/baseline.json"
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Committed baseline record to gate against.")
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt float Benchsuite.Benchjson.default_tolerance
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:
+            "Relative tolerance for modeled times (default 0.05 = 5%). \
+             Footprint counters are exact and get no tolerance.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the fresh record to $(docv) (default BENCH_<date>.json \
+             when run without $(b,--check); refresh the baseline with \
+             -o bench/baseline.json).")
+  in
+  let current =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "current" ] ~docv:"FILE"
+          ~doc:
+            "Gate an existing record instead of re-running the suite \
+             (e.g. the BENCH.json a previous CI step emitted).")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the gate's diff report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Emit the machine-readable performance record and optionally gate \
+          it against a committed baseline")
+    Term.(
+      const (fun o r p c b t out cur rep ->
+          to_exit (run_bench o r p c b t out cur rep))
+      $ options_term $ reuse_term $ pool_term $ check $ baseline $ tolerance
+      $ out $ current $ report)
+
 let prove_cmd =
   Cmd.v (Cmd.info "prove-nw" ~doc:"Discharge the Fig. 9 proof obligation")
     Term.(const (fun () -> to_exit (run_prove_nw ())) $ const ())
@@ -641,4 +846,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "repro" ~doc)
-          [ table_cmd; validate_cmd; lint_cmd; trace_cmd; dump_cmd; prove_cmd ]))
+          [
+            table_cmd; validate_cmd; lint_cmd; trace_cmd; dump_cmd; bench_cmd;
+            prove_cmd;
+          ]))

@@ -1,0 +1,334 @@
+(* Minimal JSON parsing and the bench-trajectory gate.
+
+   The repo deliberately carries no JSON dependency (the emitters in
+   bin/repro.ml and lib/core/trace.ml are hand-rolled prints), so the
+   gate's reader side is hand-rolled too: a small recursive-descent
+   parser covering exactly the JSON the suite emits - objects, arrays,
+   strings with backslash escapes, numbers, booleans, null.
+
+   The gate compares a freshly emitted BENCH.json against a committed
+   baseline (bench/baseline.json):
+
+   - per (benchmark, device, dataset) row, each modeled time
+     (unopt/opt/reuse) may not exceed the baseline by more than the
+     relative tolerance - times are simulated, so drift only comes
+     from code changes, and the tolerance only absorbs intentional
+     cost-model adjustments;
+   - per (benchmark, dataset, variant) footprint, the allocation count
+     and peak live bytes must be monotone non-increasing - these are
+     exact counters, so any increase is a regression by definition;
+   - a benchmark present in the baseline must stay present.
+
+   Improvements beyond tolerance and new benchmarks are reported as
+   notes (a prompt to refresh the baseline), never as failures. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---------------------------------------------------------------- *)
+(* Parser                                                            *)
+(* ---------------------------------------------------------------- *)
+
+exception Bad of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Bad (Printf.sprintf "%s at offset %d" m !pos))) fmt
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail "expected %c" c
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'u' ->
+              (* the suite never emits \u escapes; accept and drop *)
+              advance ();
+              for _ = 1 to 4 do
+                if !pos < n then advance ()
+              done;
+              Buffer.add_char buf '?';
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number"
+    else
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elems []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then Error (Printf.sprintf "trailing input at offset %d" !pos)
+    else Ok v
+  with Bad m -> Error m
+
+(* ---------------------------------------------------------------- *)
+(* Accessors                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let arr = function Arr l -> Some l | _ -> None
+let num = function Num f -> Some f | _ -> None
+let str = function Str s -> Some s | _ -> None
+
+let num_at path v =
+  let rec go v = function
+    | [] -> num v
+    | k :: rest -> Option.bind (member k v) (fun v -> go v rest)
+  in
+  go v path
+
+(* ---------------------------------------------------------------- *)
+(* The gate                                                          *)
+(* ---------------------------------------------------------------- *)
+
+type gate = {
+  regressions : string list; (* hard failures: exit nonzero *)
+  notes : string list; (* informational: improvements, new benchmarks *)
+  checked : int; (* individual comparisons performed *)
+}
+
+let default_tolerance = 0.05
+
+let benchmarks_of v =
+  match Option.bind (member "benchmarks" v) arr with
+  | Some l -> l
+  | None -> []
+
+let name_of b = Option.value ~default:"?" (Option.bind (member "name" b) str)
+
+(* time fields per row, footprint fields per variant *)
+let row_times = [ "unopt_ms"; "opt_ms"; "reuse_ms" ]
+let fp_variants = [ "unopt"; "opt"; "reuse" ]
+let fp_monotone = [ "allocs"; "peak_bytes" ]
+
+let gate ?(tolerance = default_tolerance) ~(baseline : t) ~(current : t) () :
+    gate =
+  let regressions = ref [] in
+  let notes = ref [] in
+  let checked = ref 0 in
+  let reg fmt = Printf.ksprintf (fun m -> regressions := m :: !regressions) fmt in
+  let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+  let base_b = benchmarks_of baseline and cur_b = benchmarks_of current in
+  let find name l = List.find_opt (fun b -> name_of b = name) l in
+  List.iter
+    (fun bb ->
+      let bname = name_of bb in
+      match find bname cur_b with
+      | None -> reg "%s: benchmark present in baseline but missing from current run" bname
+      | Some cb ->
+          (* rows: modeled times within tolerance *)
+          let rows v =
+            Option.value ~default:[] (Option.bind (member "rows" v) arr)
+          in
+          let row_key r =
+            ( Option.value ~default:"?" (Option.bind (member "device" r) str),
+              Option.value ~default:"?" (Option.bind (member "dataset" r) str) )
+          in
+          List.iter
+            (fun br ->
+              let dev, ds = row_key br in
+              match
+                List.find_opt (fun cr -> row_key cr = (dev, ds)) (rows cb)
+              with
+              | None ->
+                  reg "%s [%s/%s]: row missing from current run" bname dev ds
+              | Some cr ->
+                  List.iter
+                    (fun field ->
+                      match (num_at [ field ] br, num_at [ field ] cr) with
+                      | Some b, Some c when b > 0. ->
+                          incr checked;
+                          let rel = (c -. b) /. b in
+                          if rel > tolerance then
+                            reg
+                              "%s [%s/%s]: %s %.4g -> %.4g ms (%+.1f%%, \
+                               tolerance %.1f%%)"
+                              bname dev ds field b c (100. *. rel)
+                              (100. *. tolerance)
+                          else if rel < -.tolerance then
+                            note
+                              "%s [%s/%s]: %s improved %.4g -> %.4g ms \
+                               (%+.1f%%) - consider refreshing the baseline"
+                              bname dev ds field b c (100. *. rel)
+                      | _ -> ())
+                    row_times)
+            (rows bb);
+          (* footprints: allocs and peak monotone non-increasing *)
+          let fps v =
+            Option.value ~default:[] (Option.bind (member "footprints" v) arr)
+          in
+          let ds_of f =
+            Option.value ~default:"?" (Option.bind (member "dataset" f) str)
+          in
+          List.iter
+            (fun bf ->
+              let ds = ds_of bf in
+              match List.find_opt (fun cf -> ds_of cf = ds) (fps cb) with
+              | None ->
+                  reg "%s [%s]: footprint missing from current run" bname ds
+              | Some cf ->
+                  List.iter
+                    (fun variant ->
+                      List.iter
+                        (fun field ->
+                          match
+                            ( num_at [ variant; field ] bf,
+                              num_at [ variant; field ] cf )
+                          with
+                          | Some b, Some c ->
+                              incr checked;
+                              if c > b then
+                                reg "%s [%s] %s: %s grew %g -> %g" bname ds
+                                  variant field b c
+                              else if c < b then
+                                note
+                                  "%s [%s] %s: %s shrank %g -> %g - consider \
+                                   refreshing the baseline"
+                                  bname ds variant field b c
+                          | _ -> ())
+                        fp_monotone)
+                    fp_variants)
+            (fps bb))
+    base_b;
+  List.iter
+    (fun cb ->
+      let cname = name_of cb in
+      if find cname base_b = None then
+        note "%s: new benchmark not in baseline - refresh to start gating it"
+          cname)
+    cur_b;
+  {
+    regressions = List.rev !regressions;
+    notes = List.rev !notes;
+    checked = !checked;
+  }
+
+let report (g : gate) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "bench gate: %d comparisons, %d regression(s), %d note(s)\n"
+       g.checked
+       (List.length g.regressions)
+       (List.length g.notes));
+  List.iter
+    (fun r -> Buffer.add_string buf (Printf.sprintf "REGRESSION %s\n" r))
+    g.regressions;
+  List.iter (fun m -> Buffer.add_string buf (Printf.sprintf "note %s\n" m)) g.notes;
+  Buffer.contents buf
+
+let ok (g : gate) = g.regressions = []

@@ -56,14 +56,23 @@ type footprint = {
   f_scratch : int; (* in-kernel (thread-private) allocations *)
   f_alloc_bytes : float;
   f_peak_bytes : float;
+  f_pool_hits : int; (* allocations served from the pool's free lists *)
+  f_pool_misses : int; (* allocations falling through to the device *)
+  f_pool : Device.Pool.stats option;
+      (* high-water/fragmentation summary; [None] when the run was made
+         with the pool disabled *)
 }
 
-let footprint_of (c : Device.counters) : footprint =
+let footprint_of (r : Exec.report) : footprint =
+  let c = r.Exec.counters in
   {
     f_allocs = c.Device.allocs;
     f_scratch = c.Device.scratch_allocs;
     f_alloc_bytes = c.Device.alloc_bytes +. c.Device.scratch_bytes;
     f_peak_bytes = c.Device.peak_bytes;
+    f_pool_hits = c.Device.pool_hits;
+    f_pool_misses = c.Device.pool_misses;
+    f_pool = r.Exec.pool;
   }
 
 type outcome = {
@@ -96,8 +105,8 @@ let traffic_comparison (compiled : Core.Pipeline.compiled)
     check = Core.Memtrace.check t;
   }
 
-let run_table ?options ?reuse ?trace_args ~title ~runs ~(prog : Ir.Ast.prog)
-    ~(datasets : dataset list)
+let run_table ?options ?reuse ?(pool = true) ?trace_args ~title ~runs
+    ~(prog : Ir.Ast.prog) ~(datasets : dataset list)
     ~(paper : (string * string * (float * float * float * float)) list) () :
     outcome =
   let compiled = Core.Pipeline.compile ?options ?reuse prog in
@@ -107,45 +116,44 @@ let run_table ?options ?reuse ?trace_args ~title ~runs ~(prog : Ir.Ast.prog)
     List.map
       (fun ds ->
         let r_unopt =
-          Exec.run ~mode:Exec.Cost_only compiled.Core.Pipeline.unopt ds.args
+          Exec.run ~mode:Exec.Cost_only ~pool compiled.Core.Pipeline.unopt
+            ds.args
         in
         let r_opt =
-          Exec.run ~mode:Exec.Cost_only compiled.Core.Pipeline.opt ds.args
+          Exec.run ~mode:Exec.Cost_only ~pool compiled.Core.Pipeline.opt
+            ds.args
         in
         let r_reuse =
-          Exec.run ~mode:Exec.Cost_only compiled.Core.Pipeline.reuse ds.args
+          Exec.run ~mode:Exec.Cost_only ~pool compiled.Core.Pipeline.reuse
+            ds.args
         in
         let ref_c =
           match ds.ref_counters with
           | Static c -> c
           | From_opt f -> f r_opt.Exec.counters
         in
-        ( ds,
-          ref_c,
-          r_unopt.Exec.counters,
-          r_opt.Exec.counters,
-          r_reuse.Exec.counters ))
+        (ds, ref_c, r_unopt, r_opt, r_reuse))
       datasets
   in
   let rows =
     List.concat_map
       (fun device ->
         List.map
-          (fun (ds, ref_c, unopt_c, opt_c, reuse_c) ->
+          (fun (ds, ref_c, r_unopt, r_opt, r_reuse) ->
             Table.make_row ~device:device.Device.name ~dataset:ds.label
               ~ref_time:(Device.time device ref_c)
-              ~unopt_time:(Device.time device unopt_c)
-              ~opt_time:(Device.time device opt_c)
-              ~reuse_time:(Device.time device reuse_c)
+              ~unopt_time:(Device.time device r_unopt.Exec.counters)
+              ~opt_time:(Device.time device r_opt.Exec.counters)
+              ~reuse_time:(Device.time device r_reuse.Exec.counters)
               ~paper:(Hashtbl.find_opt paper (device.Device.name, ds.label)))
           measured)
       devices
   in
   let footprints =
     List.map
-      (fun (ds, _, unopt_c, opt_c, reuse_c) ->
-        (ds.label, footprint_of unopt_c, footprint_of opt_c,
-         footprint_of reuse_c))
+      (fun (ds, _, r_unopt, r_opt, r_reuse) ->
+        (ds.label, footprint_of r_unopt, footprint_of r_opt,
+         footprint_of r_reuse))
       measured
   in
   let traffic = Option.map (traffic_comparison compiled) trace_args in

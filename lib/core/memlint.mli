@@ -9,8 +9,8 @@
       LMAD footprint provably fits in [\[0, size)] of that block.
       Catches dropped or mis-hoisted allocations.
     - [footprint] - the reference set of an index function stays
-      inside its block; discharged with the same {!Symalg.Prover} the
-      optimizer uses, under the program's size context.
+      inside its block; discharged with the same {!module:Symalg.Prover}
+      the optimizer uses, under the program's size context.
     - [layout] - a change-of-layout operation (transpose, reshape,
       slice, reverse) produces an array in its operand's block, with
       the correspondingly transformed index function.  Layout ops are
@@ -28,7 +28,7 @@
       pairwise disjoint across threads (the section V-B obligation);
       LUD's interior-block races exercise the prover's
       triangular-bound saturation here.
-    - [reuse] - the {!Reuse} pass's contract: two arrays bound at the
+    - [reuse] - the {!module:Reuse} pass's contract: two arrays bound at the
       same lexical level into one block must not have overlapping live
       ranges, unless they alias each other, the data demonstrably
       flows between them through the block (a statement reading one
@@ -42,8 +42,9 @@
     decide.  A correct program never errors; the seven benchmark
     programs lint clean at every pipeline stage.
 
-    Memlint is the static half of the verification stack; {!Memtrace}
-    replays executions against the same annotations dynamically.  The
+    Memlint is the static half of the verification stack;
+    {!module:Memtrace} replays executions against the same annotations
+    dynamically.  The
     narrative documentation, with a worked NW example, lives in
     [docs/VERIFICATION.md]. *)
 
@@ -87,4 +88,4 @@ val warnings : report -> violation list
 val pp_violation : Format.formatter -> violation -> unit
 
 val pp_report : Format.formatter -> report -> unit
-(** Shared {!Report}-style section, surfaced by [repro lint]. *)
+(** Shared {!module:Report}-style section, surfaced by [repro lint]. *)

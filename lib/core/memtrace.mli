@@ -1,10 +1,11 @@
 (** Memtrace: dynamic cross-checking of execution traces against the
     static memory annotations.
 
-    {!Memlint} is the static half of the verification stack: it checks,
-    between pipeline passes, that the LMAD annotations are internally
-    consistent and that the optimizer's rewrites preserved them.
-    Memtrace is the dynamic half: it replays a {!Trace.t} collected by
+    {!module:Memlint} is the static half of the verification stack: it
+    checks, between pipeline passes, that the LMAD annotations are
+    internally consistent and that the optimizer's rewrites preserved
+    them.  Memtrace is the dynamic half: it replays a {!type:Trace.t}
+    collected by
     [Gpu.Exec.run ~trace:true] and confirms the {e execution} stayed
     inside the static claims.  Together they close the loop - a bug in
     the executor (or an unsound rewrite that memlint's prover happened
@@ -58,7 +59,7 @@ type report = {
 
 val check : Trace.t -> report
 (** Replay the trace and run all three check families.  On a
-    non-{!Trace.exact} trace the footprint and kernel-read last-use
+    non-{!val:Trace.exact} trace the footprint and kernel-read last-use
     checks are vacuous (no offsets were recorded); copy-level checks
     still run. *)
 

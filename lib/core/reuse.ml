@@ -64,13 +64,26 @@ type options = {
   coalesce : bool; (* same-scope coalescing (strategy 3) *)
   chains : bool; (* dead existential chain removal (strategy 1) *)
   rotation : bool; (* double-buffer rotation (strategy 2) *)
+  cross_scope : bool; (* alloc hoisting out of loop bodies (strategy 4) *)
 }
 
 let default_options =
-  { verbose = false; coalesce = true; chains = true; rotation = true }
+  {
+    verbose = false;
+    coalesce = true;
+    chains = true;
+    rotation = true;
+    cross_scope = true;
+  }
 
 let disabled =
-  { verbose = false; coalesce = false; chains = false; rotation = false }
+  {
+    verbose = false;
+    coalesce = false;
+    chains = false;
+    rotation = false;
+    cross_scope = false;
+  }
 
 type stats = {
   mutable candidates : int; (* (earlier, later) alloc pairs examined *)
@@ -78,10 +91,18 @@ type stats = {
   mutable size_proofs : int; (* prover obligations discharged *)
   mutable chain_links : int; (* dead existential mem positions removed *)
   mutable rotated : int; (* loops rewritten to double-buffering *)
+  mutable hoisted : int; (* allocations lifted out of loop bodies *)
 }
 
 let fresh_stats () =
-  { candidates = 0; coalesced = 0; size_proofs = 0; chain_links = 0; rotated = 0 }
+  {
+    candidates = 0;
+    coalesced = 0;
+    size_proofs = 0;
+    chain_links = 0;
+    rotated = 0;
+    hoisted = 0;
+  }
 
 let pp_stats ppf (s : stats) =
   Report.section ~title:"memory reuse" ppf
@@ -91,6 +112,7 @@ let pp_stats ppf (s : stats) =
       ("size-domination proofs", string_of_int s.size_proofs);
       ("dead chain links removed", string_of_int s.chain_links);
       ("loops double-buffered", string_of_int s.rotated);
+      ("allocations hoisted across scopes", string_of_int s.hoisted);
     ]
 
 let trace opts fmt =
@@ -750,6 +772,151 @@ let coalesce_block (st : stats) opts ctx scalars mems (b : block) : unit =
     allocs
 
 (* ---------------------------------------------------------------- *)
+(* Strategy 4: cross-scope hoisting                                  *)
+(* ---------------------------------------------------------------- *)
+
+(* A sequential loop body that allocates a fresh temporary every
+   iteration pays [trip] allocations for contents that never survive
+   the iteration.  When the block is (a) not structurally load-bearing
+   in the body (no expression-position occurrence: not loop-carried,
+   not an existential result) and (b) not the home of any array the
+   body returns, every iteration's instance is dead by the iteration's
+   end, so a single allocation hoisted in front of the loop serves all
+   of them.  The hoisted block then lives in the parent scope, where
+   strategy 3 may coalesce it with temporaries hoisted from *sibling*
+   loops whose statement-level live intervals are disjoint - the
+   cross-scope sharing this pass exists to enable.  (Allocations are
+   never hoisted out of a mapnest: an in-kernel allocation is
+   per-thread scratch, and all threads' instances are live at once.)
+
+   The hoisted size must dominate every iteration's request:
+   - a loop-invariant size (no body-bound variables left after
+     resolving body-local scalar definitions) hoists as-is;
+   - a size depending only on the loop variable [v] hoists as
+     [sz[v:=0]], provided the prover shows [sz[v:=0] >= sz] for all
+     [v] in [0, bound) (the shrinking-interior pattern); the
+     obligation counts as a size-domination proof. *)
+
+let hoist_allocs (st : stats) opts (p0 : prog) : prog =
+  let note_mems m (pes : pat_elem list) =
+    List.fold_left
+      (fun m pe ->
+        match pe.pmem with
+        | Some mi -> SM.add pe.pv mi.block m
+        | None -> m)
+      m pes
+  in
+  let rec go_stm ctx scalars (s : stm) : stm list =
+    match s.exp with
+    | EMap { nest; body } ->
+        let ctx' =
+          List.fold_left
+            (fun c (v, n) ->
+              Pr.add_range c v ~lo:P.zero
+                ~hi:(P.sub (resolve scalars n) P.one) ())
+            ctx nest
+        in
+        [ { s with exp = EMap { nest; body = go_block ctx' scalars body } } ]
+    | ELoop ({ var; bound; body; params } as lp) ->
+        let ctx' =
+          Pr.add_range ctx var ~lo:P.zero
+            ~hi:(P.sub (resolve scalars bound) P.one) ()
+        in
+        let body = go_block ctx' scalars body in
+        let bscalars =
+          List.fold_left
+            (fun sc bs ->
+              match scalar_def bs with
+              | Some (v, pl) -> P.SM.add v pl sc
+              | None -> sc)
+            scalars body.stms
+        in
+        let bound_names =
+          List.fold_left
+            (fun acc (bs : stm) ->
+              List.fold_left (fun acc pe -> SS.add pe.pv acc) acc bs.pat)
+            (List.fold_left
+               (fun acc (pe, _) -> SS.add pe.pv acc)
+               (SS.singleton var) params)
+            body.stms
+        in
+        let hard = exp_vars_block body SS.empty in
+        let mems_body =
+          List.fold_left
+            (fun m (bs : stm) ->
+              let m = note_mems m bs.pat in
+              match bs.exp with
+              | ELoop { params = ps; _ } -> note_mems m (List.map fst ps)
+              | _ -> m)
+            (note_mems SM.empty (List.map fst params))
+            (all_stms_block body)
+        in
+        let escape = res_refs mems_body body in
+        (* hoisted size, when the block is eligible *)
+        let hoist_size pe sz =
+          if SS.mem pe.pv hard || SS.mem pe.pv escape then None
+          else
+            let szr = resolve bscalars sz in
+            let inner = SS.inter (SS.of_list (P.vars szr)) bound_names in
+            if SS.is_empty inner then Some szr
+            else if SS.equal inner (SS.singleton var) then begin
+              let sz0 = P.subst var P.zero szr in
+              if Pr.prove_ge ctx' sz0 szr then begin
+                st.size_proofs <- st.size_proofs + 1;
+                Some sz0
+              end
+              else None
+            end
+            else None
+        in
+        let lifted = ref [] in
+        let stms' =
+          List.filter
+            (fun (bs : stm) ->
+              match (bs.pat, bs.exp) with
+              | [ pe ], EAlloc sz when pe.pt = TMem -> (
+                  match hoist_size pe sz with
+                  | Some sz' ->
+                      lifted := stm [ pe ] (EAlloc sz') :: !lifted;
+                      st.hoisted <- st.hoisted + 1;
+                      trace opts "reuse: hoisted alloc %s out of loop %s"
+                        pe.pv
+                        (match s.pat with q :: _ -> q.pv | [] -> "?");
+                      false
+                  | None -> true)
+              | _ -> true)
+            body.stms
+        in
+        List.rev !lifted
+        @ [ { s with exp = ELoop { lp with body = { body with stms = stms' } } } ]
+    | EIf ({ tb; fb; _ } as i) ->
+        [
+          {
+            s with
+            exp =
+              EIf
+                {
+                  i with
+                  tb = go_block ctx scalars tb;
+                  fb = go_block ctx scalars fb;
+                };
+          };
+        ]
+    | _ -> [ s ]
+  and go_block ctx scalars (b : block) : block =
+    let scalars =
+      List.fold_left
+        (fun sc s ->
+          match scalar_def s with
+          | Some (v, pl) -> P.SM.add v pl sc
+          | None -> sc)
+        scalars b.stms
+    in
+    { b with stms = List.concat_map (go_stm ctx scalars) b.stms }
+  in
+  { p0 with body = go_block p0.ctx P.SM.empty p0.body }
+
+(* ---------------------------------------------------------------- *)
 (* Driver                                                            *)
 (* ---------------------------------------------------------------- *)
 
@@ -857,6 +1024,7 @@ let rec walk st opts ctx scalars allocs mems (b : block) : block =
 let optimize ?(options = default_options) (p : prog) : prog * stats =
   let st = fresh_stats () in
   let p = if options.chains then remove_dead_chains st options p else p in
+  let p = if options.cross_scope then hoist_allocs st options p else p in
   let mems0 =
     List.fold_left
       (fun m pe ->

@@ -2,13 +2,13 @@
     interfere.
 
     Runs after short-circuiting + cleanup as the pipeline's third
-    variant ([Pipeline.compile] exposes it as [reuse]).  Three
+    variant ({!val:Pipeline.compile} exposes it as [reuse]).  Four
     strategies:
 
     - {e dead existential chains} - [mem, array] loop groups whose
       memory component no annotation references (every array was
       rebased into an enclosing block by short-circuiting) are removed
-      group-wise, orphaning their [EAlloc] for {!Cleanup};
+      group-wise, orphaning their [EAlloc] for {!module:Cleanup};
     - {e double-buffer rotation} - a loop allocating a fresh block per
       iteration and carrying it forward is rewritten to rotate two
       physical buffers (one hoisted spare), dropping the per-iteration
@@ -17,24 +17,32 @@
     - {e same-scope coalescing} - within a lexical block, a later
       allocation rebinds into an earlier one that is provably dead
       (live ranges ordered by statement index) and provably large
-      enough ({!Symalg.Prover.prove_ge} on the sizes, or per-annotation
-      {!Lmads.Lmad.bounds} footprint fitting).
+      enough ({!val:Symalg.Prover.prove_ge} on the sizes, or
+      per-annotation {!val:Lmads.Lmad.bounds} footprint fitting);
+    - {e cross-scope hoisting} - a per-iteration temporary of a
+      sequential loop whose contents provably die within the iteration
+      (no expression-position occurrence, no array of the block in the
+      body's results) is allocated once in front of the loop instead,
+      with a loop-variable-dependent size generalized to its iteration
+      maximum by a prover obligation; hoisted blocks of sibling loops
+      then coalesce under the same-scope rule.
 
     Liveness comes from the same reference/alias machinery as the
     last-use analysis: a block is live from its allocation to the last
     statement whose free variables include it or any array annotated
-    into it.  {!Memlint}'s [reuse] rule independently rejects
-    coalescings whose live ranges overlap; {!Memtrace} replays traced
-    executions of the reused program.
+    into it.  {!module:Memlint}'s [reuse] rule independently rejects
+    coalescings whose live ranges overlap; {!module:Memtrace} replays
+    traced executions of the reused program.
 
     The pass mutates its input program (annotations are mutable);
-    {!Pipeline.compile} hands it a private clone. *)
+    {!val:Pipeline.compile} hands it a private clone. *)
 
 type options = {
   verbose : bool;
   coalesce : bool;  (** same-scope coalescing *)
   chains : bool;  (** dead existential chain removal *)
   rotation : bool;  (** double-buffer rotation *)
+  cross_scope : bool;  (** alloc hoisting out of loop bodies *)
 }
 
 val default_options : options
@@ -49,6 +57,7 @@ type stats = {
   mutable size_proofs : int;  (** prover obligations discharged *)
   mutable chain_links : int;  (** dead existential mem positions removed *)
   mutable rotated : int;  (** loops rewritten to double-buffering *)
+  mutable hoisted : int;  (** allocations lifted out of loop bodies *)
 }
 
 val fresh_stats : unit -> stats
@@ -56,5 +65,6 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val optimize : ?options:options -> Ir.Ast.prog -> Ir.Ast.prog * stats
 (** Apply the reuse strategies.  Mutates (and returns) the given
-    program; re-run {!Lastuse.annotate} and {!Cleanup.run} afterwards
-    to refresh liveness markers and collect orphaned allocations. *)
+    program; re-run {!val:Lastuse.annotate} and {!val:Cleanup.run}
+    afterwards to refresh liveness markers and collect orphaned
+    allocations. *)

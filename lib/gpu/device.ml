@@ -15,10 +15,16 @@ type t = {
   flop_throughput : float; (* scalar-op units/second the model charges *)
   kernel_overhead : float; (* seconds per kernel launch *)
   copy_overhead : float; (* seconds per copy-engine operation *)
-  alloc_overhead : float; (* seconds per allocation (pooled) *)
+  alloc_miss_cost : float; (* seconds per fresh device allocation *)
+  alloc_hit_cost : float; (* seconds per pool-served allocation *)
+  free_sync_cost : float; (* seconds per device free (implicit sync) *)
 }
 
-(* NVIDIA A100 (SXM, 80 GB): 1555 GB/s HBM2e. *)
+(* NVIDIA A100 (SXM, 80 GB): 1555 GB/s HBM2e.  A fresh cudaMalloc is
+   tens of microseconds (driver round-trip + VA mapping); a pool hit is
+   a free-list pop.  cudaFree implicitly synchronizes the device, which
+   is the reason caching allocators exist: a pooled free is a list push
+   that costs nothing, an unpooled free pays [free_sync_cost]. *)
 let a100 =
   {
     name = "A100";
@@ -27,7 +33,9 @@ let a100 =
     flop_throughput = 6.0e12;
     kernel_overhead = 7.0e-6;
     copy_overhead = 1.2e-6;
-    alloc_overhead = 1.0e-6;
+    alloc_miss_cost = 10.0e-6;
+    alloc_hit_cost = 0.5e-6;
+    free_sync_cost = 10.0e-6;
   }
 
 (* AMD MI100: 1228.8 GB/s HBM2. *)
@@ -39,8 +47,155 @@ let mi100 =
     flop_throughput = 4.6e12;
     kernel_overhead = 10.0e-6;
     copy_overhead = 2.2e-6;
-    alloc_overhead = 1.5e-6;
+    alloc_miss_cost = 15.0e-6;
+    alloc_hit_cost = 0.8e-6;
+    free_sync_cost = 15.0e-6;
   }
+
+(* ---------------------------------------------------------------- *)
+(* Pooled allocator                                                  *)
+(* ---------------------------------------------------------------- *)
+
+(* A size-class free-list pool standing between the executor and the
+   (simulated) device allocator, the mechanism that turns the reuse
+   pass's alloc-count reductions into latency: a request is served from
+   the free list of its power-of-two size class when possible (a *hit*,
+   charged [alloc_hit_cost]) and falls through to a fresh device
+   allocation otherwise (a *miss*, charged [alloc_miss_cost]).  Freed
+   blocks keep their exact byte size on the free list, so a same-size
+   request takes the exact-fit fast path; a differently-sized request
+   in the same class reuses any free block large enough to hold it.
+   The pool never returns memory to the device, mirroring the caching
+   allocators of real array-language runtimes. *)
+module Pool = struct
+  type c = {
+    classes : (int, float list ref) Hashtbl.t;
+        (* class exponent -> free block sizes (bytes, newest first) *)
+    mutable device_bytes : float; (* total fresh device memory obtained *)
+    mutable in_use : float; (* bytes currently handed out *)
+    mutable high_water : float; (* max [in_use] ever observed *)
+  }
+
+  type nonrec t = c
+
+  type snapshot = {
+    s_classes : (int * float list) list;
+    s_device_bytes : float;
+    s_in_use : float;
+    s_high_water : float;
+  }
+
+  type stats = {
+    p_device_bytes : float;
+    p_high_water : float;
+    p_fragmentation : float;
+        (* fraction of pool-owned device memory idle even at the
+           high-water mark: (device - high) / device *)
+  }
+
+  let create () =
+    {
+      classes = Hashtbl.create 16;
+      device_bytes = 0.;
+      in_use = 0.;
+      high_water = 0.;
+    }
+
+  (* Smallest exponent [c] with 2^c >= bytes. *)
+  let class_of bytes =
+    let c = ref 0 and cap = ref 1. in
+    while !cap < bytes do
+      incr c;
+      cap := !cap *. 2.
+    done;
+    !c
+
+  let freelist t c =
+    match Hashtbl.find_opt t.classes c with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace t.classes c l;
+        l
+
+  let note_use t bytes =
+    t.in_use <- t.in_use +. bytes;
+    if t.in_use > t.high_water then t.high_water <- t.in_use
+
+  (* Remove the first list element satisfying [p]; None when absent. *)
+  let take p l =
+    let rec go acc = function
+      | [] -> None
+      | x :: rest when p x -> Some (x, List.rev_append acc rest)
+      | x :: rest -> go (x :: acc) rest
+    in
+    go [] l
+
+  (* Serve [bytes]: [`Hit served] pops a free block ([served] is its
+     device size, >= bytes); [`Miss] obtains fresh device memory of
+     exactly [bytes]. *)
+  let alloc t bytes : [ `Hit of float | `Miss ] =
+    let l = freelist t (class_of bytes) in
+    let found =
+      match take (fun s -> s = bytes) !l with
+      | Some _ as r -> r (* exact-fit fast path *)
+      | None -> take (fun s -> s >= bytes) !l
+    in
+    match found with
+    | Some (served, rest) ->
+        l := rest;
+        note_use t served;
+        `Hit served
+    | None ->
+        t.device_bytes <- t.device_bytes +. bytes;
+        note_use t bytes;
+        `Miss
+
+  (* Return a block of device size [bytes] to its class free list. *)
+  let free t bytes =
+    let l = freelist t (class_of bytes) in
+    l := bytes :: !l;
+    t.in_use <- t.in_use -. bytes
+
+  (* Undo a premature free: the block's contents turned out to still be
+     needed (a later occupant of a coalesced block writes into it).  If
+     its capacity is still on the free list it is simply reclaimed;
+     if the pool already re-served it, fresh device memory stands in. *)
+  let revive t bytes =
+    let l = freelist t (class_of bytes) in
+    (match take (fun s -> s = bytes) !l with
+    | Some (_, rest) -> l := rest
+    | None -> t.device_bytes <- t.device_bytes +. bytes);
+    note_use t bytes
+
+  let snapshot t : snapshot =
+    {
+      s_classes = Hashtbl.fold (fun c l acc -> (c, !l) :: acc) t.classes [];
+      s_device_bytes = t.device_bytes;
+      s_in_use = t.in_use;
+      s_high_water = t.high_water;
+    }
+
+  let restore t (s : snapshot) =
+    Hashtbl.reset t.classes;
+    List.iter (fun (c, l) -> Hashtbl.replace t.classes c (ref l)) s.s_classes;
+    t.device_bytes <- s.s_device_bytes;
+    t.in_use <- s.s_in_use;
+    t.high_water <- s.s_high_water
+
+  let stats t : stats =
+    {
+      p_device_bytes = t.device_bytes;
+      p_high_water = t.high_water;
+      p_fragmentation =
+        (if t.device_bytes <= 0. then 0.
+         else (t.device_bytes -. t.high_water) /. t.device_bytes);
+    }
+
+  let pp_stats ppf (s : stats) =
+    Fmt.pf ppf "pool: %.3g B device, %.3g B high-water, %.1f%% fragmentation"
+      s.p_device_bytes s.p_high_water (100. *. s.p_fragmentation)
+end
 
 (* Event counters accumulated by the executor. *)
 type counters = {
@@ -56,6 +211,9 @@ type counters = {
   mutable alloc_bytes : float;
   mutable scratch_allocs : int; (* per-thread allocations inside kernels *)
   mutable scratch_bytes : float; (* bytes those scratch allocations cover *)
+  mutable pool_hits : int; (* allocations served from the pool *)
+  mutable pool_misses : int; (* allocations falling through to the device *)
+  mutable frees : int; (* device frees (pool disabled: each one syncs) *)
   mutable peak_bytes : float;
   mutable live_bytes : float;
 }
@@ -74,6 +232,9 @@ let fresh_counters () =
     alloc_bytes = 0.;
     scratch_allocs = 0;
     scratch_bytes = 0.;
+    pool_hits = 0;
+    pool_misses = 0;
+    frees = 0;
     peak_bytes = 0.;
     live_bytes = 0.;
   }
@@ -98,17 +259,28 @@ let time (d : t) (c : counters) : float =
   let copies = (2.0 *. c.copy_bytes /. d.copy_bandwidth)
                +. (float_of_int c.copies *. d.copy_overhead) in
   let launches = float_of_int c.kernels *. d.kernel_overhead in
-  let allocs = float_of_int c.allocs *. d.alloc_overhead in
-  kernel +. copies +. launches +. allocs
+  (* Pool hits pay the (cheap) hit cost, misses the full device-side
+     cost; allocations made with the pool disabled (hits = misses = 0)
+     all go to the device and pay the miss cost. *)
+  let unpooled = c.allocs - c.pool_hits - c.pool_misses in
+  let allocs =
+    (float_of_int (c.pool_misses + unpooled) *. d.alloc_miss_cost)
+    +. (float_of_int c.pool_hits *. d.alloc_hit_cost)
+  in
+  (* Only pool-less runs accumulate [frees]: a pooled free is a free
+     list push, an unpooled one is a synchronizing device call. *)
+  let frees = float_of_int c.frees *. d.free_sync_cost in
+  kernel +. copies +. launches +. allocs +. frees
 
 let pp_counters ppf c =
   Fmt.pf ppf
     "@[<v>kernels: %d (%.3g B read, %.3g B written, %.3g flops)@,\
      copies: %d (%.3g B); elided: %d (%.3g B)@,\
-     allocs: %d (%.3g B) + %d scratch (%.3g B); peak %.3g B@]"
+     allocs: %d (%.3g B) + %d scratch (%.3g B); pool %d hit / %d miss; \
+     %d device frees; peak %.3g B@]"
     c.kernels c.kernel_reads c.kernel_writes c.flops c.copies c.copy_bytes
     c.copies_elided c.elided_bytes c.allocs c.alloc_bytes c.scratch_allocs
-    c.scratch_bytes c.peak_bytes
+    c.scratch_bytes c.pool_hits c.pool_misses c.frees c.peak_bytes
 
 (* Counter snapshots for sampled cost estimation. *)
 let clone (c : counters) : counters =
@@ -125,6 +297,9 @@ let clone (c : counters) : counters =
     alloc_bytes = c.alloc_bytes;
     scratch_allocs = c.scratch_allocs;
     scratch_bytes = c.scratch_bytes;
+    pool_hits = c.pool_hits;
+    pool_misses = c.pool_misses;
+    frees = c.frees;
     peak_bytes = c.peak_bytes;
     live_bytes = c.live_bytes;
   }
@@ -142,6 +317,9 @@ let assign (dst : counters) (src : counters) : unit =
   dst.alloc_bytes <- src.alloc_bytes;
   dst.scratch_allocs <- src.scratch_allocs;
   dst.scratch_bytes <- src.scratch_bytes;
+  dst.pool_hits <- src.pool_hits;
+  dst.pool_misses <- src.pool_misses;
+  dst.frees <- src.frees;
   dst.peak_bytes <- src.peak_bytes;
   dst.live_bytes <- src.live_bytes
 
@@ -172,6 +350,9 @@ let add_simpson (dst : counters)
   dst.alloc_bytes <- dst.alloc_bytes +. wflt (fun c -> c.alloc_bytes);
   dst.scratch_allocs <- dst.scratch_allocs + wi (fun c -> c.scratch_allocs);
   dst.scratch_bytes <- dst.scratch_bytes +. wflt (fun c -> c.scratch_bytes);
+  dst.pool_hits <- dst.pool_hits + wi (fun c -> c.pool_hits);
+  dst.pool_misses <- dst.pool_misses + wi (fun c -> c.pool_misses);
+  dst.frees <- dst.frees + wi (fun c -> c.frees);
   (* Live bytes extrapolate like any other accumulating quantity; the
      peak cannot be summed, so take the largest transient any sampled
      iteration showed *within itself* - how far it pushed the peak

@@ -53,6 +53,10 @@ type blockv = {
   bname : string;
   bsize : int; (* elements *)
   mutable payload : payload option; (* lazily materialized (Full mode) *)
+  mutable devbytes : float;
+      (* device bytes the pool served for this block; 0 when the block
+         is not pool-owned (inputs, scratch, pool disabled) *)
+  mutable freed : bool; (* currently sitting on a pool free list *)
 }
 
 (* Concrete index function: integer offsets/cardinals/strides.  The
@@ -79,6 +83,9 @@ type env = aval SM.t
 type state = {
   mode : mode;
   counters : Device.counters;
+  pool : Device.Pool.t option;
+      (* pooled allocator serving top-level [EAlloc]s; None = every
+         allocation is a fresh device allocation (the --no-pool model) *)
   mutable tracer : Trace.t option;
       (* when set, every memory-relevant action appends a trace event *)
   mutation : mutation option; (* fault injection (tests only) *)
@@ -101,6 +108,37 @@ type state = {
 }
 
 let elem_bytes = 8.0
+
+(* ---------------------------------------------------------------- *)
+(* Pool plumbing                                                     *)
+(* ---------------------------------------------------------------- *)
+
+(* A block goes back on the pool's free list when its contents die (the
+   same last-use markers the tracer emits); double frees from blocks
+   shared by several variables are guarded by the [freed] flag.  The
+   converse direction mirrors Memtrace's revive-on-write rule: writing
+   into a freed block (the coalesced-block pattern, where a later
+   occupant rebinds into an earlier occupant's block) reclaims its
+   capacity from the pool.
+
+   Without a pool the same death marker is a synchronizing device free
+   ([cudaFree] stalls until the device drains), so it is counted for
+   the cost model instead of pushed onto a free list. *)
+let pool_free st (b : blockv) =
+  if b.devbytes > 0. && not b.freed then begin
+    b.freed <- true;
+    match st.pool with
+    | Some p -> Device.Pool.free p b.devbytes
+    | None -> st.counters.frees <- st.counters.frees + 1
+  end
+
+let pool_revive st (b : blockv) =
+  if b.freed then begin
+    b.freed <- false;
+    match st.pool with
+    | Some p -> Device.Pool.revive p b.devbytes
+    | None -> ()
+  end
 
 (* ---------------------------------------------------------------- *)
 (* Environment and polynomial evaluation                             *)
@@ -352,6 +390,7 @@ let read_cell st (a : blockv) elt (off : int) : aval =
       | PB d -> ABool d.(off))
 
 let write_cell st (a : blockv) elt (off : int) (v : aval) : unit =
+  if a.freed then pool_revive st a;
   let off =
     match st.mutation with
     | Some Off_by_one_write when st.kernel_depth > 0 -> off + 1
@@ -398,6 +437,7 @@ let count shape = List.fold_left ( * ) 1 shape
    when the locations already coincide. *)
 let copy_logical st elt shape (sb : blockv) (six : cixfn) (db : blockv)
     (dix : cixfn) : unit =
+  if db.freed then pool_revive st db;
   let bytes = float_of_int (count shape) *. elem_bytes in
   let elided = same_location sb six db dix in
   (match st.tracer with
@@ -572,15 +612,19 @@ let mem_info_of pe =
 
 let bind_result env pe (v : aval) = SM.add pe.pv v env
 
-(* The destination (block, ixfn) a pattern element is annotated with. *)
-let dest_of env pe =
+(* The destination (block, ixfn) a pattern element is annotated with.
+   Binding a fresh occupant into a freed block (a scratch declaration
+   ahead of the kernel that fills it) reclaims it from the pool. *)
+let dest_of st env pe =
   let m = mem_info_of pe in
-  (lookup_block env m.block, concretize env m.ixfn)
+  let b = lookup_block env m.block in
+  if b.freed then pool_revive st b;
+  (b, concretize env m.ixfn)
 
-let arr_of_pat env pe =
+let arr_of_pat st env pe =
   match pe.pt with
   | TArr (elt, shape) ->
-      let block, ix = dest_of env pe in
+      let block, ix = dest_of st env pe in
       AArr { elt; shape = List.map (eval_poly env) shape; block; ix }
   | _ -> err "exec: %s is not an array pattern" pe.pv
 
@@ -606,7 +650,7 @@ let rec exec_exp st env (s : stm) : aval list =
       (* O(1): the result's annotation holds the transformed ixfn *)
       let a = lookup_arr env v in
       let pe = List.hd s.pat in
-      let _, ix = dest_of env pe in
+      let _, ix = dest_of st env pe in
       [
         AArr
           {
@@ -621,7 +665,7 @@ let rec exec_exp st env (s : stm) : aval list =
       ]
   | EIota n ->
       let pe = List.hd s.pat in
-      let out = arr_of_pat env pe in
+      let out = arr_of_pat st env pe in
       let n = eval_poly env n in
       launch_kernel st ~label:pe.pv
         ~declared:(fun () -> (pat_footprints env s, [], n))
@@ -640,7 +684,7 @@ let rec exec_exp st env (s : stm) : aval list =
           | _ -> assert false)
   | EReplicate (_, a) ->
       let pe = List.hd s.pat in
-      let out = arr_of_pat env pe in
+      let out = arr_of_pat st env pe in
       let v = eval_atom env a in
       launch_kernel st ~label:pe.pv
         ~declared:(fun () ->
@@ -663,16 +707,16 @@ let rec exec_exp st env (s : stm) : aval list =
           | _ -> assert false)
   | EScratch _ ->
       (* no writes: just bind the destination *)
-      [ arr_of_pat env (List.hd s.pat) ]
+      [ arr_of_pat st env (List.hd s.pat) ]
   | ECopy v ->
       let a = lookup_arr env v in
       let pe = List.hd s.pat in
-      let db, dix = dest_of env pe in
+      let db, dix = dest_of st env pe in
       copy_logical st a.elt a.shape a.block a.ix db dix;
       [ AArr { a with block = db; ix = dix } ]
   | EConcat vs ->
       let pe = List.hd s.pat in
-      let out = arr_of_pat env pe in
+      let out = arr_of_pat st env pe in
       (match out with
       | AArr o ->
           let row = ref 0 in
@@ -768,19 +812,101 @@ let rec exec_exp st env (s : stm) : aval list =
            wavefront, LUD's shrinking interior). *)
         let init = List.map (fun (_, init) -> eval_atom env init) params in
         let base = Device.clone st.counters in
+        (* The per-kernel read tallies are part of the sampled state:
+           when the loop itself runs inside a kernel (NN's per-thread
+           scan) its reads accumulate in [kernel_reads_tally], not in
+           the counters, so they must be snapshotted and extrapolated
+           with the same Simpson weights or the perfect-L2 cap would
+           see only the three sampled iterations' reads.  At top level
+           every launch drains its own tally and the deltas are empty. *)
+        let tally_list () =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.kernel_reads_tally []
+        in
+        let tally_restore snap =
+          Hashtbl.reset st.kernel_reads_tally;
+          List.iter
+            (fun (k, v) -> Hashtbl.replace st.kernel_reads_tally k v)
+            snap
+        in
+        let tally_delta before =
+          Hashtbl.fold
+            (fun bid (bytes, bsize) acc ->
+              let prev =
+                match List.assoc_opt bid before with
+                | Some (b, _) -> b
+                | None -> 0.
+              in
+              if bytes > prev then (bid, bytes -. prev, bsize) :: acc else acc)
+            st.kernel_reads_tally []
+        in
+        let tbase = tally_list () in
         let sample i =
           let before = Device.clone st.counters in
+          let tbefore = tally_list () in
           let vals = run_iter init i in
           let after = Device.clone st.counters in
+          let tdelta = tally_delta tbefore in
           Device.assign st.counters before;
-          (vals, before, after)
+          tally_restore tbefore;
+          (vals, before, after, tdelta)
         in
-        let _, b0, a0 = sample 0 in
-        let _, bm, am = sample (n / 2) in
-        let vals, bl, al = sample (n - 1) in
+        let vals0, b0, a0, t0 = sample 0 in
+        (* Pool steady state: iteration 0 ran against the live pool (a
+           cold start, so its allocations miss); its in-body frees plus
+           the emulated death of its carried generation bring the pool
+           to the state an arbitrary later iteration starts from, which
+           the mid/last samples then see (their allocations hit).  The
+           Simpson weights turn that into ~n/6 misses + ~5n/6 hits,
+           against n misses with the pool disabled. *)
+        (if st.kernel_depth = 0 && st.pool <> None then
+           let init_bids =
+             List.filter_map
+               (function AArr a -> Some a.block.bid | _ -> None)
+               init
+           in
+           List.iter
+             (function
+               | AArr a when not (List.mem a.block.bid init_bids) ->
+                   pool_free st a.block
+               | _ -> ())
+             vals0);
+        let psteady = Option.map Device.Pool.snapshot st.pool in
+        let _, bm, am, tm = sample (n / 2) in
+        (match (st.pool, psteady) with
+        | Some p, Some s -> Device.Pool.restore p s
+        | _ -> ());
+        let vals, bl, al, tl = sample (n - 1) in
         Device.assign st.counters base;
         Device.add_simpson st.counters (b0, a0) (bm, am) (bl, al)
           (float_of_int n);
+        tally_restore tbase;
+        let wf d0 dm dl =
+          float_of_int n *. (d0 +. (4. *. dm) +. dl) /. 6.0
+        in
+        let find bid ts =
+          match List.find_opt (fun (b, _, _) -> b = bid) ts with
+          | Some (_, d, _) -> d
+          | None -> 0.
+        in
+        let bsize_of bid =
+          List.find_map
+            (fun (b, _, sz) -> if b = bid then Some sz else None)
+            (t0 @ tm @ tl)
+        in
+        List.iter
+          (fun bid ->
+            let d = wf (find bid t0) (find bid tm) (find bid tl) in
+            match bsize_of bid with
+            | Some bsize when d > 0. ->
+                let prev =
+                  match Hashtbl.find_opt st.kernel_reads_tally bid with
+                  | Some (b, _) -> b
+                  | None -> 0.
+                in
+                Hashtbl.replace st.kernel_reads_tally bid (prev +. d, bsize)
+            | _ -> ())
+          (List.sort_uniq compare
+             (List.map (fun (b, _, _) -> b) (t0 @ tm @ tl)));
         vals
       end
       else begin
@@ -795,21 +921,23 @@ let rec exec_exp st env (s : stm) : aval list =
              this marker the trace would date the block's death to
              the previous iteration's intra-body markers - before its
              final read. *)
-          match st.tracer with
-          | Some tr when st.kernel_depth = 0 ->
-              let new_bids =
-                List.filter_map
-                  (function AArr a -> Some a.block.bid | _ -> None)
-                  !vals
-              in
-              List.iter2
-                (fun (pe, _) v ->
-                  match v with
-                  | AArr a when not (List.mem a.block.bid new_bids) ->
-                      Trace.last_use tr ~var:pe.pv ~bid:a.block.bid
-                  | _ -> ())
-                params prev
-          | _ -> ()
+          if st.kernel_depth = 0 then begin
+            let new_bids =
+              List.filter_map
+                (function AArr a -> Some a.block.bid | _ -> None)
+                !vals
+            in
+            List.iter2
+              (fun (pe, _) v ->
+                match v with
+                | AArr a when not (List.mem a.block.bid new_bids) ->
+                    (match st.tracer with
+                    | Some tr -> Trace.last_use tr ~var:pe.pv ~bid:a.block.bid
+                    | None -> ());
+                    pool_free st a.block
+                | _ -> ())
+              params prev
+          end
         done;
         !vals
       end
@@ -827,6 +955,8 @@ let rec exec_exp st env (s : stm) : aval list =
           bname = Printf.sprintf "blk%d" !block_counter;
           bsize = n;
           payload = None;
+          devbytes = 0.;
+          freed = false;
         }
       in
       if st.kernel_depth = 0 then begin
@@ -835,7 +965,20 @@ let rec exec_exp st env (s : stm) : aval list =
         st.counters.alloc_bytes <- st.counters.alloc_bytes +. bytes;
         st.counters.live_bytes <- st.counters.live_bytes +. bytes;
         if st.counters.live_bytes > st.counters.peak_bytes then
-          st.counters.peak_bytes <- st.counters.live_bytes
+          st.counters.peak_bytes <- st.counters.live_bytes;
+        (* [devbytes > 0] marks the block as device-owned so its death
+           is accounted (free list push, or a counted synchronizing
+           free when the pool is off); a pool hit overrides it with the
+           possibly larger served capacity. *)
+        b.devbytes <- bytes;
+        match st.pool with
+        | Some p -> (
+            match Device.Pool.alloc p bytes with
+            | `Hit served ->
+                st.counters.pool_hits <- st.counters.pool_hits + 1;
+                b.devbytes <- served
+            | `Miss -> st.counters.pool_misses <- st.counters.pool_misses + 1)
+        | None -> ()
       end
       else begin
         (* per-thread scratch: lives only for the kernel's duration,
@@ -901,7 +1044,7 @@ and launch_kernel st ~label ~declared f =
 and exec_map st env (s : stm) nest body : aval list =
   let dims = List.map (fun (_, n) -> eval_poly env n) nest in
   let points = count dims in
-  let outs = List.map (fun pe -> arr_of_pat env pe) s.pat in
+  let outs = List.map (fun pe -> arr_of_pat st env pe) s.pat in
   let run_thread env idx =
     Hashtbl.reset st.thread_writes;
     let env' =
@@ -1033,40 +1176,41 @@ and exec_block st env (b : block) : aval list =
            kernel the same body runs once per thread, and per-thread
            "deaths" say nothing about the cross-kernel liveness the
            short-circuiting pass consumed. *)
-        (match st.tracer with
-        | Some tr when st.kernel_depth = 0 ->
-            (* A block aliased by a value this lexical block returns
-               provably flows past every statement here (a rotated
-               loop re-reads the carried buffer next iteration; a
-               result block is read by the enclosing code), so a
-               last-use marker for a variable living in it would date
-               the block's death too early. *)
-            let res_bids =
-              List.filter_map
-                (fun v ->
-                  match SM.find_opt v env with
-                  | Some (AArr a) -> Some a.block.bid
-                  | Some (AMem blk) -> Some blk.bid
-                  | _ -> (
-                      (* not bound yet: a later statement in this
-                         block binds it - resolve the annotated block
-                         name instead *)
-                      match SM.find_opt v res_blocks with
-                      | Some bname -> (
-                          match SM.find_opt bname env with
-                          | Some (AMem blk) -> Some blk.bid
-                          | _ -> None)
-                      | None -> None))
-                res_vars
-            in
-            List.iter
-              (fun v ->
-                match SM.find_opt v env with
-                | Some (AArr a) when not (List.mem a.block.bid res_bids) ->
-                    Trace.last_use tr ~var:v ~bid:a.block.bid
-                | _ -> ())
-              s.last_uses
-        | _ -> ());
+        (if st.kernel_depth = 0 then
+           (* A block aliased by a value this lexical block returns
+              provably flows past every statement here (a rotated
+              loop re-reads the carried buffer next iteration; a
+              result block is read by the enclosing code), so a
+              last-use marker for a variable living in it would date
+              the block's death too early. *)
+           let res_bids =
+             List.filter_map
+               (fun v ->
+                 match SM.find_opt v env with
+                 | Some (AArr a) -> Some a.block.bid
+                 | Some (AMem blk) -> Some blk.bid
+                 | _ -> (
+                     (* not bound yet: a later statement in this
+                        block binds it - resolve the annotated block
+                        name instead *)
+                     match SM.find_opt v res_blocks with
+                     | Some bname -> (
+                         match SM.find_opt bname env with
+                         | Some (AMem blk) -> Some blk.bid
+                         | _ -> None)
+                     | None -> None))
+               res_vars
+           in
+           List.iter
+             (fun v ->
+               match SM.find_opt v env with
+               | Some (AArr a) when not (List.mem a.block.bid res_bids) ->
+                   (match st.tracer with
+                   | Some tr -> Trace.last_use tr ~var:v ~bid:a.block.bid
+                   | None -> ());
+                   pool_free st a.block
+               | _ -> ())
+             s.last_uses);
         env)
       env b.stms
   in
@@ -1088,7 +1232,14 @@ let bind_param st env pe (v : Value.t) : env =
       incr block_counter;
       let n = Value.count a.Value.shape in
       let blk =
-        { bid = !block_counter; bname = m.block; bsize = n; payload = None }
+        {
+          bid = !block_counter;
+          bname = m.block;
+          bsize = n;
+          payload = None;
+          devbytes = 0.;
+          freed = false;
+        }
       in
       (match st.mode with
       | Full ->
@@ -1161,10 +1312,11 @@ type report = {
   results : Value.t list;
   counters : Device.counters;
   trace : Trace.t option;
+  pool : Device.Pool.stats option;
 }
 
-let run ?(mode = Full) ?(trace = false) ?(variant = "program") ?mutation
-    (p : prog) (args : Value.t list) : report =
+let run ?(mode = Full) ?(trace = false) ?(pool = true) ?(variant = "program")
+    ?mutation (p : prog) (args : Value.t list) : report =
   let tracer =
     if trace then
       Some
@@ -1177,6 +1329,7 @@ let run ?(mode = Full) ?(trace = false) ?(variant = "program") ?mutation
       counters = Device.fresh_counters ();
       tracer;
       mutation;
+      pool = (if pool then Some (Device.Pool.create ()) else None);
       kernel_depth = 0;
       kernel_scratch = 0.;
       thread_writes = Hashtbl.create 256;
@@ -1190,12 +1343,25 @@ let run ?(mode = Full) ?(trace = false) ?(variant = "program") ?mutation
       args
   in
   let res = exec_block st env p.body in
+  (* Teardown: without a pool, every device allocation is eventually
+     matched by a synchronizing [cudaFree] - blocks that died mid-run
+     were already counted by [pool_free]; top up with the frees of
+     whatever is still live when the program hands back its results.
+     A pooled run tears the whole arena down in one context
+     destruction instead, which is why [frees] stays 0 there. *)
+  if st.pool = None && st.counters.allocs > st.counters.frees then
+    st.counters.frees <- st.counters.allocs;
   (* reading back results is not part of the measured cost (or trace) *)
   let saved = st.counters.kernel_reads in
   Option.iter Trace.mute st.tracer;
   let results = List.map (materialize st) res in
   st.counters.kernel_reads <- saved;
-  { results; counters = st.counters; trace = tracer }
+  {
+    results;
+    counters = st.counters;
+    trace = tracer;
+    pool = Option.map Device.Pool.stats st.pool;
+  }
 
 (* Simulated time on a device for a completed run. *)
 let time device (r : report) = Device.time device r.counters

@@ -37,11 +37,14 @@ type report = {
       (** program results; shape-only shells in cost-only mode *)
   counters : Device.counters;
   trace : Core.Trace.t option;  (** present iff run with [~trace:true] *)
+  pool : Device.Pool.stats option;
+      (** pool footprint summary; present iff run with [~pool:true] *)
 }
 
 val run :
   ?mode:mode ->
   ?trace:bool ->
+  ?pool:bool ->
   ?variant:string ->
   ?mutation:mutation ->
   Ir.Ast.prog ->
@@ -49,10 +52,13 @@ val run :
   report
 (** Execute a memory-annotated program on the given arguments.
     [?trace] (default [false]) collects a {!Core.Trace.t} as the run
-    proceeds; [?variant] labels the trace's provenance (which pipeline
-    stage produced the program, e.g. ["opt"]).  Offset-exact footprints
-    require [Full] mode; a cost-only trace keeps the event structure
-    with sampled traffic numbers.
+    proceeds; [?pool] (default [true]) routes top-level allocations
+    through a {!Device.Pool}, splitting the allocation count into pool
+    hits and misses for the cost model (disable for an A/B against the
+    all-miss allocator); [?variant] labels the trace's provenance
+    (which pipeline stage produced the program, e.g. ["opt"]).
+    Offset-exact footprints require [Full] mode; a cost-only trace
+    keeps the event structure with sampled traffic numbers.
     @raise Exec_error on missing annotations or out-of-bounds accesses
     (full mode checks bounds on every access). *)
 

@@ -144,6 +144,82 @@ let test_table_shape () =
          && reuse.R.f_peak_bytes < opt.R.f_peak_bytes)
        o.R.footprints)
 
+(* ---------------------------------------------------------------- *)
+(* The bench-trajectory gate (Benchjson)                             *)
+(* ---------------------------------------------------------------- *)
+
+module BJ = Benchsuite.Benchjson
+
+let sample_record ~reuse_ms ~allocs =
+  Printf.sprintf
+    {|{"date":"x","benchmarks":[{"name":"bm","rows":[
+        {"device":"A100","dataset":"d","unopt_ms":10.0,"opt_ms":5.0,"reuse_ms":%g}],
+      "footprints":[{"dataset":"d",
+        "unopt":{"allocs":20,"peak_bytes":4096},
+        "opt":{"allocs":5,"peak_bytes":2048},
+        "reuse":{"allocs":%d,"peak_bytes":1024}}]}]}|}
+    reuse_ms allocs
+
+let parse_exn s =
+  match BJ.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_gate_json_roundtrip () =
+  let v = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1) in
+  let reuse_ms =
+    match Option.bind (BJ.member "benchmarks" v) BJ.arr with
+    | Some (b :: _) -> (
+        match Option.bind (BJ.member "rows" b) BJ.arr with
+        | Some (r :: _) -> BJ.num_at [ "reuse_ms" ] r
+        | _ -> None)
+    | _ -> None
+  in
+  Alcotest.(check (option (float 0.0))) "nested time" (Some 4.0) reuse_ms;
+  (* malformed input must be an [Error], not an exception *)
+  Alcotest.(check bool) "truncated input rejected" true
+    (match BJ.parse "{\"a\": [1, 2" with Error _ -> true | Ok _ -> false)
+
+let test_gate_identity_passes () =
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1) in
+  let g = BJ.gate ~baseline:b ~current:b () in
+  Alcotest.(check bool) "identity passes" true (BJ.ok g);
+  Alcotest.(check bool) "comparisons performed" true (g.BJ.checked > 0)
+
+let test_gate_catches_time_regression () =
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1) in
+  let worse = parse_exn (sample_record ~reuse_ms:4.5 ~allocs:1) in
+  let g = BJ.gate ~baseline:b ~current:worse () in
+  Alcotest.(check bool) "12% slower reuse fails" true (not (BJ.ok g));
+  (* within tolerance: passes *)
+  let ok = parse_exn (sample_record ~reuse_ms:4.1 ~allocs:1) in
+  Alcotest.(check bool) "2.5% drift passes" true
+    (BJ.ok (BJ.gate ~baseline:b ~current:ok ()))
+
+let test_gate_catches_footprint_regression () =
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1) in
+  let worse = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:2) in
+  let g = BJ.gate ~baseline:b ~current:worse () in
+  (* exact counters are gated monotonically: +1 alloc is a failure
+     regardless of any tolerance *)
+  Alcotest.(check bool) "alloc growth fails" true (not (BJ.ok g))
+
+let test_gate_improvement_is_note () =
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:2) in
+  let better = parse_exn (sample_record ~reuse_ms:3.0 ~allocs:1) in
+  let g = BJ.gate ~baseline:b ~current:better () in
+  Alcotest.(check bool) "improvement passes" true (BJ.ok g);
+  Alcotest.(check bool) "improvement noted" true (g.BJ.notes <> [])
+
+let test_gate_missing_benchmark_fails () =
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1) in
+  let empty = parse_exn {|{"date":"x","benchmarks":[]}|} in
+  Alcotest.(check bool) "dropped benchmark fails" true
+    (not (BJ.ok (BJ.gate ~baseline:b ~current:empty ())));
+  (* the other direction is only a note: new benchmarks do not fail *)
+  Alcotest.(check bool) "new benchmark passes" true
+    (BJ.ok (BJ.gate ~baseline:empty ~current:b ()))
+
 let tests =
   [
     Alcotest.test_case "NW end-to-end" `Quick test_nw;
@@ -154,4 +230,15 @@ let tests =
     Alcotest.test_case "LocVolCalib end-to-end" `Quick test_locvolcalib;
     Alcotest.test_case "NN end-to-end" `Quick test_nn;
     Alcotest.test_case "Table shape (Hotspot)" `Quick test_table_shape;
+    Alcotest.test_case "gate: JSON round-trip" `Quick test_gate_json_roundtrip;
+    Alcotest.test_case "gate: identity passes" `Quick
+      test_gate_identity_passes;
+    Alcotest.test_case "gate: time regression fails" `Quick
+      test_gate_catches_time_regression;
+    Alcotest.test_case "gate: footprint regression fails" `Quick
+      test_gate_catches_footprint_regression;
+    Alcotest.test_case "gate: improvement is a note" `Quick
+      test_gate_improvement_is_note;
+    Alcotest.test_case "gate: missing benchmark fails" `Quick
+      test_gate_missing_benchmark_fails;
   ]

@@ -13,5 +13,6 @@ let () =
       ("reuse", Test_reuse.tests);
       ("frontend", Test_frontend.tests);
       ("gpu", Test_gpu.tests);
+      ("pool", Test_pool.tests);
       ("bench", Test_bench.tests);
     ]

@@ -75,6 +75,89 @@ let overlap_prog () =
       in
       [ Var cs ])
 
+(* Per-iteration temporary that provably dies inside the loop body:
+   the cross-scope strategy hoists its allocation in front of the
+   loop. *)
+let hoist_prog () =
+  B.prog "rchoist" ~ctx:ctx_n2 ~params:[ pat_elem "n" i64 ]
+    ~ret:[ arr F64 [ n ] ]
+    (fun b ->
+      let init = fill b "acc0" n 0.0 in
+      let res =
+        B.loop1 b "acc" (arr F64 [ n ]) (Var init) ~bound:(c 4)
+          (fun bb ~param ~i:_ ->
+            let tmp = fill bb "tmp" n 1.0 in
+            let iv = Names.fresh "i" in
+            let acc' =
+              B.mapnest bb "acc'" [ (iv, n) ] (fun b3 ->
+                  [
+                    B.fadd b3
+                      (B.index b3 param [ P.var iv ])
+                      (B.index b3 tmp [ P.var iv ]);
+                  ])
+            in
+            Var acc')
+      in
+      [ Var res ])
+
+(* The same shape, but the temporary is carried out of the loop as a
+   second result: its live interval escapes the iteration, so hoisting
+   must refuse. *)
+let escape_prog () =
+  B.prog "rcescape" ~ctx:ctx_n2 ~params:[ pat_elem "n" i64 ]
+    ~ret:[ arr F64 [ n ]; arr F64 [ n ] ]
+    (fun b ->
+      let init = fill b "acc0" n 0.0 in
+      let init2 = fill b "tmp0" n 0.0 in
+      let res =
+        B.loop b "st"
+          [
+            ("acc", arr F64 [ n ], Var init); ("t", arr F64 [ n ], Var init2);
+          ]
+          ~var:"q" ~bound:(c 4)
+          (fun bb ->
+            let tmp = fill bb "tmp" n 1.0 in
+            let iv = Names.fresh "i" in
+            let acc' =
+              B.mapnest bb "acc'" [ (iv, n) ] (fun b3 ->
+                  [
+                    B.fadd b3
+                      (B.index b3 "acc" [ P.var iv ])
+                      (B.index b3 tmp [ P.var iv ]);
+                  ])
+            in
+            [ Var acc'; Var tmp ])
+      in
+      match res with [ a; t ] -> [ Var a; Var t ] | _ -> assert false)
+
+(* Two sibling loops, each with a hoistable temporary: both hoist to
+   the same lexical level, where the first hoisted block is dead
+   before the second loop starts - the same-scope rule then merges
+   them into one physical block. *)
+let sibling_prog () =
+  B.prog "rcsibling" ~ctx:ctx_n2 ~params:[ pat_elem "n" i64 ]
+    ~ret:[ arr F64 [ n ] ]
+    (fun b ->
+      let init = fill b "acc0" n 0.0 in
+      let mk b0 seed init =
+        B.loop1 b0 "acc" (arr F64 [ n ]) (Var init) ~bound:(c 3)
+          (fun bb ~param ~i:_ ->
+            let tmp = fill bb "tmp" n seed in
+            let iv = Names.fresh "i" in
+            let acc' =
+              B.mapnest bb "acc'" [ (iv, n) ] (fun b3 ->
+                  [
+                    B.fadd b3
+                      (B.index b3 param [ P.var iv ])
+                      (B.index b3 tmp [ P.var iv ]);
+                  ])
+            in
+            Var acc')
+      in
+      let r1 = mk b 1.0 init in
+      let r2 = mk b 2.0 r1 in
+      [ Var r2 ])
+
 (* ---------------------------------------------------------------- *)
 (* Shared checks                                                     *)
 (* ---------------------------------------------------------------- *)
@@ -190,6 +273,71 @@ let test_lbm_footprint () =
   Alcotest.(check bool) "lbm: strictly lower peak" true
     (reuse_c.Device.peak_bytes < opt_c.Device.peak_bytes)
 
+(* ---------------------------------------------------------------- *)
+(* Cross-scope hoisting                                              *)
+(* ---------------------------------------------------------------- *)
+
+let test_hoist_fires () =
+  let cpl, opt_c, reuse_c = compiled_footprints (hoist_prog ()) (chain_args 8) in
+  let st = cpl.Core.Pipeline.reuse_stats in
+  Alcotest.(check bool) "temporary hoisted" true (st.Core.Reuse.hoisted >= 1);
+  Alcotest.(check bool) "fewer allocations" true
+    (total_allocs reuse_c < total_allocs opt_c);
+  Alcotest.(check bool) "lower peak" true
+    (reuse_c.Device.peak_bytes < opt_c.Device.peak_bytes);
+  let v = R.validate ~compiled:cpl (hoist_prog ()) (chain_args 8) in
+  Alcotest.(check bool) "hoist: reuse = interp" true v.R.ok_reuse
+
+let test_hoist_refuses_escape () =
+  let cpl, opt_c, reuse_c =
+    compiled_footprints (escape_prog ()) (chain_args 8)
+  in
+  let st = cpl.Core.Pipeline.reuse_stats in
+  Alcotest.(check int) "escaping temporary not hoisted" 0
+    st.Core.Reuse.hoisted;
+  Alcotest.(check int) "allocs unchanged" (total_allocs opt_c)
+    (total_allocs reuse_c);
+  let v = R.validate ~compiled:cpl (escape_prog ()) (chain_args 8) in
+  Alcotest.(check bool) "escape: reuse = interp" true v.R.ok_reuse
+
+let test_sibling_hoists_coalesce () =
+  let cpl, opt_c, reuse_c =
+    compiled_footprints (sibling_prog ()) (chain_args 8)
+  in
+  let st = cpl.Core.Pipeline.reuse_stats in
+  Alcotest.(check bool) "both temporaries hoisted" true
+    (st.Core.Reuse.hoisted >= 2);
+  Alcotest.(check bool) "hoisted siblings coalesced" true
+    (st.Core.Reuse.coalesced >= 1);
+  Alcotest.(check bool) "fewer allocations" true
+    (total_allocs reuse_c < total_allocs opt_c);
+  Alcotest.(check bool) "lower peak" true
+    (reuse_c.Device.peak_bytes < opt_c.Device.peak_bytes);
+  let v = R.validate ~compiled:cpl (sibling_prog ()) (chain_args 8) in
+  Alcotest.(check bool) "sibling: reuse = interp" true v.R.ok_reuse
+
+(* LUD's interior temporary shrinks with the step index; hoisting
+   generalizes its size to the iteration maximum (a prover obligation)
+   and the per-step allocations collapse into one block. *)
+let test_lud_cross_scope_ab () =
+  let args = Benchsuite.Lud.small_args ~q:3 ~b:4 in
+  let on = Core.Pipeline.compile Benchsuite.Lud.prog in
+  let off =
+    Core.Pipeline.compile
+      ~reuse:{ Core.Reuse.default_options with Core.Reuse.cross_scope = false }
+      Benchsuite.Lud.prog
+  in
+  Alcotest.(check bool) "lud hoists" true
+    (on.Core.Pipeline.reuse_stats.Core.Reuse.hoisted >= 1);
+  Alcotest.(check int) "no hoists when disabled" 0
+    off.Core.Pipeline.reuse_stats.Core.Reuse.hoisted;
+  let c_on = cost_counters on.Core.Pipeline.reuse args in
+  let c_off = cost_counters off.Core.Pipeline.reuse args in
+  Alcotest.(check bool) "strictly fewer distinct blocks" true
+    (c_on.Device.allocs < c_off.Device.allocs);
+  Alcotest.(check bool) "peak no worse" true
+    (c_on.Device.peak_bytes <= c_off.Device.peak_bytes)
+
 (* --no-reuse is the identity: the reuse variant degenerates to a
    clone of opt with zeroed statistics. *)
 let test_disabled_is_identity () =
@@ -259,6 +407,12 @@ let prop_chain_reuse_verified =
     (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 12))
     (fun nv -> reuse_verified (chain_prog ()) (chain_args nv))
 
+let prop_hoist_reuse_verified =
+  QCheck.Test.make ~name:"cross-scope hoisting verified at random sizes"
+    ~count:6
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 12))
+    (fun nv -> reuse_verified (sibling_prog ()) (chain_args nv))
+
 let tests =
   [
     Alcotest.test_case "chain: same-scope coalescing" `Quick
@@ -273,8 +427,16 @@ let tests =
       test_hotspot_footprint;
     Alcotest.test_case "lbm: rotation strictly shrinks" `Quick
       test_lbm_footprint;
+    Alcotest.test_case "hoist: per-iteration temporary lifted" `Quick
+      test_hoist_fires;
+    Alcotest.test_case "hoist: escaping temporary refused" `Quick
+      test_hoist_refuses_escape;
+    Alcotest.test_case "hoist: sibling loops share one block" `Quick
+      test_sibling_hoists_coalesce;
+    Alcotest.test_case "lud: cross-scope A/B" `Quick test_lud_cross_scope_ab;
     Alcotest.test_case "--no-reuse is the identity" `Quick
       test_disabled_is_identity;
     QCheck_alcotest.to_alcotest prop_nw_reuse_verified;
     QCheck_alcotest.to_alcotest prop_chain_reuse_verified;
+    QCheck_alcotest.to_alcotest prop_hoist_reuse_verified;
   ]
