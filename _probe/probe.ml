@@ -1,0 +1,14 @@
+module Device = Gpu.Device
+module Exec = Gpu.Exec
+
+let () =
+  let args = Benchsuite.Lud.small_args ~q:3 ~b:4 in
+  let cpl = Core.Pipeline.compile Benchsuite.Lud.prog in
+  List.iter
+    (fun (label, p) ->
+      let r = Exec.run ~mode:Exec.Cost_only ~pool:false p args in
+      let c = r.Exec.counters in
+      Printf.printf "%-6s allocs=%d frees=%d\n" label c.Device.allocs c.Device.frees)
+    [ ("unopt", cpl.Core.Pipeline.unopt);
+      ("opt", cpl.Core.Pipeline.opt);
+      ("reuse", cpl.Core.Pipeline.reuse) ]
