@@ -27,6 +27,7 @@ type bench = {
     ?options:Core.Shortcircuit.options ->
     ?reuse:Core.Reuse.options ->
     ?pool:bool ->
+    ?pool_cap:int ->
     unit ->
     Benchsuite.Runner.outcome;
   prog : Ir.Ast.prog;
@@ -176,20 +177,27 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
       let pool =
         match f.Benchsuite.Runner.f_pool with
         | Some ps ->
+            let cap =
+              match ps.Gpu.Device.Pool.p_cap with
+              | Some c ->
+                  Printf.sprintf ",\"cap\":%g,\"evictions\":%d" c
+                    ps.Gpu.Device.Pool.p_evictions
+              | None -> ""
+            in
             Printf.sprintf
-              ",\"pool\":{\"hits\":%d,\"misses\":%d,\"device_bytes\":%g,\"high_water_bytes\":%g,\"fragmentation\":%.4f}"
+              ",\"pool\":{\"hits\":%d,\"misses\":%d,\"device_bytes\":%g,\"high_water_bytes\":%g,\"fragmentation\":%.4f%s}"
               f.Benchsuite.Runner.f_pool_hits
               f.Benchsuite.Runner.f_pool_misses
               ps.Gpu.Device.Pool.p_device_bytes
               ps.Gpu.Device.Pool.p_high_water
-              ps.Gpu.Device.Pool.p_fragmentation
+              ps.Gpu.Device.Pool.p_fragmentation cap
         | None -> ""
       in
       Printf.sprintf
-        "{\"allocs\":%d,\"scratch\":%d,\"alloc_bytes\":%g,\"peak_bytes\":%g%s}"
+        "{\"allocs\":%d,\"scratch\":%d,\"alloc_bytes\":%g,\"peak_bytes\":%g,\"traffic_bytes\":%g%s}"
         f.Benchsuite.Runner.f_allocs f.Benchsuite.Runner.f_scratch
         f.Benchsuite.Runner.f_alloc_bytes f.Benchsuite.Runner.f_peak_bytes
-        pool
+        f.Benchsuite.Runner.f_traffic_bytes pool
     in
     let fps =
       String.concat ","
@@ -201,14 +209,27 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
            o.Benchsuite.Runner.footprints)
     in
     let rst = c.Core.Pipeline.reuse_stats in
+    (* per-pass obligation counts of the translation-validation run that
+       rides along with every table compile *)
+    let certify =
+      String.concat ","
+        (List.map
+           (fun (pass, (r : Core.Certify.report)) ->
+             Printf.sprintf
+               "\"%s\":{\"emitted\":%d,\"proved\":%d,\"concretized\":%d,\"failed\":%d}"
+               (json_escape pass) r.Core.Certify.emitted
+               r.Core.Certify.proved r.Core.Certify.concretized
+               r.Core.Certify.failed)
+           c.Core.Pipeline.certs)
+    in
     Printf.sprintf
-      "{\"name\":\"%s\",\"table\":%d,\"rows\":[%s],\"footprints\":[%s],\"compile_s\":{\"base\":%g,\"shortcircuit\":%g,\"reuse\":%g},\"dead_allocs\":%d,\"reuse_dead_allocs\":%d,\"reuse_stats\":{\"candidates\":%d,\"coalesced\":%d,\"size_proofs\":%d,\"chain_links\":%d,\"rotated\":%d,\"hoisted\":%d}}"
+      "{\"name\":\"%s\",\"table\":%d,\"rows\":[%s],\"footprints\":[%s],\"compile_s\":{\"base\":%g,\"shortcircuit\":%g,\"reuse\":%g},\"dead_allocs\":%d,\"reuse_dead_allocs\":%d,\"reuse_stats\":{\"candidates\":%d,\"coalesced\":%d,\"size_proofs\":%d,\"chain_links\":%d,\"rotated\":%d,\"hoisted\":%d},\"certify\":{%s}}"
       (json_escape b.name) b.table_no rows fps c.Core.Pipeline.time_base
       c.Core.Pipeline.time_sc c.Core.Pipeline.time_reuse
       c.Core.Pipeline.dead_allocs c.Core.Pipeline.reuse_dead_allocs
       rst.Core.Reuse.candidates rst.Core.Reuse.coalesced
       rst.Core.Reuse.size_proofs rst.Core.Reuse.chain_links
-      rst.Core.Reuse.rotated rst.Core.Reuse.hoisted
+      rst.Core.Reuse.rotated rst.Core.Reuse.hoisted certify
   in
   let date =
     let t = Unix.localtime (Unix.time ()) in
@@ -237,10 +258,10 @@ let default_bench_json_name () =
   Printf.sprintf "BENCH_%04d-%02d-%02d.json" (t.Unix.tm_year + 1900)
     (t.Unix.tm_mon + 1) t.Unix.tm_mday
 
-let run_table which options reuse pool bench_json out =
+let run_table which options reuse pool pool_cap bench_json out =
   Symalg.Prover.reset_stats ();
   let run b =
-    let o = b.table ~options ~reuse ~pool () in
+    let o = b.table ~options ~reuse ~pool ?pool_cap () in
     print_string (Benchsuite.Table.to_string o.Benchsuite.Runner.table);
     let st = o.Benchsuite.Runner.compiled.Core.Pipeline.stats in
     let rst = o.Benchsuite.Runner.compiled.Core.Pipeline.reuse_stats in
@@ -492,7 +513,8 @@ let read_file path =
     Ok s
   with Sys_error e -> Error e
 
-let run_bench options reuse pool check baseline tolerance out current report =
+let run_bench options reuse pool pool_cap check baseline tolerance out current
+    report =
   let obtain_current () =
     match current with
     | Some path -> read_file path
@@ -502,7 +524,7 @@ let run_bench options reuse pool check baseline tolerance out current report =
           List.map
             (fun b ->
               Printf.printf "bench %-14s running...\n%!" b.name;
-              (b, b.table ~options ~reuse ~pool ()))
+              (b, b.table ~options ~reuse ~pool ?pool_cap ()))
             benches
         in
         let json = bench_json_of outcomes (Symalg.Prover.stats ()) in
@@ -560,6 +582,70 @@ let run_bench options reuse pool check baseline tolerance out current report =
                       Error
                         (Printf.sprintf "bench gate failed: %d regression(s)"
                            (List.length g.Benchsuite.Benchjson.regressions))))))
+
+(* ---- certify ----------------------------------------------------- *)
+
+(* Translation validation of the optimization pipeline: compile with
+   ~certify:true so both rewriting passes emit per-rewrite proof
+   obligations, then report what the independent checker re-derived.
+   Any refuted obligation exits nonzero, attributed to its pass and
+   rewrite like a lint error. *)
+
+let cert_json_of name (certs : (string * Core.Certify.report) list) =
+  Printf.sprintf "{\"name\":\"%s\",\"passes\":[%s]}" (json_escape name)
+    (String.concat ","
+       (List.map (fun (_, r) -> Core.Certify.json_of_report r) certs))
+
+let run_certify which options reuse verbose_reports json out =
+  let certify b =
+    let c =
+      Core.Pipeline.compile ~options ~reuse ~certify:true b.prog
+    in
+    let certs = c.Core.Pipeline.certs in
+    if json then (
+      let s = cert_json_of b.name certs in
+      match out with
+      | None -> print_endline s
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path = Filename.concat dir (b.name ^ ".cert.json") in
+          let oc = open_out path in
+          output_string oc s;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "%-14s wrote %s\n" b.name path)
+    else
+      List.iter
+        (fun (_, r) ->
+          if verbose_reports || not (Core.Certify.ok r) then
+            Fmt.pr "%a@.@." Core.Certify.pp_report r)
+        certs;
+    match Core.Pipeline.first_cert_failure certs with
+    | None ->
+        let tally f = List.fold_left (fun n (_, r) -> n + f r) 0 certs in
+        (* with --json to stdout, keep stdout pure JSON (pipeable) and
+           put the human summary on stderr *)
+        let print : ('a, out_channel, unit) format -> 'a =
+          if json && out = None then Printf.eprintf else Printf.printf
+        in
+        print "%-14s %d obligations: %d proved, %d concretized, 0 failed\n"
+          b.name
+          (tally (fun (r : Core.Certify.report) -> r.Core.Certify.emitted))
+          (tally (fun r -> r.Core.Certify.proved))
+          (tally (fun r -> r.Core.Certify.concretized));
+        true
+    | Some (pass, ch) ->
+        Fmt.epr "%-14s refuted obligation in %s: %a@." b.name pass
+          Core.Certify.pp_checked ch;
+        false
+  in
+  match which with
+  | "all" ->
+      let ok = List.fold_left (fun ok b -> certify b && ok) true benches in
+      if ok then Ok () else Error "certification failed"
+  | s ->
+      Result.bind (find_bench s) (fun b ->
+          if certify b then Ok () else Error "certification failed")
 
 (* ---- prove-nw ---------------------------------------------------- *)
 
@@ -680,6 +766,20 @@ let pool_term =
   in
   Term.(const (fun no_pool -> not no_pool) $ no_pool)
 
+(* [--pool-cap BYTES] bounds the pool's device footprint: a miss that
+   would grow past the cap first evicts cached free blocks, each priced
+   as a synchronizing device free.  The bench gate additionally checks
+   high_water <= cap on every recorded pool. *)
+let pool_cap_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pool-cap" ] ~docv:"BYTES"
+        ~doc:
+          "Cap the allocation pool's total device memory at $(docv): \
+           cache evictions forced by the cap are priced as \
+           synchronizing device frees.  Live memory is never refused.")
+
 let table_cmd =
   let bench_json =
     Arg.(
@@ -701,8 +801,9 @@ let table_cmd =
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table (1-7 or name or all)")
     Term.(
-      const (fun w o r p bj out -> to_exit (run_table w o r p bj out))
-      $ bench_arg $ options_term $ reuse_term $ pool_term $ bench_json $ out)
+      const (fun w o r p pc bj out -> to_exit (run_table w o r p pc bj out))
+      $ bench_arg $ options_term $ reuse_term $ pool_term $ pool_cap_term
+      $ bench_json $ out)
 
 let validate_cmd =
   Cmd.v
@@ -832,10 +933,42 @@ let bench_cmd =
          "Emit the machine-readable performance record and optionally gate \
           it against a committed baseline")
     Term.(
-      const (fun o r p c b t out cur rep ->
-          to_exit (run_bench o r p c b t out cur rep))
-      $ options_term $ reuse_term $ pool_term $ check $ baseline $ tolerance
-      $ out $ current $ report)
+      const (fun o r p pc c b t out cur rep ->
+          to_exit (run_bench o r p pc c b t out cur rep))
+      $ options_term $ reuse_term $ pool_term $ pool_cap_term $ check
+      $ baseline $ tolerance $ out $ current $ report)
+
+let certify_cmd =
+  let reports =
+    Arg.(
+      value & flag
+      & info [ "r"; "reports" ]
+          ~doc:"Print the full per-pass certificate even when clean.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the checked certificates as JSON instead of a summary.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--json): write one $(i,BENCH).cert.json per benchmark \
+             into $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Re-derive every optimization rewrite's proof obligations with the \
+          independent certificate checker (translation validation); exit \
+          nonzero on any refuted obligation")
+    Term.(
+      const (fun w o ru r j out -> to_exit (run_certify w o ru r j out))
+      $ bench_arg $ options_term $ reuse_term $ reports $ json $ out)
 
 let prove_cmd =
   Cmd.v (Cmd.info "prove-nw" ~doc:"Discharge the Fig. 9 proof obligation")
@@ -848,5 +981,5 @@ let () =
        (Cmd.group (Cmd.info "repro" ~doc)
           [
             table_cmd; validate_cmd; lint_cmd; trace_cmd; dump_cmd; bench_cmd;
-            prove_cmd;
+            certify_cmd; prove_cmd;
           ]))

@@ -14,9 +14,12 @@
      relative tolerance - times are simulated, so drift only comes
      from code changes, and the tolerance only absorbs intentional
      cost-model adjustments;
-   - per (benchmark, dataset, variant) footprint, the allocation count
-     and peak live bytes must be monotone non-increasing - these are
-     exact counters, so any increase is a regression by definition;
+   - per (benchmark, dataset, variant) footprint, the allocation count,
+     peak live bytes and modeled DRAM traffic must be monotone
+     non-increasing - these are exact counters, so any increase is a
+     regression by definition;
+   - a capped pool's high-water mark must not exceed its cap (checked
+     on the current record alone - the cap is a costed constraint);
    - a benchmark present in the baseline must stay present.
 
    Improvements beyond tolerance and new benchmarks are reported as
@@ -214,7 +217,7 @@ let name_of b = Option.value ~default:"?" (Option.bind (member "name" b) str)
 (* time fields per row, footprint fields per variant *)
 let row_times = [ "unopt_ms"; "opt_ms"; "reuse_ms" ]
 let fp_variants = [ "unopt"; "opt"; "reuse" ]
-let fp_monotone = [ "allocs"; "peak_bytes" ]
+let fp_monotone = [ "allocs"; "peak_bytes"; "traffic_bytes" ]
 
 let gate ?(tolerance = default_tolerance) ~(baseline : t) ~(current : t) () :
     gate =
@@ -301,7 +304,22 @@ let gate ?(tolerance = default_tolerance) ~(baseline : t) ~(current : t) () :
                                    refreshing the baseline"
                                   bname ds variant field b c
                           | _ -> ())
-                        fp_monotone)
+                        fp_monotone;
+                      (* a capped pool's high-water mark must respect
+                         the cap: the cap is a costed constraint, not a
+                         hint, so any breach is a hard failure of the
+                         current record regardless of the baseline *)
+                      match
+                        ( num_at [ variant; "pool"; "high_water_bytes" ] cf,
+                          num_at [ variant; "pool"; "cap" ] cf )
+                      with
+                      | Some hw, Some cap ->
+                          incr checked;
+                          if hw > cap then
+                            reg
+                              "%s [%s] %s: pool high-water %g exceeds cap %g"
+                              bname ds variant hw cap
+                      | _ -> ())
                     fp_variants)
             (fps bb))
     base_b;

@@ -56,6 +56,10 @@ type footprint = {
   f_scratch : int; (* in-kernel (thread-private) allocations *)
   f_alloc_bytes : float;
   f_peak_bytes : float;
+  f_traffic_bytes : float;
+      (* modeled DRAM traffic: kernel reads + writes + copies (the
+         bench gate requires this monotone non-increasing across
+         unopt -> opt -> reuse) *)
   f_pool_hits : int; (* allocations served from the pool's free lists *)
   f_pool_misses : int; (* allocations falling through to the device *)
   f_pool : Device.Pool.stats option;
@@ -70,6 +74,8 @@ let footprint_of (r : Exec.report) : footprint =
     f_scratch = c.Device.scratch_allocs;
     f_alloc_bytes = c.Device.alloc_bytes +. c.Device.scratch_bytes;
     f_peak_bytes = c.Device.peak_bytes;
+    f_traffic_bytes =
+      c.Device.kernel_reads +. c.Device.kernel_writes +. c.Device.copy_bytes;
     f_pool_hits = c.Device.pool_hits;
     f_pool_misses = c.Device.pool_misses;
     f_pool = r.Exec.pool;
@@ -105,27 +111,29 @@ let traffic_comparison (compiled : Core.Pipeline.compiled)
     check = Core.Memtrace.check t;
   }
 
-let run_table ?options ?reuse ?(pool = true) ?trace_args ~title ~runs
-    ~(prog : Ir.Ast.prog) ~(datasets : dataset list)
+let run_table ?options ?reuse ?(pool = true) ?pool_cap ?trace_args ~title
+    ~runs ~(prog : Ir.Ast.prog) ~(datasets : dataset list)
     ~(paper : (string * string * (float * float * float * float)) list) () :
     outcome =
-  let compiled = Core.Pipeline.compile ?options ?reuse prog in
+  (* Every table run certifies: the checked per-pass certificates ride
+     along in [compiled.certs] for the bench JSON record. *)
+  let compiled = Core.Pipeline.compile ?options ?reuse ~certify:true prog in
   let paper = paper_tbl paper in
   (* counters are device-independent: execute once per dataset *)
   let measured =
     List.map
       (fun ds ->
         let r_unopt =
-          Exec.run ~mode:Exec.Cost_only ~pool compiled.Core.Pipeline.unopt
-            ds.args
+          Exec.run ~mode:Exec.Cost_only ~pool ?pool_cap
+            compiled.Core.Pipeline.unopt ds.args
         in
         let r_opt =
-          Exec.run ~mode:Exec.Cost_only ~pool compiled.Core.Pipeline.opt
-            ds.args
+          Exec.run ~mode:Exec.Cost_only ~pool ?pool_cap
+            compiled.Core.Pipeline.opt ds.args
         in
         let r_reuse =
-          Exec.run ~mode:Exec.Cost_only ~pool compiled.Core.Pipeline.reuse
-            ds.args
+          Exec.run ~mode:Exec.Cost_only ~pool ?pool_cap
+            compiled.Core.Pipeline.reuse ds.args
         in
         let ref_c =
           match ds.ref_counters with

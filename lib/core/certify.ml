@@ -1,0 +1,954 @@
+(* Memcert: per-rewrite proof certificates and the independent
+   translation-validation checker (see certify.mli for the design).
+
+   The checker deliberately shares no decision code with the emitting
+   passes: every structural fact (last uses, live ranges, scalar
+   definitions, allocation sites) is re-derived here by fresh scans of
+   the pre-/post-pass programs, and every symbolic fact is re-proved
+   through the public prover entry points ({!Pr.prove_ge},
+   {!Refset.disjoint}, {!Lmad.bounds} + {!Pr.check_in_range}).  When
+   the symbolic re-proof fails, the claim is *concretized*: small
+   shape assignments consistent with the recorded prover context are
+   enumerated, and the claim is evaluated exactly.  A violation under
+   an admissible assignment refutes the obligation (the certificate is
+   wrong, not merely unproven); otherwise the claim is reported as
+   dynamically validated at those sizes. *)
+
+open Ir.Ast
+module P = Symalg.Poly
+module Pr = Symalg.Prover
+module Lmad = Lmads.Lmad
+module Ixfn = Lmads.Ixfn
+module Refset = Lmads.Refset
+module SS = Ir.Ast.SS
+module IS = Set.Make (Int)
+
+(* ---------------------------------------------------------------- *)
+(* Certificate IR                                                    *)
+(* ---------------------------------------------------------------- *)
+
+type rewrite =
+  | Copy_elide of { candidate : string; dst_block : string; at_binding : string }
+  | Chain_removal of { loop_binding : string; position : int }
+  | Rotation of {
+      loop_binding : string;
+      init_block : string;
+      init_arr : string;
+      spare_block : string;
+    }
+  | Coalesce of { earlier : string; later : string }
+  | Hoist of { block : string; loop_binding : string }
+
+type claim =
+  | Nonoverlap of { w : Refset.t; u : Refset.t }
+  | Size_ge of { larger : P.t; smaller : P.t }
+  | Bounds_in of { lmad : Lmad.t; lo : P.t; hi : P.t }
+  | Last_use of { var : string; at_binding : string }
+  | Rebased of { var : string; mem : mem_info }
+  | Dead_mem of { names : string list }
+  | Dead_after of { names : string list; binding : string }
+  | Live_disjoint of { earlier : string; later : string; movers : string list }
+  | Dies_each_iter of { block : string; loop_binding : string }
+  | Sole_occupant of { block : string; ixfn : Ixfn.t }
+
+type obligation = {
+  o_id : int;
+  o_pass : string;
+  o_rewrite : rewrite;
+  o_claim : claim;
+  o_ctx : Pr.t;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Recording                                                         *)
+(* ---------------------------------------------------------------- *)
+
+type recorder = {
+  r_pass : string;
+  mutable r_obls : obligation list; (* reversed *)
+  mutable r_next : int;
+}
+
+let recorder ~pass = { r_pass = pass; r_obls = []; r_next = 0 }
+
+let emit r o_rewrite ?(ctx = Pr.empty) o_claim =
+  r.r_obls <-
+    { o_id = r.r_next; o_pass = r.r_pass; o_rewrite; o_claim; o_ctx = ctx }
+    :: r.r_obls;
+  r.r_next <- r.r_next + 1
+
+let obligations r = List.rev r.r_obls
+let count r = r.r_next
+
+(* ---------------------------------------------------------------- *)
+(* Rendering of the IR                                               *)
+(* ---------------------------------------------------------------- *)
+
+let pp_rewrite ppf = function
+  | Copy_elide { candidate; dst_block; at_binding } ->
+      Fmt.pf ppf "copy-elide %s into %s at %s" candidate dst_block at_binding
+  | Chain_removal { loop_binding; position } ->
+      Fmt.pf ppf "chain-removal position %d of loop %s" position loop_binding
+  | Rotation { loop_binding; init_block; init_arr; spare_block } ->
+      Fmt.pf ppf "rotation of loop %s (init %s@%s, spare %s)" loop_binding
+        init_arr init_block spare_block
+  | Coalesce { earlier; later } ->
+      Fmt.pf ppf "coalesce %s <- %s" earlier later
+  | Hoist { block; loop_binding } ->
+      Fmt.pf ppf "hoist %s out of loop %s" block loop_binding
+
+let pp_claim ppf = function
+  | Nonoverlap { w; u } ->
+      Fmt.pf ppf "nonoverlap W=%a # U=%a" Refset.pp w Refset.pp u
+  | Size_ge { larger; smaller } ->
+      Fmt.pf ppf "size %a >= %a" P.pp larger P.pp smaller
+  | Bounds_in { lmad; lo; hi } ->
+      Fmt.pf ppf "bounds of %a within [%a, %a]" Lmad.pp lmad P.pp lo P.pp hi
+  | Last_use { var; at_binding } ->
+      Fmt.pf ppf "last use of %s at %s" var at_binding
+  | Rebased { var; mem } ->
+      Fmt.pf ppf "%s rebased to %s with %a" var mem.block Ixfn.pp mem.ixfn
+  | Dead_mem { names } ->
+      Fmt.pf ppf "dead memory %a" Fmt.(list ~sep:comma string) names
+  | Dead_after { names; binding } ->
+      Fmt.pf ppf "%a dead after %s" Fmt.(list ~sep:comma string) names binding
+  | Live_disjoint { earlier; later; movers } ->
+      Fmt.pf ppf "live ranges %s before %s (movers %a)" earlier later
+        Fmt.(list ~sep:comma string)
+        movers
+  | Dies_each_iter { block; loop_binding } ->
+      Fmt.pf ppf "%s dies within each iteration of %s" block loop_binding
+  | Sole_occupant { block; ixfn } ->
+      Fmt.pf ppf "sole occupant of %s is %a" block Ixfn.pp ixfn
+
+let claim_kind = function
+  | Nonoverlap _ -> "nonoverlap"
+  | Size_ge _ -> "size-ge"
+  | Bounds_in _ -> "bounds-in"
+  | Last_use _ -> "last-use"
+  | Rebased _ -> "rebased"
+  | Dead_mem _ -> "dead-mem"
+  | Dead_after _ -> "dead-after"
+  | Live_disjoint _ -> "live-disjoint"
+  | Dies_each_iter _ -> "dies-each-iter"
+  | Sole_occupant _ -> "sole-occupant"
+
+(* ---------------------------------------------------------------- *)
+(* Verdicts and reports                                              *)
+(* ---------------------------------------------------------------- *)
+
+type verdict = Proved | Concretized of int list | Failed of string
+type checked = { obl : obligation; verdict : verdict; detail : string }
+
+type report = {
+  pass : string;
+  emitted : int;
+  proved : int;
+  concretized : int;
+  failed : int;
+  checked : checked list;
+}
+
+let ok r = r.failed = 0
+
+let failures r =
+  List.filter (fun c -> match c.verdict with Failed _ -> true | _ -> false)
+    r.checked
+
+let pp_verdict ppf = function
+  | Proved -> Fmt.string ppf "proved"
+  | Concretized [] -> Fmt.string ppf "undecided"
+  | Concretized sizes ->
+      Fmt.pf ppf "validated dynamically at sizes %a"
+        Fmt.(list ~sep:comma int)
+        sizes
+  | Failed w -> Fmt.pf ppf "FAILED: %s" w
+
+let pp_checked ppf c =
+  Fmt.pf ppf "#%d [%s] %a: %a - %a" c.obl.o_id (claim_kind c.obl.o_claim)
+    pp_rewrite c.obl.o_rewrite pp_verdict c.verdict Fmt.text c.detail
+
+let pp_report ppf r =
+  Report.section ~title:(Fmt.str "memcert %s" r.pass) ppf
+    [
+      ("obligations emitted", string_of_int r.emitted);
+      ("proved", string_of_int r.proved);
+      ("concretized", string_of_int r.concretized);
+      ("failed", string_of_int r.failed);
+    ];
+  let fails = failures r in
+  if fails <> [] then Fmt.pf ppf "@,%a" (Report.items ~bullet:"-" pp_checked) fails
+
+(* ---------------------------------------------------------------- *)
+(* Independent program scans                                         *)
+(* ---------------------------------------------------------------- *)
+
+(* i64 scalar definitions, rebuilt here from scratch (same shape as the
+   passes' tables, but re-derived so a table bug there cannot leak into
+   the check). *)
+let atom_poly = function
+  | Int c -> Some (P.const c)
+  | Var v -> Some (P.var v)
+  | _ -> None
+
+let scalar_def (s : stm) : (string * P.t) option =
+  match (s.pat, s.exp) with
+  | [ pe ], EIdx p when pe.pt = TScalar I64 -> Some (pe.pv, p)
+  | [ pe ], EAtom (Int c) when pe.pt = TScalar I64 -> Some (pe.pv, P.const c)
+  | [ pe ], EAtom (Var v) when pe.pt = TScalar I64 -> Some (pe.pv, P.var v)
+  | [ pe ], EBin (op, a, b) when pe.pt = TScalar I64 -> (
+      match (atom_poly a, atom_poly b, op) with
+      | Some pa, Some pb, Add -> Some (pe.pv, P.add pa pb)
+      | Some pa, Some pb, Sub -> Some (pe.pv, P.sub pa pb)
+      | Some pa, Some pb, Mul -> Some (pe.pv, P.mul pa pb)
+      | _ -> None)
+  | _ -> None
+
+let scalar_table (p : prog) : P.t P.SM.t =
+  List.fold_left
+    (fun acc s ->
+      match scalar_def s with Some (v, d) -> P.SM.add v d acc | None -> acc)
+    P.SM.empty
+    (all_stms_block p.body)
+
+let resolve scal p = try P.subst_fixpoint scal p with Failure _ -> p
+let resolve_lmad scal l = try Lmad.subst_fixpoint scal l with Failure _ -> l
+
+let memory_lmad ixfn =
+  match List.rev (Ixfn.chain ixfn) with l :: _ -> l | [] -> assert false
+
+(* Every pattern element of the program, including loop-carried
+   parameters (which the short-circuiting pass rebases too). *)
+let all_pat_elems (p : prog) : pat_elem list =
+  let acc = ref (List.rev p.params) in
+  List.iter
+    (fun s ->
+      List.iter (fun pe -> acc := pe :: !acc) s.pat;
+      match s.exp with
+      | ELoop { params; _ } ->
+          List.iter (fun (pe, _) -> acc := pe :: !acc) params
+      | _ -> ())
+    (all_stms_block p.body);
+  List.rev !acc
+
+let find_pat_elem (p : prog) v =
+  List.find_opt (fun pe -> pe.pv = v) (all_pat_elems p)
+
+let find_stm (p : prog) binding =
+  List.find_opt
+    (fun s -> List.exists (fun pe -> pe.pv = binding) s.pat)
+    (all_stms_block p.body)
+
+(* The enclosing block and statement index of the binding. *)
+let rec find_in_block (b : block) binding : (block * int) option =
+  let rec go i = function
+    | [] -> None
+    | s :: rest -> (
+        if List.exists (fun pe -> pe.pv = binding) s.pat then Some (b, i)
+        else
+          let sub =
+            match s.exp with
+            | EMap { body; _ } | ELoop { body; _ } -> find_in_block body binding
+            | EIf { tb; fb; _ } -> (
+                match find_in_block tb binding with
+                | Some r -> Some r
+                | None -> find_in_block fb binding)
+            | _ -> None
+          in
+          match sub with Some r -> Some r | None -> go (i + 1) rest)
+  in
+  go 0 b.stms
+
+let alloc_size (p : prog) block : P.t option =
+  List.find_map
+    (fun s ->
+      match (s.pat, s.exp) with
+      | [ pe ], EAlloc sz when pe.pv = block -> Some sz
+      | _ -> None)
+    (all_stms_block p.body)
+
+let annots_into (p : prog) block : (string * mem_info) list =
+  List.filter_map
+    (fun pe ->
+      match pe.pmem with
+      | Some m when m.block = block -> Some (pe.pv, m)
+      | _ -> None)
+    (all_pat_elems p)
+
+(* Does any annotation mention [name] (as its block or inside its index
+   function)? *)
+let annot_mentions (p : prog) name =
+  List.exists
+    (fun pe ->
+      match pe.pmem with
+      | Some m -> m.block = name || List.mem name (Ixfn.vars m.ixfn)
+      | None -> false)
+    (all_pat_elems p)
+
+(* Occurrences of [name] in expression position that are not
+   loop-carried plumbing: allowed are a TMem parameter's init atom and
+   the body-result atom feeding a TMem parameter position. *)
+let nonstructural_occurrence (p : prog) name : bool =
+  let rec go_block ?(tmem_res = []) (b : block) =
+    List.exists go_stm b.stms
+    || List.exists
+         (fun (i, a) ->
+           match a with
+           | Var v when v = name -> not (List.mem i tmem_res)
+           | _ -> false)
+         (List.mapi (fun i a -> (i, a)) b.res)
+  and go_stm s =
+    match s.exp with
+    | ELoop { params; bound; body; _ } ->
+        let tmem_res =
+          List.mapi (fun i (pe, _) -> (i, pe.pt = TMem)) params
+          |> List.filter_map (fun (i, is_mem) ->
+                 if is_mem then Some i else None)
+        in
+        List.exists
+          (fun (pe, a) ->
+            match a with Var v when v = name -> pe.pt <> TMem | _ -> false)
+          params
+        || SS.mem name (fv_idx bound)
+        || go_block ~tmem_res body
+    | EMap { nest; body } ->
+        List.exists (fun (_, n) -> SS.mem name (fv_idx n)) nest
+        || go_block body
+    | EIf { cond; tb; fb } ->
+        SS.mem name (fv_atom cond) || go_block tb || go_block fb
+    | e -> SS.mem name (fv_exp e)
+  in
+  go_block p.body
+
+(* Expression-position occurrences of a memory block inside a block
+   (annotations do not count: arrays living in the block are fine). *)
+let exp_occurrence_in (b : block) name : bool =
+  List.exists
+    (fun s ->
+      match s.exp with
+      | ELoop { params; bound; _ } ->
+          List.exists
+            (fun (_, a) -> match a with Var v -> v = name | _ -> false)
+            params
+          || SS.mem name (fv_idx bound)
+      | EMap { nest; _ } ->
+          List.exists (fun (_, n) -> SS.mem name (fv_idx n)) nest
+      | EIf { cond; _ } -> SS.mem name (fv_atom cond)
+      | e -> SS.mem name (fv_exp e))
+    (all_stms_block b)
+  ||
+  let rec res_occ (b : block) =
+    List.exists (function Var v -> v = name | _ -> false) b.res
+    || List.exists
+         (fun s ->
+           match s.exp with
+           | EMap { body; _ } | ELoop { body; _ } -> res_occ body
+           | EIf { tb; fb; _ } -> res_occ tb || res_occ fb
+           | _ -> false)
+         b.stms
+  in
+  res_occ b
+
+(* ---------------------------------------------------------------- *)
+(* Concretization                                                    *)
+(* ---------------------------------------------------------------- *)
+
+(* Seed sizes for the concretizer: small, distinct, and co-prime, so
+   aliasing accidents at one size rarely repeat at the next. *)
+let seeds = [ 2; 3; 5; 7 ]
+
+(* Build a total assignment consistent with the recorded context: a
+   variable with a recorded equality takes its right-hand side's value;
+   a ranged variable is the seed clamped into its (evaluated) bounds;
+   anything else is the seed itself.  The [admissible] flag is cleared
+   when a range is discovered empty, in which case nothing may be
+   concluded from this assignment. *)
+let valuation (ctx : Pr.t) (seed : int) : (string -> int) * bool ref =
+  let eqs = Hashtbl.create 16 and bnds = Hashtbl.create 16 in
+  List.iter (fun (v, p) -> Hashtbl.replace eqs v p) (Pr.equalities ctx);
+  List.iter (fun (v, lo, hi) -> Hashtbl.replace bnds v (lo, hi))
+    (Pr.var_bounds ctx);
+  let memo = Hashtbl.create 16 in
+  let admissible = ref true in
+  let rec env v =
+    match Hashtbl.find_opt memo v with
+    | Some x -> x
+    | None ->
+        Hashtbl.replace memo v seed (* provisional: breaks cycles *);
+        let x =
+          match Hashtbl.find_opt eqs v with
+          | Some rhs -> P.eval env rhs
+          | None -> (
+              match Hashtbl.find_opt bnds v with
+              | None -> seed
+              | Some (lo, hi) ->
+                  let lo_v = Option.map (P.eval env) lo in
+                  let hi_v = Option.map (P.eval env) hi in
+                  (match (lo_v, hi_v) with
+                  | Some l, Some h when l > h -> admissible := false
+                  | _ -> ());
+                  let x = seed in
+                  let x = match lo_v with Some l -> max l x | None -> x in
+                  let x = match hi_v with Some h -> min h x | None -> x in
+                  x)
+        in
+        Hashtbl.replace memo v x;
+        x
+  in
+  (env, admissible)
+
+(* Enumeration guard: refsets whose concrete point count exceeds this
+   are not enumerated (the seed is skipped, not failed). *)
+let max_points = 20_000
+
+type concrete_outcome = CViolated of int * string | CValidated of int list
+
+(* Run [eval] (true = claim holds, false = violated with the given
+   witness) under every admissible seed assignment. *)
+let concretely (ctx : Pr.t)
+    (eval : (string -> int) -> [ `Holds | `Violated of string | `Skip ]) :
+    concrete_outcome =
+  let rec go validated = function
+    | [] -> CValidated (List.rev validated)
+    | seed :: rest -> (
+        let env, admissible = valuation ctx seed in
+        match (try eval env with _ -> `Skip) with
+        | _ when not !admissible -> go validated rest
+        | `Holds -> go (seed :: validated) rest
+        | `Violated w -> CViolated (seed, w)
+        | `Skip -> go validated rest)
+  in
+  go [] seeds
+
+(* ---------------------------------------------------------------- *)
+(* Per-claim checking                                                *)
+(* ---------------------------------------------------------------- *)
+
+let concrete_verdict = function
+  | CViolated (seed, w) -> (Failed w, Fmt.str "refuted at sizes = %d" seed)
+  | CValidated [] ->
+      (Concretized [], "undecided - no admissible concrete instance")
+  | CValidated sizes ->
+      ( Concretized sizes,
+        Fmt.str "undecided symbolically; validated dynamically at sizes %a"
+          Fmt.(list ~sep:comma int)
+          sizes )
+
+let check_nonoverlap ctx w u =
+  if Refset.disjoint ~depth:3 ctx w u then
+    (Proved, "write and use sets re-proved disjoint")
+  else
+    concrete_verdict
+      (concretely ctx (fun env ->
+           match (Refset.concretize env w, Refset.concretize env u) with
+           | Some ws, Some us ->
+               let card =
+                 List.fold_left (fun a c -> a + Lmad.concrete_card c) 0 ws
+                 + List.fold_left (fun a c -> a + Lmad.concrete_card c) 0 us
+               in
+               if card > max_points then `Skip
+               else
+                 let wset =
+                   IS.of_list (List.concat_map Lmad.concrete_points ws)
+                 in
+                 let hit =
+                   List.concat_map Lmad.concrete_points us
+                   |> List.find_opt (fun o -> IS.mem o wset)
+                 in
+                 (match hit with
+                 | Some o ->
+                     `Violated
+                       (Fmt.str "offset %d is both written and used" o)
+                 | None -> `Holds)
+           | _ -> `Skip (* Top has no finite enumeration *)))
+
+let check_size_ge ctx larger smaller =
+  if Pr.prove_ge ctx larger smaller then
+    (Proved, Fmt.str "re-proved %a >= %a" P.pp larger P.pp smaller)
+  else
+    concrete_verdict
+      (concretely ctx (fun env ->
+           let lv = P.eval env larger and sv = P.eval env smaller in
+           if lv >= sv then `Holds
+           else
+             `Violated
+               (Fmt.str "%a = %d < %a = %d" P.pp larger lv P.pp smaller sv)))
+
+let check_bounds_in ctx lmad lo hi =
+  let concrete () =
+    concrete_verdict
+      (concretely ctx (fun env ->
+           let c = Lmad.concretize env lmad in
+           let lo_v = P.eval env lo and hi_v = P.eval env hi in
+           match Lmad.concrete_extrema c with
+           | None -> `Holds (* empty set: trivially in bounds *)
+           | Some (mn, mx) ->
+               if mn < lo_v then
+                 `Violated (Fmt.str "minimum offset %d < %d" mn lo_v)
+               else if mx > hi_v then
+                 `Violated (Fmt.str "maximum offset %d > %d" mx hi_v)
+               else `Holds))
+  in
+  match Lmad.bounds ctx lmad with
+  | None -> concrete ()
+  | Some (mn, mx) -> (
+      match
+        ( Pr.check_in_range ctx mn ~lo ~hi,
+          Pr.check_in_range ctx mx ~lo ~hi )
+      with
+      | Pr.In_range, Pr.In_range ->
+          (Proved, Fmt.str "extrema [%a, %a] re-proved in range" P.pp mn P.pp mx)
+      | Pr.Out_of_range, _ | _, Pr.Out_of_range ->
+          ( Failed
+              (Fmt.str "extrema [%a, %a] provably outside [%a, %a]" P.pp mn
+                 P.pp mx P.pp lo P.pp hi),
+            "footprint proved out of bounds" )
+      | _ -> concrete ())
+
+let check_last_use pre var at_binding =
+  match find_stm pre at_binding with
+  | None ->
+      ( Failed (Fmt.str "no statement binds %s in the pre-pass program"
+            at_binding),
+        "structural" )
+  | Some s ->
+      if List.mem var s.last_uses then
+        (Proved, "last use re-derived on the pre-pass program")
+      else
+        ( Failed
+            (Fmt.str "%s is not lastly used at %s (last uses there: %a)" var
+               at_binding
+               Fmt.(list ~sep:comma string)
+               s.last_uses),
+          "structural" )
+
+let check_rebased post post_scal ctx ~final var (mem : mem_info) =
+  if not final then
+    (Proved, "superseded by a later rebase of the same binding")
+  else
+    match find_pat_elem post var with
+    | None ->
+        (Failed (Fmt.str "%s is not bound in the post-pass program" var),
+         "structural")
+    | Some pe -> (
+        match pe.pmem with
+        | None ->
+            (Failed (Fmt.str "%s carries no memory annotation" var),
+             "structural")
+        | Some m when m.block <> mem.block ->
+            ( Failed
+                (Fmt.str "%s is annotated into %s, certificate says %s" var
+                   m.block mem.block),
+              "structural" )
+        | Some m
+          when not
+                 (Ixfn.equal m.ixfn mem.ixfn
+                 || Ixfn.equal
+                      (Ixfn.subst_fixpoint post_scal m.ixfn)
+                      (Ixfn.subst_fixpoint post_scal mem.ixfn)) ->
+            ( Failed
+                (Fmt.str "index function of %s differs from the certificate"
+                   var),
+              "structural" )
+        | Some _ -> (
+            (* The annotation matches; additionally re-derive that its
+               footprint fits the destination block, an obligation the
+               emitting pass never discharges itself. *)
+            match alloc_size post mem.block with
+            | None -> (Proved, "structural match (no static allocation size)")
+            | Some size -> (
+                let l = resolve_lmad post_scal (memory_lmad mem.ixfn) in
+                let size = resolve post_scal size in
+                let last = P.sub size P.one in
+                let validate () =
+                  (* Conservative: a concrete out-of-bounds here is not a
+                     refutation, because the recorded context may lack
+                     ranges for enclosing loop indices; only successful
+                     validations are reported. *)
+                  let sizes =
+                    List.filter
+                      (fun seed ->
+                        let env, admissible = valuation ctx seed in
+                        try
+                          let c = Lmad.concretize env l in
+                          let sz = P.eval env size in
+                          !admissible
+                          &&
+                          match Lmad.concrete_extrema c with
+                          | None -> true
+                          | Some (mn, mx) -> mn >= 0 && mx < sz
+                        with _ -> false)
+                      seeds
+                  in
+                  if sizes = [] then
+                    (Proved, "structural match; footprint undecided")
+                  else
+                    ( Concretized sizes,
+                      Fmt.str
+                        "structural match; footprint validated at sizes %a"
+                        Fmt.(list ~sep:comma int)
+                        sizes )
+                in
+                match Lmad.bounds ctx l with
+                | None -> validate ()
+                | Some (mn, mx) -> (
+                    match
+                      ( Pr.check_in_range ctx mn ~lo:P.zero ~hi:last,
+                        Pr.check_in_range ctx mx ~lo:P.zero ~hi:last )
+                    with
+                    | Pr.In_range, Pr.In_range ->
+                        (Proved, "structural match; footprint re-proved")
+                    | Pr.Out_of_range, _ | _, Pr.Out_of_range ->
+                        ( Failed
+                            (Fmt.str
+                               "footprint [%a, %a] provably exceeds block %s \
+                                of size %a"
+                               P.pp mn P.pp mx mem.block P.pp size),
+                          "footprint" )
+                    | _ -> validate ()))))
+
+let check_dead_mem pre post names =
+  let bad =
+    List.find_map
+      (fun name ->
+        if annot_mentions pre name then
+          Some (Fmt.str "%s is still referenced by an annotation" name)
+        else if nonstructural_occurrence pre name then
+          Some (Fmt.str "%s has a non-structural use in the pre program" name)
+        else if
+          List.exists (fun pe -> pe.pv = name) (all_pat_elems post)
+          || SS.mem name (fv_block post.body)
+        then Some (Fmt.str "%s survives in the post-pass program" name)
+        else None)
+      names
+  in
+  match bad with
+  | Some w -> (Failed w, "structural")
+  | None -> (Proved, "dead chain re-derived on both programs")
+
+let check_dead_after pre names binding =
+  match find_in_block pre.body binding with
+  | None ->
+      (Failed (Fmt.str "no statement binds %s" binding), "structural")
+  | Some (blk, i) -> (
+      let s = List.nth blk.stms i in
+      let nm = SS.of_list names in
+      let body_bad =
+        match s.exp with
+        | ELoop { body; _ } ->
+            not (SS.disjoint nm (fv_block body))
+        | _ -> false
+      in
+      let offender_after =
+        List.filteri (fun j _ -> j > i) blk.stms
+        |> List.find_opt (fun s' -> not (SS.disjoint nm (fv_stm s')))
+      in
+      let res_bad =
+        List.exists
+          (function Var v -> SS.mem v nm | _ -> false)
+          blk.res
+      in
+      if body_bad then
+        ( Failed
+            (Fmt.str "%a referenced inside the loop body"
+               Fmt.(list ~sep:comma string)
+               names),
+          "structural" )
+      else
+        match offender_after with
+        | Some s' ->
+            ( Failed
+                (Fmt.str "%a referenced after %s (at the binding of %a)"
+                   Fmt.(list ~sep:comma string)
+                   names binding
+                   Fmt.(list ~sep:comma string)
+                   (List.map (fun pe -> pe.pv) s'.pat)),
+              "structural" )
+        | None ->
+            if res_bad then
+              ( Failed
+                  (Fmt.str "%a escape through the block result"
+                     Fmt.(list ~sep:comma string)
+                     names),
+                "structural" )
+            else (Proved, "liveness re-derived: dead after the loop"))
+
+(* Live ranges by statement index inside [blk]: a statement belongs to
+   a range when its free variables (annotations included) intersect the
+   range's name set. *)
+let live_range blk name_set =
+  let last = ref None and first = ref None in
+  List.iteri
+    (fun j s ->
+      if not (SS.disjoint name_set (fv_stm s)) then begin
+        if !first = None then first := Some j;
+        last := Some j
+      end)
+    blk.stms;
+  (!first, !last)
+
+(* A coalesce [L -> E] is justified when, in the pre-pass program, the
+   last sibling statement referencing E's range precedes the first one
+   referencing L's.  The ranges are re-derived from scratch: E's names
+   are the block itself, every array annotated into it, and everything
+   previous coalesces merged into it (the accumulator mirrors the
+   pass's monotone [e_last], but is recomputed here); L's names are the
+   block, its annotated arrays, and the moved variables recorded in the
+   obligation.  The comparison happens in the innermost block whose
+   top-level statements reference both ranges - allocation statements
+   are deliberately not used as anchors, because cross-scope hoisting
+   moves them before coalescing runs. *)
+let check_live_disjoint ~pre movers_acc earlier later movers =
+  let acc_of b =
+    Option.value ~default:SS.empty (Hashtbl.find_opt movers_acc b)
+  in
+  let occupants blk =
+    SS.of_list (List.map fst (annots_into pre blk))
+  in
+  let names_e = SS.add earlier (SS.union (occupants earlier) (acc_of earlier)) in
+  let names_l =
+    SS.add later
+      (SS.union (occupants later) (SS.of_list movers))
+  in
+  let finish verdict detail =
+    Hashtbl.replace movers_acc earlier (SS.union (acc_of earlier) names_l);
+    (verdict, detail)
+  in
+  let hits names (b : block) =
+    List.exists (fun s -> not (SS.disjoint names (fv_stm s))) b.stms
+  in
+  let rec find_common (b : block) : block option =
+    let deeper =
+      List.fold_left
+        (fun acc s ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match s.exp with
+              | EMap { body; _ } | ELoop { body; _ } -> find_common body
+              | EIf { tb; fb; _ } -> (
+                  match find_common tb with
+                  | Some r -> Some r
+                  | None -> find_common fb)
+              | _ -> None))
+        None b.stms
+    in
+    match deeper with
+    | Some r -> Some r
+    | None -> if hits names_e b && hits names_l b then Some b else None
+  in
+  match find_common pre.body with
+  | None ->
+      finish Proved
+        "ranges never co-referenced in the pre program (or the block was \
+         introduced by a prior rewrite of the same pass)"
+  | Some blk -> (
+      let _, le = live_range blk names_e in
+      let fl, _ = live_range blk names_l in
+      let escapes =
+        List.exists
+          (function Var v -> SS.mem v names_l | _ -> false)
+          blk.res
+      in
+      if escapes then
+        finish
+          (Failed (Fmt.str "block %s escapes its enclosing block" later))
+          "structural"
+      else
+        match (le, fl) with
+        | Some le, Some fl when le >= fl ->
+            finish
+              (Failed
+                 (Fmt.str
+                    "live ranges overlap: %s last referenced at statement \
+                     %d, %s first referenced at %d"
+                    earlier le later fl))
+              "structural"
+        | _ ->
+            finish Proved "live ranges re-derived disjoint on the pre program")
+
+let check_dies_each_iter pre post block loop_binding =
+  match find_stm pre loop_binding with
+  | None ->
+      (Failed (Fmt.str "no loop binds %s in the pre program" loop_binding),
+       "structural")
+  | Some s -> (
+      match s.exp with
+      | ELoop { body; _ } ->
+          (* Anywhere within the body subtree: a block hoisted out of
+             two nested loops yields one obligation per loop, and for
+             the outer one the pre-pass allocation is still inside the
+             inner body. *)
+          let allocated_inside = find_in_block body block <> None in
+          if not allocated_inside then
+            ( Failed
+                (Fmt.str "%s is not allocated within the body of %s" block
+                   loop_binding),
+              "structural" )
+          else if exp_occurrence_in body block && annot_mentions pre block then
+            (* A structural occurrence alone is fine when nothing is
+               annotated into the block anywhere: chain removal orphans
+               such plumbing earlier in the same pass, and hoisting an
+               allocation whose contents are never referenced cannot
+               change behaviour. *)
+            ( Failed
+                (Fmt.str
+                   "%s occurs in expression position inside the loop body \
+                    (contents may survive an iteration)"
+                   block),
+              "structural" )
+          else (
+            (* post side: the allocation must have left the body *)
+            match find_stm post loop_binding with
+            | Some { exp = ELoop { body = post_body; _ }; _ } ->
+                if find_in_block post_body block <> None then
+                  ( Failed
+                      (Fmt.str "%s is still allocated inside the loop body"
+                         block),
+                    "structural" )
+                else if find_in_block post.body block = None then
+                  ( Failed
+                      (Fmt.str "%s has no allocation in the post program"
+                         block),
+                    "structural" )
+                else
+                  (Proved, "per-iteration death re-derived; allocation hoisted")
+            | _ ->
+                ( Failed
+                    (Fmt.str "loop %s not found in the post program"
+                       loop_binding),
+                  "structural" ))
+      | _ ->
+          (Failed (Fmt.str "%s does not bind a loop" loop_binding),
+           "structural"))
+
+let check_sole_occupant post post_scal block ixfn =
+  let offender =
+    List.find_opt
+      (fun (_, m) ->
+        not
+          (Ixfn.equal m.ixfn ixfn
+          || Ixfn.equal
+               (Ixfn.subst_fixpoint post_scal m.ixfn)
+               (Ixfn.subst_fixpoint post_scal ixfn)))
+      (annots_into post block)
+  in
+  match offender with
+  | Some (v, _) ->
+      ( Failed
+          (Fmt.str "%s occupies %s with a different index function" v block),
+        "structural" )
+  | None ->
+      (Proved, "sole-occupancy re-derived over the post program's annotations")
+
+(* ---------------------------------------------------------------- *)
+(* The checker driver                                                *)
+(* ---------------------------------------------------------------- *)
+
+let check ~pass ~pre ~post obls =
+  let pre = Ir.Clone.clone_prog pre in
+  let post = Ir.Clone.clone_prog post in
+  ignore (Lastuse.annotate pre);
+  let post_scal = scalar_table post in
+  (* A binding rebased more than once (later rounds of the pass) is
+     structurally checked only against its final recorded state. *)
+  let final_rebase = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      match o.o_claim with
+      | Rebased { var; _ } -> Hashtbl.replace final_rebase var o.o_id
+      | _ -> ())
+    obls;
+  let movers_acc = Hashtbl.create 8 in
+  let checked =
+    List.map
+      (fun o ->
+        let verdict, detail =
+          match o.o_claim with
+          | Nonoverlap { w; u } -> check_nonoverlap o.o_ctx w u
+          | Size_ge { larger; smaller } ->
+              check_size_ge o.o_ctx larger smaller
+          | Bounds_in { lmad; lo; hi } -> check_bounds_in o.o_ctx lmad lo hi
+          | Last_use { var; at_binding } -> check_last_use pre var at_binding
+          | Rebased { var; mem } ->
+              let final = Hashtbl.find_opt final_rebase var = Some o.o_id in
+              check_rebased post post_scal o.o_ctx ~final var mem
+          | Dead_mem { names } -> check_dead_mem pre post names
+          | Dead_after { names; binding } -> check_dead_after pre names binding
+          | Live_disjoint { earlier; later; movers } ->
+              check_live_disjoint ~pre movers_acc earlier later movers
+          | Dies_each_iter { block; loop_binding } ->
+              check_dies_each_iter pre post block loop_binding
+          | Sole_occupant { block; ixfn } ->
+              check_sole_occupant post post_scal block ixfn
+        in
+        { obl = o; verdict; detail })
+      obls
+  in
+  let proved, concretized, failed =
+    List.fold_left
+      (fun (p, c, f) ch ->
+        match ch.verdict with
+        | Proved -> (p + 1, c, f)
+        | Concretized _ -> (p, c + 1, f)
+        | Failed _ -> (p, c, f + 1))
+      (0, 0, 0) checked
+  in
+  { pass; emitted = List.length checked; proved; concretized; failed; checked }
+
+(* ---------------------------------------------------------------- *)
+(* JSON export                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_report r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"pass\":\"%s\",\"emitted\":%d,\"proved\":%d,\"concretized\":%d,\"failed\":%d,\"obligations\":["
+       (json_escape r.pass) r.emitted r.proved r.concretized r.failed);
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      let verdict, sizes, witness =
+        match c.verdict with
+        | Proved -> ("proved", [], None)
+        | Concretized sizes -> ("concretized", sizes, None)
+        | Failed w -> ("failed", [], Some w)
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"id\":%d,\"kind\":\"%s\",\"rewrite\":\"%s\",\"claim\":\"%s\",\"verdict\":\"%s\""
+           c.obl.o_id
+           (claim_kind c.obl.o_claim)
+           (json_escape (Fmt.str "%a" pp_rewrite c.obl.o_rewrite))
+           (json_escape (Fmt.str "%a" pp_claim c.obl.o_claim))
+           verdict);
+      if sizes <> [] then
+        Buffer.add_string b
+          (Printf.sprintf ",\"validated_at\":[%s]"
+             (String.concat "," (List.map string_of_int sizes)));
+      (match witness with
+      | Some w ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"witness\":\"%s\"" (json_escape w))
+      | None -> ());
+      Buffer.add_string b
+        (Printf.sprintf ",\"detail\":\"%s\"}" (json_escape c.detail)))
+    r.checked;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -29,6 +29,10 @@ type compiled = {
   lint : (string * Memlint.report) list;
       (* one memlint report per pipeline stage, in pass order; empty
          unless compiled with ~lint:true *)
+  certs : (string * Certify.report) list;
+      (* one checked certificate per rewriting pass (shortcircuit,
+         reuse), in pass order; empty unless compiled with
+         ~certify:true *)
 }
 
 let timed f =
@@ -44,14 +48,29 @@ let to_memory_ir (p : prog) : prog =
   p
 
 let compile ?(options = Shortcircuit.default_options)
-    ?(reuse = Reuse.default_options) ?(rounds = 2) ?(lint = false) (p : prog)
-    : compiled =
+    ?(reuse = Reuse.default_options) ?(rounds = 2) ?(lint = false)
+    ?(certify = false) (p : prog) : compiled =
   (* With ~lint:true the memory linter runs after every pass of the
      optimized build; the first stage whose report errors is the pass
      that introduced the violation (earlier stages were clean). *)
   let reports = ref [] in
   let lint_after stage q =
     if lint then reports := (stage, Memlint.check ~stage q) :: !reports
+  in
+  (* With ~certify:true each rewriting pass records its proof
+     obligations, which the independent checker re-derives against the
+     pass's own before/after pair - before cleanup, so the claims refer
+     to programs in which orphaned allocations still exist. *)
+  let certs = ref [] in
+  let recorder pass = if certify then Some (Certify.recorder ~pass) else None in
+  let check_cert pass cert ~pre ~post =
+    match cert with
+    | None -> ()
+    | Some r ->
+        let report =
+          Certify.check ~pass ~pre ~post (Certify.obligations r)
+        in
+        certs := (pass, report) :: !certs
   in
   let unopt, time_base = timed (fun () -> to_memory_ir p) in
   let opt_base =
@@ -63,22 +82,35 @@ let compile ?(options = Shortcircuit.default_options)
     lint_after "lastuse" q;
     q
   in
+  let sc_cert = recorder "shortcircuit" in
+  let sc_pre =
+    if certify then Some (Ir.Clone.clone_prog opt_base) else None
+  in
   let (opt, stats), time_sc =
-    timed (fun () -> Shortcircuit.optimize ~options ~rounds opt_base)
+    timed (fun () -> Shortcircuit.optimize ~options ~rounds ?cert:sc_cert opt_base)
   in
   lint_after "shortcircuit" opt;
+  (match sc_pre with
+  | Some pre -> check_cert "shortcircuit" sc_cert ~pre ~post:opt
+  | None -> ());
   let opt, dead_allocs = Cleanup.run opt in
   lint_after "cleanup" opt;
   (* third variant: memory-block reuse on a private clone of the
      short-circuited program, followed by a liveness refresh and a
      cleanup round to collect the allocations the pass orphaned *)
+  let re_cert = recorder "reuse" in
+  let re_pre = ref None in
   let (reuse_p, reuse_stats), time_reuse =
     timed (fun () ->
         let q = Ir.Clone.clone_prog opt in
-        let q, rst = Reuse.optimize ~options:reuse q in
+        if certify then re_pre := Some (Ir.Clone.clone_prog q);
+        let q, rst = Reuse.optimize ~options:reuse ?cert:re_cert q in
         ignore (Lastuse.annotate q);
         (q, rst))
   in
+  (match !re_pre with
+  | Some pre -> check_cert "reuse" re_cert ~pre ~post:reuse_p
+  | None -> ());
   let reuse_p, reuse_dead_allocs = Cleanup.run reuse_p in
   lint_after "reuse" reuse_p;
   {
@@ -94,6 +126,7 @@ let compile ?(options = Shortcircuit.default_options)
     time_sc;
     time_reuse;
     lint = List.rev !reports;
+    certs = List.rev !certs;
   }
 
 (* The first stage whose lint report errors: the pass that introduced
@@ -104,3 +137,11 @@ let first_lint_error (stages : (string * Memlint.report) list) :
     (fun (stage, r) ->
       match Memlint.errors r with v :: _ -> Some (stage, v) | [] -> None)
     stages
+
+(* The first pass whose certificate has a refuted obligation. *)
+let first_cert_failure (certs : (string * Certify.report) list) :
+    (string * Certify.checked) option =
+  List.find_map
+    (fun (pass, r) ->
+      match Certify.failures r with c :: _ -> Some (pass, c) | [] -> None)
+    certs

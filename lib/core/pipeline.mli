@@ -23,6 +23,10 @@ type compiled = {
       (** one {!Memlint} report per pipeline stage (memintro, hoist,
           lastuse, shortcircuit, cleanup, reuse), in pass order; empty
           unless compiled with [~lint:true] *)
+  certs : (string * Certify.report) list;
+      (** one checked {!Certify} certificate per rewriting pass
+          ([shortcircuit], [reuse]), in pass order; empty unless
+          compiled with [~certify:true] *)
 }
 
 val to_memory_ir : Ir.Ast.prog -> Ir.Ast.prog
@@ -34,6 +38,7 @@ val compile :
   ?reuse:Reuse.options ->
   ?rounds:int ->
   ?lint:bool ->
+  ?certify:bool ->
   Ir.Ast.prog ->
   compiled
 (** Produce all three configurations from a source program (which is
@@ -43,9 +48,19 @@ val compile :
     memory-block reuse pass (pass {!Reuse.disabled} for [--no-reuse],
     making [reuse] a clone of [opt]).  With [~lint:true] the
     {!Memlint} verifier runs after every pass of the optimized build
-    and the reports are collected in {!compiled.lint}. *)
+    and the reports are collected in {!compiled.lint}.  With
+    [~certify:true] each rewriting pass emits per-rewrite proof
+    obligations which {!Certify.check} re-derives against a snapshot of
+    the pass's own input and its (pre-cleanup) output; the checked
+    certificates land in {!compiled.certs}, so a failed obligation
+    names the pass and rewrite that introduced it. *)
 
 val first_lint_error :
   (string * Memlint.report) list -> (string * Memlint.violation) option
 (** The first stage whose report errors - i.e. the pass that introduced
     the first violation (all earlier stages linted clean). *)
+
+val first_cert_failure :
+  (string * Certify.report) list -> (string * Certify.checked) option
+(** The first pass whose certificate contains a refuted obligation (the
+    rewrite the independent checker could not justify). *)

@@ -355,7 +355,7 @@ let chain_analysis (p : prog) =
   List.iter (fun a -> note_atom_hard a) p.body.res;
   (!annot, !hard, !structural, !mem_binders)
 
-let remove_dead_chains (st : stats) opts (p : prog) : prog =
+let remove_dead_chains (st : stats) opts cert (p : prog) : prog =
   let annot, hard, structural, mem_binders = chain_analysis p in
   let candidates =
     ref (SS.diff mem_binders (SS.union annot hard))
@@ -391,13 +391,28 @@ let remove_dead_chains (st : stats) opts (p : prog) : prog =
       | ELoop ({ params; body; _ } as lp) ->
           let keep = Array.make (List.length params) true in
           List.iteri
-            (fun i _ ->
+            (fun i (pe, _) ->
               if removable_pos s i then begin
                 keep.(i) <- false;
                 st.chain_links <- st.chain_links + 1;
+                let loop_binding =
+                  match s.pat with pe :: _ -> pe.pv | [] -> "?"
+                in
+                (match cert with
+                | None -> ()
+                | Some r ->
+                    let names =
+                      pe.pv
+                      ::
+                      (match List.nth_opt s.pat i with
+                      | Some q -> [ q.pv ]
+                      | None -> [])
+                    in
+                    Certify.emit r
+                      (Certify.Chain_removal { loop_binding; position = i })
+                      (Certify.Dead_mem { names }));
                 trace opts "reuse: dropping dead mem chain position %d of loop %s"
-                  i
-                  (match s.pat with pe :: _ -> pe.pv | [] -> "?")
+                  i loop_binding
               end)
             params;
           if Array.for_all Fun.id keep then l @ [ s ]
@@ -459,8 +474,8 @@ let remove_dead_chains (st : stats) opts (p : prog) : prog =
      short-circuited concat-piece layout: top/mid/bot at offsets
      within the full array). *)
 
-let try_rotate (st : stats) opts ctx scalars ~alloc_sizes ~tail_refs (s : stm) :
-    stm list option =
+let try_rotate (st : stats) opts cert ctx scalars ~alloc_sizes ~tail_refs
+    (s : stm) : stm list option =
   match (s.exp, s.pat) with
   | ( ELoop { params = [ (pm, Var im); (pa, Var ia) ]; var; bound; body },
       [ qm; qa ] )
@@ -500,6 +515,7 @@ let try_rotate (st : stats) opts ctx scalars ~alloc_sizes ~tail_refs (s : stm) :
             List.fold_left (fun acc bs -> exp_vars bs.exp acc) SS.empty
               body.stms
           in
+          let size_proof = ref None in
           (match alloc_size with
           | Some sz
             when ra_in_rm
@@ -526,6 +542,7 @@ let try_rotate (st : stats) opts ctx scalars ~alloc_sizes ~tail_refs (s : stm) :
                              (resolve scalars size_im)
                              (resolve scalars sz) ->
                         st.size_proofs <- st.size_proofs + 1;
+                        size_proof := Some (`Init size_im);
                         true
                     | _ -> false
                   in
@@ -549,10 +566,17 @@ let try_rotate (st : stats) opts ctx scalars ~alloc_sizes ~tail_refs (s : stm) :
                         let ok =
                           rm_annots <> [] && List.for_all fits rm_annots
                         in
-                        if ok then st.size_proofs <- st.size_proofs + 1;
+                        if ok then begin
+                          st.size_proofs <- st.size_proofs + 1;
+                          size_proof := Some (`Fits (hi_c, rm_annots))
+                        end;
                         ok
                   in
-                  sole_carried_occupant || init_size_dominates ()
+                  (sole_carried_occupant
+                  &&
+                  (size_proof := Some `Sole;
+                   true))
+                  || init_size_dominates ()
                   || fits_carried_footprint ()
                   ||
                   (trace opts
@@ -626,6 +650,48 @@ let try_rotate (st : stats) opts ctx scalars ~alloc_sizes ~tail_refs (s : stm) :
                 }
               in
               st.rotated <- st.rotated + 1;
+              (match cert with
+              | None -> ()
+              | Some r ->
+                  let rw =
+                    Certify.Rotation
+                      {
+                        loop_binding = qa.pv;
+                        init_block = im;
+                        init_arr = ia;
+                        spare_block = smem;
+                      }
+                  in
+                  Certify.emit r rw ~ctx
+                    (Certify.Size_ge
+                       { larger = resolve scalars bound; smaller = P.one });
+                  Certify.emit r rw
+                    (Certify.Dead_after { names = [ im; ia ]; binding = qa.pv });
+                  (match !size_proof with
+                  | Some `Sole ->
+                      Certify.emit r rw
+                        (Certify.Sole_occupant
+                           { block = psm.pv; ixfn = pmi.ixfn })
+                  | Some (`Init size_im) ->
+                      Certify.emit r rw ~ctx
+                        (Certify.Size_ge
+                           {
+                             larger = resolve scalars size_im;
+                             smaller = resolve scalars sz;
+                           })
+                  | Some (`Fits (hi_c, rm_annots)) ->
+                      List.iter
+                        (fun (_, (mi : mem_info), actx) ->
+                          Certify.emit r rw ~ctx:actx
+                            (Certify.Bounds_in
+                               {
+                                 lmad =
+                                   resolve_lmad scalars (memory_lmad mi.ixfn);
+                                 lo = P.zero;
+                                 hi = hi_c;
+                               }))
+                        rm_annots
+                  | None -> ()));
               trace opts "reuse: double-buffered loop %s (spare %s)" qa.pv smem;
               Some [ alloc_stm; scratch_stm; loop' ]
           | _ -> None)
@@ -660,7 +726,7 @@ let res_refs mems (b : block) : SS.t =
       | _ -> acc)
     SS.empty b.res
 
-let coalesce_block (st : stats) opts ctx scalars mems (b : block) : unit =
+let coalesce_block (st : stats) opts cert ctx scalars mems (b : block) : unit =
   let stms = Array.of_list b.stms in
   let n = Array.length stms in
   let refs = Array.map (block_refs mems) stms in
@@ -707,7 +773,7 @@ let coalesce_block (st : stats) opts ctx scalars mems (b : block) : unit =
     let se = resolve scalars sizee and sl = resolve scalars sizel in
     if Pr.prove_ge ctx se sl then begin
       st.size_proofs <- st.size_proofs + 1;
-      true
+      Some (`Ge (se, sl))
     end
     else
       (* fallback: every annotation moving into E stays in [0, size E) *)
@@ -719,9 +785,31 @@ let coalesce_block (st : stats) opts ctx scalars mems (b : block) : unit =
             && Pr.prove_in_range ctx hi ~lo:P.zero ~hi:(P.sub se P.one)
       in
       let annots = annots_of blk_l in
-      let ok = annots <> [] && List.for_all fits annots in
-      if ok then st.size_proofs <- st.size_proofs + 1;
-      ok
+      if annots <> [] && List.for_all fits annots then begin
+        st.size_proofs <- st.size_proofs + 1;
+        Some (`Fits (se, annots))
+      end
+      else None
+  in
+  (* arrays whose annotation the rename below moves into the target
+     (recorded in the coalesce obligation) *)
+  let movers_of di l =
+    let acc = ref [] in
+    for i = di to n - 1 do
+      List.iter
+        (fun sub ->
+          let note pe =
+            match pe.pmem with
+            | Some mi when mi.block = l -> acc := pe.pv :: !acc
+            | _ -> ()
+          in
+          List.iter note sub.pat;
+          match sub.exp with
+          | ELoop { params; _ } -> List.iter (fun (pe, _) -> note pe) params
+          | _ -> ())
+        (all_stms_block { stms = [ stms.(i) ]; res = [] })
+    done;
+    List.rev !acc
   in
   (* allocations in statement order *)
   let allocs = ref [] in
@@ -744,27 +832,57 @@ let coalesce_block (st : stats) opts ctx scalars mems (b : block) : unit =
         let rec fit = function
           | [] ->
               targets := !targets @ [ (di, l, sz_l, ref l_last) ]
-          | (ei, e, sz_e, e_last) :: rest ->
+          | (ei, e, sz_e, e_last) :: rest -> (
               st.candidates <- st.candidates + 1;
-              if
-                ei < di && !e_last < l_first
-                && (not (SS.mem e escape))
-                (* a block in expression position (a loop initializer,
-                   say) may be aliased by existential results whose
-                   liveness the reference scan cannot see: never a
-                   target *)
-                && (not (SS.mem e hard))
-                && size_dominates sz_e sz_l l
-              then begin
-                (* rebind L's annotations into E from L's definition on *)
-                for i = di to n - 1 do
-                  rename_annots_stm l e stms.(i)
-                done;
-                e_last := max !e_last l_last;
-                st.coalesced <- st.coalesced + 1;
-                trace opts "reuse: coalesced block %s into %s" l e
-              end
-              else fit rest
+              let proof =
+                if
+                  ei < di && !e_last < l_first
+                  && (not (SS.mem e escape))
+                  (* a block in expression position (a loop initializer,
+                     say) may be aliased by existential results whose
+                     liveness the reference scan cannot see: never a
+                     target *)
+                  && not (SS.mem e hard)
+                then size_dominates sz_e sz_l l
+                else None
+              in
+              match proof with
+              | Some proof ->
+                  let movers =
+                    match cert with Some _ -> movers_of di l | None -> []
+                  in
+                  (* rebind L's annotations into E from L's definition on *)
+                  for i = di to n - 1 do
+                    rename_annots_stm l e stms.(i)
+                  done;
+                  e_last := max !e_last l_last;
+                  st.coalesced <- st.coalesced + 1;
+                  (match cert with
+                  | None -> ()
+                  | Some r ->
+                      let rw = Certify.Coalesce { earlier = e; later = l } in
+                      Certify.emit r rw ~ctx
+                        (Certify.Live_disjoint
+                           { earlier = e; later = l; movers });
+                      (match proof with
+                      | `Ge (se, sl) ->
+                          Certify.emit r rw ~ctx
+                            (Certify.Size_ge { larger = se; smaller = sl })
+                      | `Fits (se, annots) ->
+                          List.iter
+                            (fun (mi : mem_info) ->
+                              Certify.emit r rw ~ctx
+                                (Certify.Bounds_in
+                                   {
+                                     lmad =
+                                       resolve_lmad scalars
+                                         (memory_lmad mi.ixfn);
+                                     lo = P.zero;
+                                     hi = P.sub se P.one;
+                                   }))
+                            annots));
+                  trace opts "reuse: coalesced block %s into %s" l e
+              | None -> fit rest)
         in
         fit !targets
       end
@@ -797,7 +915,7 @@ let coalesce_block (st : stats) opts ctx scalars mems (b : block) : unit =
      [v] in [0, bound) (the shrinking-interior pattern); the
      obligation counts as a size-domination proof. *)
 
-let hoist_allocs (st : stats) opts (p0 : prog) : prog =
+let hoist_allocs (st : stats) opts cert (p0 : prog) : prog =
   let note_mems m (pes : pat_elem list) =
     List.fold_left
       (fun m pe ->
@@ -858,12 +976,12 @@ let hoist_allocs (st : stats) opts (p0 : prog) : prog =
           else
             let szr = resolve bscalars sz in
             let inner = SS.inter (SS.of_list (P.vars szr)) bound_names in
-            if SS.is_empty inner then Some szr
+            if SS.is_empty inner then Some (szr, None)
             else if SS.equal inner (SS.singleton var) then begin
               let sz0 = P.subst var P.zero szr in
               if Pr.prove_ge ctx' sz0 szr then begin
                 st.size_proofs <- st.size_proofs + 1;
-                Some sz0
+                Some (sz0, Some (sz0, szr))
               end
               else None
             end
@@ -876,12 +994,29 @@ let hoist_allocs (st : stats) opts (p0 : prog) : prog =
               match (bs.pat, bs.exp) with
               | [ pe ], EAlloc sz when pe.pt = TMem -> (
                   match hoist_size pe sz with
-                  | Some sz' ->
+                  | Some (sz', proof) ->
                       lifted := stm [ pe ] (EAlloc sz') :: !lifted;
                       st.hoisted <- st.hoisted + 1;
+                      let loop_binding =
+                        match s.pat with q :: _ -> q.pv | [] -> "?"
+                      in
+                      (match cert with
+                      | None -> ()
+                      | Some r ->
+                          let rw =
+                            Certify.Hoist { block = pe.pv; loop_binding }
+                          in
+                          Certify.emit r rw
+                            (Certify.Dies_each_iter
+                               { block = pe.pv; loop_binding });
+                          (match proof with
+                          | Some (sz0, szr) ->
+                              Certify.emit r rw ~ctx:ctx'
+                                (Certify.Size_ge
+                                   { larger = sz0; smaller = szr })
+                          | None -> ()));
                       trace opts "reuse: hoisted alloc %s out of loop %s"
-                        pe.pv
-                        (match s.pat with q :: _ -> q.pv | [] -> "?");
+                        pe.pv loop_binding;
                       false
                   | None -> true)
               | _ -> true)
@@ -923,7 +1058,7 @@ let hoist_allocs (st : stats) opts (p0 : prog) : prog =
 (* One walk applies rotation (rewriting statement lists), then
    coalescing on the rewritten list, then recurses into sub-blocks
    with the extended prover context and scope maps. *)
-let rec walk st opts ctx scalars allocs mems (b : block) : block =
+let rec walk st opts cert ctx scalars allocs mems (b : block) : block =
   (* scope maps visible to this block and below *)
   let scalars =
     List.fold_left
@@ -969,7 +1104,7 @@ let rec walk st opts ctx scalars allocs mems (b : block) : block =
           (fun s acc ->
             let out =
               match
-                try_rotate st opts ctx scalars ~alloc_sizes:allocs
+                try_rotate st opts cert ctx scalars ~alloc_sizes:allocs
                   ~tail_refs:!tail s
               with
               | Some ss -> ss
@@ -984,7 +1119,7 @@ let rec walk st opts ctx scalars allocs mems (b : block) : block =
       { b with stms = stms' }
     end
   in
-  if opts.coalesce then coalesce_block st opts ctx scalars mems b;
+  if opts.coalesce then coalesce_block st opts cert ctx scalars mems b;
   (* recurse, extending the context with iteration-space ranges *)
   let stms =
     List.map
@@ -999,20 +1134,25 @@ let rec walk st opts ctx scalars allocs mems (b : block) : block =
                       ~hi:(P.sub (resolve scalars n) P.one) ())
                   ctx nest
               in
-              EMap { nest; body = walk st opts ctx' scalars allocs mems body }
+              EMap
+                { nest; body = walk st opts cert ctx' scalars allocs mems body }
           | ELoop ({ var; bound; body; params } as lp) ->
               let ctx' =
                 Pr.add_range ctx var ~lo:P.zero
                   ~hi:(P.sub (resolve scalars bound) P.one) ()
               in
               let mems' = note_mems mems (List.map fst params) in
-              ELoop { lp with body = walk st opts ctx' scalars allocs mems' body }
+              ELoop
+                {
+                  lp with
+                  body = walk st opts cert ctx' scalars allocs mems' body;
+                }
           | EIf ({ tb; fb; _ } as i) ->
               EIf
                 {
                   i with
-                  tb = walk st opts ctx scalars allocs mems tb;
-                  fb = walk st opts ctx scalars allocs mems fb;
+                  tb = walk st opts cert ctx scalars allocs mems tb;
+                  fb = walk st opts cert ctx scalars allocs mems fb;
                 }
           | e -> e
         in
@@ -1021,10 +1161,10 @@ let rec walk st opts ctx scalars allocs mems (b : block) : block =
   in
   { b with stms }
 
-let optimize ?(options = default_options) (p : prog) : prog * stats =
+let optimize ?(options = default_options) ?cert (p : prog) : prog * stats =
   let st = fresh_stats () in
-  let p = if options.chains then remove_dead_chains st options p else p in
-  let p = if options.cross_scope then hoist_allocs st options p else p in
+  let p = if options.chains then remove_dead_chains st options cert p else p in
+  let p = if options.cross_scope then hoist_allocs st options cert p else p in
   let mems0 =
     List.fold_left
       (fun m pe ->
@@ -1033,5 +1173,5 @@ let optimize ?(options = default_options) (p : prog) : prog * stats =
         | None -> m)
       SM.empty p.params
   in
-  let body = walk st options p.ctx P.SM.empty SM.empty mems0 p.body in
+  let body = walk st options cert p.ctx P.SM.empty SM.empty mems0 p.body in
   ({ p with body }, st)

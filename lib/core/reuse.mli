@@ -63,8 +63,20 @@ type stats = {
 val fresh_stats : unit -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
-val optimize : ?options:options -> Ir.Ast.prog -> Ir.Ast.prog * stats
+val optimize :
+  ?options:options ->
+  ?cert:Certify.recorder ->
+  Ir.Ast.prog ->
+  Ir.Ast.prog * stats
 (** Apply the reuse strategies.  Mutates (and returns) the given
     program; re-run {!val:Lastuse.annotate} and {!val:Cleanup.run}
     afterwards to refresh liveness markers and collect orphaned
-    allocations. *)
+    allocations.
+
+    With [cert], every applied rewrite emits its proof obligations for
+    independent re-validation by {!val:Certify.check}: the dead-chain
+    names, the rotation's trip-count/size proofs and
+    initializer-liveness claim, each coalescing's live-range disjointness
+    (with the moved annotations) and size-domination proof under the
+    prover context it was discharged in, and each hoisted allocation's
+    dies-within-iteration claim. *)

@@ -93,6 +93,11 @@ type st = {
       (* (candidate, destination block) attempts that failed, stamped
          with the rebase count at failure: re-attempted only after
          other circuits have made progress (transitive chaining) *)
+  cert : Certify.recorder option;
+  mutable claims : (Refset.t * Refset.t * Pr.t) list;
+      (* successful non-overlap checks of the attempt in flight, newest
+         first; drained into the recorder when a circuit commits,
+         restored to the entry mark when its walk rolls back *)
 }
 
 (* ---------------------------------------------------------------- *)
@@ -120,7 +125,7 @@ let scalar_def (s : stm) : (string * P.t) option =
       | _ -> None)
   | _ -> None
 
-let build_tables opts (p : prog) : st =
+let build_tables opts cert (p : prog) : st =
   let st =
     {
       opts;
@@ -130,6 +135,8 @@ let build_tables opts (p : prog) : st =
       aliases = Alias.of_prog p;
       stats = fresh_stats ();
       failed = Hashtbl.create 32;
+      cert;
+      claims = [];
     }
   in
   let record_pe pe =
@@ -352,6 +359,40 @@ let translate st ~scope (ixfn : Ixfn.t) : Ixfn.t option =
 
 type pending = { pe : pat_elem; mem : mem_info }
 
+(* The claims pushed since [mark] (the buffer value at attempt entry),
+   oldest first.  Rollbacks restore the buffer to saved values, so
+   physical equality identifies the mark reliably. *)
+let claims_since st mark =
+  let rec go acc l =
+    if l == mark then acc
+    else match l with [] -> acc | c :: rest -> go (c :: acc) rest
+  in
+  go [] st.claims
+
+(* Emit the certificate of one committed circuit: the last-use
+   requirement (where the circuit point demanded it), every incremental
+   non-overlap fact accumulated since [mark] (each under the prover
+   context it was discharged with), and the final annotation of every
+   rebased variable. *)
+let emit_circuit st ~ctx ~candidate ~ymem ~at_binding ~last_use ~mark
+    ~pendings =
+  match st.cert with
+  | None -> ()
+  | Some r ->
+      let rw = Certify.Copy_elide { candidate; dst_block = ymem; at_binding } in
+      if last_use then
+        Certify.emit r rw ~ctx
+          (Certify.Last_use { var = candidate; at_binding });
+      List.iter
+        (fun (w, u, cctx) ->
+          Certify.emit r rw ~ctx:cctx (Certify.Nonoverlap { w; u }))
+        (claims_since st mark);
+      st.claims <- mark;
+      List.iter
+        (fun { pe; mem } ->
+          Certify.emit r rw ~ctx (Certify.Rebased { var = pe.pv; mem }))
+        pendings
+
 type walk_result =
   | Fail
   | Ok of {
@@ -389,6 +430,9 @@ let check_disjoint st ctx (w : Refset.t) (u : Refset.t) : bool =
   let dt = Sys.time () -. t0 in
   if dt > 0.2 then
     trace st.opts "  [slow check %.2fs -> %b] W=%a U=%a" dt r Refset.pp w Refset.pp u;
+  (* record the exact fact (and context) the rewrite is about to rely
+     on; it becomes an obligation only if the attempt commits *)
+  if r && st.cert <> None then st.claims <- (w, u, ctx) :: st.claims;
   r
 
 (* The alias class of the candidate: every variable whose accesses are
@@ -412,7 +456,12 @@ let rec walk st ctx info ~ymem ~start_j ~active ~ixfn ~u0 ~stops : walk_result
     Hashtbl.replace st.mems pe.pv mem
   in
   let saved_mems = Hashtbl.copy st.mems in
-  let rollback () = Hashtbl.reset st.mems; Hashtbl.iter (Hashtbl.replace st.mems) saved_mems in
+  let saved_claims = st.claims in
+  let rollback () =
+    Hashtbl.reset st.mems;
+    Hashtbl.iter (Hashtbl.replace st.mems) saved_mems;
+    st.claims <- saved_claims
+  in
   let active = ref active in
   let ixfn = ref ixfn in
   let result = ref None in
@@ -595,7 +644,9 @@ and chain_step st ctx info ~ymem ~j ~active ~ixfn ~u_xss ~w_total
             (* transitively try each lastly-used operand at its row
                offset inside the rebased result (Fig. 4a / Fig. 6a) *)
             circuit_concat_operands st ctx info ~ymem ~j ~ops
-              ~res_ixfn:committed ~last_uses:s.last_uses ~u0:!u_xss;
+              ~res_ixfn:committed ~last_uses:s.last_uses ~u0:!u_xss
+              ~at_binding:
+                (match s.pat with pe :: _ -> pe.pv | [] -> active);
             `Done
       end
   | EMap { nest; body } -> (
@@ -886,6 +937,7 @@ and rebase_mapnest_body st ctx info ~ymem ~j ~nest ~body ~res_ixfn =
         in
         let bi = block_info ~outer_defined ~outer_allocd:info.allocd.(j) body in
         let snapshot = Hashtbl.copy st.mems in
+        let mark = st.claims in
         (* cross-thread safety: mapnest iterations execute out of order,
            so the chain writes of any thread must avoid the ymem uses of
            every thread (the conservative U^{<i} + U^{>i} condition) *)
@@ -912,10 +964,16 @@ and rebase_mapnest_body st ctx info ~ymem ~j ~nest ~body ~res_ixfn =
               (* cross-thread conflict: undo the body rebase *)
               Hashtbl.reset st.mems;
               Hashtbl.iter (Hashtbl.replace st.mems) snapshot;
+              st.claims <- mark;
               record_failure st rv ymem
             end
             else begin
               st.stats.succeeded <- st.stats.succeeded + 1;
+              let at_binding =
+                match (info.arr.(j)).pat with pe :: _ -> pe.pv | [] -> rv
+              in
+              emit_circuit st ~ctx ~candidate:rv ~ymem ~at_binding
+                ~last_use:false ~mark ~pendings;
               apply_pendings st pendings
             end
       end
@@ -924,7 +982,7 @@ and rebase_mapnest_body st ctx info ~ymem ~j ~nest ~body ~res_ixfn =
 (* Fig. 4a / Fig. 6a: operands of a rebased concat become candidates at
    their row offsets. *)
 and circuit_concat_operands st ctx info ~ymem ~j ~ops ~res_ixfn ~last_uses
-    ~u0 =
+    ~u0 ~at_binding =
   let offset = ref P.zero in
   List.iter
     (fun op ->
@@ -953,12 +1011,15 @@ and circuit_concat_operands st ctx info ~ymem ~j ~ops ~res_ixfn ~last_uses
             in
             let op_ixfn = Ixfn.slice slc res_ixfn in
             st.stats.candidates <- st.stats.candidates + 1;
+            let mark = st.claims in
             match
               walk st ctx info ~ymem ~start_j:j ~active:op ~ixfn:op_ixfn
                 ~u0 ~stops:[]
             with
             | Ok { pendings; _ } ->
                 st.stats.succeeded <- st.stats.succeeded + 1;
+                emit_circuit st ~ctx ~candidate:op ~ymem ~at_binding
+                  ~last_use:true ~mark ~pendings;
                 apply_pendings st pendings
             | Fail -> record_failure st op ymem
           end)
@@ -1044,6 +1105,7 @@ let rec optimize_block st ctx ~outer_defined ~outer_allocd (b : block) : unit
                   st.stats.candidates <- st.stats.candidates + 1;
                   trace st.opts "circuit attempt: %s into %s[...] (update)" bv
                     dm.block;
+                  let mark = st.claims in
                   match
                     walk st ctx info ~ymem:dm.block ~start_j:k ~active:bv
                       ~ixfn:tixfn ~u0:Refset.empty ~stops:[]
@@ -1051,6 +1113,10 @@ let rec optimize_block st ctx ~outer_defined ~outer_allocd (b : block) : unit
                   | Ok { pendings; _ } ->
                       st.stats.succeeded <- st.stats.succeeded + 1;
                       trace st.opts "  -> SUCCESS (%d vars)" (List.length pendings);
+                      emit_circuit st ~ctx ~candidate:bv ~ymem:dm.block
+                        ~at_binding:
+                          (match s.pat with pe :: _ -> pe.pv | [] -> bv)
+                        ~last_use:true ~mark ~pendings;
                       apply_pendings st pendings
                   | Fail ->
                       trace st.opts "  -> failed";
@@ -1065,6 +1131,7 @@ let rec optimize_block st ctx ~outer_defined ~outer_allocd (b : block) : unit
             | Some rm ->
                 circuit_concat_operands st ctx info ~ymem:rm.block ~j:k ~ops
                   ~res_ixfn:rm.ixfn ~last_uses:s.last_uses ~u0:Refset.empty
+                  ~at_binding:pe.pv
             | None -> ())
         | _ -> ())
     | EMap { nest; body } ->
@@ -1088,9 +1155,9 @@ let rec optimize_block st ctx ~outer_defined ~outer_allocd (b : block) : unit
 (* Entry point                                                        *)
 (* ---------------------------------------------------------------- *)
 
-let optimize ?(options = default_options) ?(rounds = 2) (p : prog) :
+let optimize ?(options = default_options) ?(rounds = 2) ?cert (p : prog) :
     prog * stats =
-  let st = build_tables options p in
+  let st = build_tables options cert p in
   ignore (Lastuse.annotate p);
   let outer_defined =
     List.fold_left (fun acc pe -> SS.add pe.pv acc) SS.empty p.params

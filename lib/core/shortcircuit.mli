@@ -55,7 +55,19 @@ val default_options : options
 (** [{ verbose = false; enable_refinement = true; split_depth = 3 }] *)
 
 val optimize :
-  ?options:options -> ?rounds:int -> Ir.Ast.prog -> Ir.Ast.prog * stats
+  ?options:options ->
+  ?rounds:int ->
+  ?cert:Certify.recorder ->
+  Ir.Ast.prog ->
+  Ir.Ast.prog * stats
 (** Run the pass over a memory-annotated program (in place: only [pmem]
     annotations are mutated), for [rounds] fixpoint rounds (transitive
-    chaining).  Returns the same program and the pass statistics. *)
+    chaining).  Returns the same program and the pass statistics.
+
+    With [cert], every successful circuit emits its proof obligations -
+    the last-use requirement, each incremental non-overlap check the
+    rewrite relied on (with the prover context it was discharged
+    under), and the final annotation of every rebased variable - for
+    independent re-validation by {!Certify.check}.  Failed attempts
+    leave no obligations: the claim buffer is rolled back together with
+    the annotation table. *)

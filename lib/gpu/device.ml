@@ -71,9 +71,14 @@ module Pool = struct
   type c = {
     classes : (int, float list ref) Hashtbl.t;
         (* class exponent -> free block sizes (bytes, newest first) *)
+    cap : float option;
+        (* device-memory budget: the pool refuses to let
+           [device_bytes] grow past it while cached blocks can be
+           evicted instead *)
     mutable device_bytes : float; (* total fresh device memory obtained *)
     mutable in_use : float; (* bytes currently handed out *)
     mutable high_water : float; (* max [in_use] ever observed *)
+    mutable evictions : int; (* cached blocks returned to the device *)
   }
 
   type nonrec t = c
@@ -83,6 +88,7 @@ module Pool = struct
     s_device_bytes : float;
     s_in_use : float;
     s_high_water : float;
+    s_evictions : int;
   }
 
   type stats = {
@@ -91,14 +97,18 @@ module Pool = struct
     p_fragmentation : float;
         (* fraction of pool-owned device memory idle even at the
            high-water mark: (device - high) / device *)
+    p_cap : float option;
+    p_evictions : int;
   }
 
-  let create () =
+  let create ?cap () =
     {
       classes = Hashtbl.create 16;
+      cap = Option.map float_of_int cap;
       device_bytes = 0.;
       in_use = 0.;
       high_water = 0.;
+      evictions = 0;
     }
 
   (* Smallest exponent [c] with 2^c >= bytes. *)
@@ -131,10 +141,45 @@ module Pool = struct
     in
     go [] l
 
+  (* Release cached free blocks (largest first, across all classes)
+     until growing by [need] fits under the cap, or the caches run dry.
+     Returns the number of blocks evicted; each eviction is a device
+     free the caller must price. *)
+  let evict_for t cap need =
+    let evicted = ref 0 in
+    let budget_ok () = t.device_bytes +. need <= cap in
+    let continue = ref true in
+    while (not (budget_ok ())) && !continue do
+      let largest =
+        Hashtbl.fold
+          (fun _ l acc ->
+            List.fold_left
+              (fun acc s ->
+                match acc with
+                | Some (s', _) when s' >= s -> acc
+                | _ -> Some (s, l))
+              acc !l)
+          t.classes None
+      in
+      match largest with
+      | None -> continue := false
+      | Some (s, l) ->
+          (match take (fun x -> x = s) !l with
+          | Some (_, rest) -> l := rest
+          | None -> assert false);
+          t.device_bytes <- t.device_bytes -. s;
+          incr evicted
+    done;
+    t.evictions <- t.evictions + !evicted;
+    !evicted
+
   (* Serve [bytes]: [`Hit served] pops a free block ([served] is its
-     device size, >= bytes); [`Miss] obtains fresh device memory of
-     exactly [bytes]. *)
-  let alloc t bytes : [ `Hit of float | `Miss ] =
+     device size, >= bytes); [`Miss ev] obtains fresh device memory of
+     exactly [bytes], after evicting [ev] cached blocks when the pool
+     would otherwise grow past its cap (each eviction is a device free
+     the executor prices).  The cap never refuses live memory - it only
+     bounds what the pool may keep cached on top of it. *)
+  let alloc t bytes : [ `Hit of float | `Miss of int ] =
     let l = freelist t (class_of bytes) in
     let found =
       match take (fun s -> s = bytes) !l with
@@ -147,9 +192,15 @@ module Pool = struct
         note_use t served;
         `Hit served
     | None ->
+        let ev =
+          match t.cap with
+          | Some cap when t.device_bytes +. bytes > cap ->
+              evict_for t cap bytes
+          | _ -> 0
+        in
         t.device_bytes <- t.device_bytes +. bytes;
         note_use t bytes;
-        `Miss
+        `Miss ev
 
   (* Return a block of device size [bytes] to its class free list. *)
   let free t bytes =
@@ -174,6 +225,7 @@ module Pool = struct
       s_device_bytes = t.device_bytes;
       s_in_use = t.in_use;
       s_high_water = t.high_water;
+      s_evictions = t.evictions;
     }
 
   let restore t (s : snapshot) =
@@ -181,7 +233,8 @@ module Pool = struct
     List.iter (fun (c, l) -> Hashtbl.replace t.classes c (ref l)) s.s_classes;
     t.device_bytes <- s.s_device_bytes;
     t.in_use <- s.s_in_use;
-    t.high_water <- s.s_high_water
+    t.high_water <- s.s_high_water;
+    t.evictions <- s.s_evictions
 
   let stats t : stats =
     {
@@ -190,11 +243,16 @@ module Pool = struct
       p_fragmentation =
         (if t.device_bytes <= 0. then 0.
          else (t.device_bytes -. t.high_water) /. t.device_bytes);
+      p_cap = t.cap;
+      p_evictions = t.evictions;
     }
 
   let pp_stats ppf (s : stats) =
     Fmt.pf ppf "pool: %.3g B device, %.3g B high-water, %.1f%% fragmentation"
-      s.p_device_bytes s.p_high_water (100. *. s.p_fragmentation)
+      s.p_device_bytes s.p_high_water (100. *. s.p_fragmentation);
+    match s.p_cap with
+    | Some cap -> Fmt.pf ppf ", %.3g B cap (%d evictions)" cap s.p_evictions
+    | None -> ()
 end
 
 (* Event counters accumulated by the executor. *)

@@ -977,7 +977,11 @@ let rec exec_exp st env (s : stm) : aval list =
             | `Hit served ->
                 st.counters.pool_hits <- st.counters.pool_hits + 1;
                 b.devbytes <- served
-            | `Miss -> st.counters.pool_misses <- st.counters.pool_misses + 1)
+            | `Miss ev ->
+                st.counters.pool_misses <- st.counters.pool_misses + 1;
+                (* cap evictions are real device frees: each one pays
+                   the synchronizing free cost in the time model *)
+                st.counters.frees <- st.counters.frees + ev)
         | None -> ()
       end
       else begin
@@ -1315,8 +1319,9 @@ type report = {
   pool : Device.Pool.stats option;
 }
 
-let run ?(mode = Full) ?(trace = false) ?(pool = true) ?(variant = "program")
-    ?mutation (p : prog) (args : Value.t list) : report =
+let run ?(mode = Full) ?(trace = false) ?(pool = true) ?pool_cap
+    ?(variant = "program") ?mutation (p : prog) (args : Value.t list) :
+    report =
   let tracer =
     if trace then
       Some
@@ -1329,7 +1334,9 @@ let run ?(mode = Full) ?(trace = false) ?(pool = true) ?(variant = "program")
       counters = Device.fresh_counters ();
       tracer;
       mutation;
-      pool = (if pool then Some (Device.Pool.create ()) else None);
+      pool =
+        (if pool then Some (Device.Pool.create ?cap:pool_cap ())
+         else None);
       kernel_depth = 0;
       kernel_scratch = 0.;
       thread_writes = Hashtbl.create 256;

@@ -45,6 +45,7 @@ val run :
   ?mode:mode ->
   ?trace:bool ->
   ?pool:bool ->
+  ?pool_cap:int ->
   ?variant:string ->
   ?mutation:mutation ->
   Ir.Ast.prog ->
@@ -55,8 +56,11 @@ val run :
     proceeds; [?pool] (default [true]) routes top-level allocations
     through a {!Device.Pool}, splitting the allocation count into pool
     hits and misses for the cost model (disable for an A/B against the
-    all-miss allocator); [?variant] labels the trace's provenance
-    (which pipeline stage produced the program, e.g. ["opt"]).
+    all-miss allocator); [?pool_cap] (bytes) bounds the pool's device
+    footprint - cache evictions forced by the cap are priced as
+    synchronizing device frees; [?variant] labels the trace's
+    provenance (which pipeline stage produced the program, e.g.
+    ["opt"]).
     Offset-exact footprints require [Full] mode; a cost-only trace
     keeps the event structure with sampled traffic numbers.
     @raise Exec_error on missing annotations or out-of-bounds accesses

@@ -344,6 +344,16 @@ let concrete_points (c : concrete) : int list =
 let concrete_card (c : concrete) : int =
   List.fold_left (fun acc (n, _) -> acc * max n 0) 1 c.cdims
 
+let concrete_extrema (c : concrete) : (int * int) option =
+  if List.exists (fun (n, _) -> n <= 0) c.cdims then None
+  else
+    Some
+      (List.fold_left
+         (fun (lo, hi) (n, s) ->
+           let extent = (n - 1) * s in
+           if extent >= 0 then (lo, hi + extent) else (lo + extent, hi))
+         (c.coff, c.coff) c.cdims)
+
 let pp_concrete ppf (c : concrete) =
   Fmt.pf ppf "%d + {%a}" c.coff
     Fmt.(list ~sep:comma (pair ~sep:(any ":") int int))

@@ -152,6 +152,12 @@ val concrete_points : concrete -> int list
 val concrete_card : concrete -> int
 (** Number of points ([concrete_points] length) without enumerating. *)
 
+val concrete_extrema : concrete -> (int * int) option
+(** Inclusive [(min, max)] offsets of the concrete point set, computed
+    from the dimension signs without enumeration; [None] when the set is
+    empty (some cardinal [<= 0]).  The certificate checker uses this to
+    test footprint bounds at concrete sizes too large to enumerate. *)
+
 val pp_concrete : Format.formatter -> concrete -> unit
 
 val eval_points : (string -> int) -> t -> int list

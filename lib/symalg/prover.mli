@@ -37,6 +37,15 @@ val add_range : t -> string -> ?lo:Poly.t -> ?hi:Poly.t -> unit -> t
 val add_lo : t -> string -> Poly.t -> t
 val add_hi : t -> string -> Poly.t -> t
 
+val equalities : t -> (string * Poly.t) list
+(** The recorded rewrite rules [v := p], in variable order.  Used by the
+    certificate checker's concretizer to build admissible assignments
+    without re-deriving the context. *)
+
+val var_bounds : t -> (string * Poly.t option * Poly.t option) list
+(** The recorded inclusive per-variable bounds [(v, lo, hi)], in
+    variable order; [None] for an unconstrained end. *)
+
 val rewrite : t -> Poly.t -> Poly.t
 (** Normalize a polynomial with the context's equality rules. *)
 

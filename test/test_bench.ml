@@ -150,15 +150,23 @@ let test_table_shape () =
 
 module BJ = Benchsuite.Benchjson
 
-let sample_record ~reuse_ms ~allocs =
+let sample_record ?(traffic = 512.) ?pool ~reuse_ms ~allocs () =
+  let pool_s =
+    match pool with
+    | Some (hw, cap) ->
+        Printf.sprintf
+          {|,"pool":{"hits":1,"misses":1,"device_bytes":%g,"high_water_bytes":%g,"fragmentation":0.0,"cap":%g,"evictions":0}|}
+          cap hw cap
+    | None -> ""
+  in
   Printf.sprintf
     {|{"date":"x","benchmarks":[{"name":"bm","rows":[
         {"device":"A100","dataset":"d","unopt_ms":10.0,"opt_ms":5.0,"reuse_ms":%g}],
       "footprints":[{"dataset":"d",
-        "unopt":{"allocs":20,"peak_bytes":4096},
-        "opt":{"allocs":5,"peak_bytes":2048},
-        "reuse":{"allocs":%d,"peak_bytes":1024}}]}]}|}
-    reuse_ms allocs
+        "unopt":{"allocs":20,"peak_bytes":4096,"traffic_bytes":2048},
+        "opt":{"allocs":5,"peak_bytes":2048,"traffic_bytes":1024},
+        "reuse":{"allocs":%d,"peak_bytes":1024,"traffic_bytes":%g%s}}]}]}|}
+    reuse_ms allocs traffic pool_s
 
 let parse_exn s =
   match BJ.parse s with
@@ -166,7 +174,7 @@ let parse_exn s =
   | Error e -> Alcotest.failf "parse failed: %s" e
 
 let test_gate_json_roundtrip () =
-  let v = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1) in
+  let v = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1 ()) in
   let reuse_ms =
     match Option.bind (BJ.member "benchmarks" v) BJ.arr with
     | Some (b :: _) -> (
@@ -181,38 +189,62 @@ let test_gate_json_roundtrip () =
     (match BJ.parse "{\"a\": [1, 2" with Error _ -> true | Ok _ -> false)
 
 let test_gate_identity_passes () =
-  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1) in
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1 ()) in
   let g = BJ.gate ~baseline:b ~current:b () in
   Alcotest.(check bool) "identity passes" true (BJ.ok g);
   Alcotest.(check bool) "comparisons performed" true (g.BJ.checked > 0)
 
 let test_gate_catches_time_regression () =
-  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1) in
-  let worse = parse_exn (sample_record ~reuse_ms:4.5 ~allocs:1) in
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1 ()) in
+  let worse = parse_exn (sample_record ~reuse_ms:4.5 ~allocs:1 ()) in
   let g = BJ.gate ~baseline:b ~current:worse () in
   Alcotest.(check bool) "12% slower reuse fails" true (not (BJ.ok g));
   (* within tolerance: passes *)
-  let ok = parse_exn (sample_record ~reuse_ms:4.1 ~allocs:1) in
+  let ok = parse_exn (sample_record ~reuse_ms:4.1 ~allocs:1 ()) in
   Alcotest.(check bool) "2.5% drift passes" true
     (BJ.ok (BJ.gate ~baseline:b ~current:ok ()))
 
 let test_gate_catches_footprint_regression () =
-  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1) in
-  let worse = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:2) in
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1 ()) in
+  let worse = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:2 ()) in
   let g = BJ.gate ~baseline:b ~current:worse () in
   (* exact counters are gated monotonically: +1 alloc is a failure
      regardless of any tolerance *)
   Alcotest.(check bool) "alloc growth fails" true (not (BJ.ok g))
 
+let test_gate_catches_traffic_regression () =
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1 ()) in
+  let worse =
+    parse_exn (sample_record ~traffic:600. ~reuse_ms:4.0 ~allocs:1 ())
+  in
+  (* modeled DRAM traffic is an exact counter too: any growth fails *)
+  Alcotest.(check bool) "traffic growth fails" true
+    (not (BJ.ok (BJ.gate ~baseline:b ~current:worse ())))
+
+let test_gate_catches_cap_breach () =
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1 ()) in
+  let breached =
+    parse_exn
+      (sample_record ~pool:(3000., 2048.) ~reuse_ms:4.0 ~allocs:1 ())
+  in
+  Alcotest.(check bool) "high-water over cap fails" true
+    (not (BJ.ok (BJ.gate ~baseline:b ~current:breached ())));
+  let within =
+    parse_exn
+      (sample_record ~pool:(1500., 2048.) ~reuse_ms:4.0 ~allocs:1 ())
+  in
+  Alcotest.(check bool) "high-water under cap passes" true
+    (BJ.ok (BJ.gate ~baseline:b ~current:within ()))
+
 let test_gate_improvement_is_note () =
-  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:2) in
-  let better = parse_exn (sample_record ~reuse_ms:3.0 ~allocs:1) in
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:2 ()) in
+  let better = parse_exn (sample_record ~reuse_ms:3.0 ~allocs:1 ()) in
   let g = BJ.gate ~baseline:b ~current:better () in
   Alcotest.(check bool) "improvement passes" true (BJ.ok g);
   Alcotest.(check bool) "improvement noted" true (g.BJ.notes <> [])
 
 let test_gate_missing_benchmark_fails () =
-  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1) in
+  let b = parse_exn (sample_record ~reuse_ms:4.0 ~allocs:1 ()) in
   let empty = parse_exn {|{"date":"x","benchmarks":[]}|} in
   Alcotest.(check bool) "dropped benchmark fails" true
     (not (BJ.ok (BJ.gate ~baseline:b ~current:empty ())));
@@ -237,6 +269,10 @@ let tests =
       test_gate_catches_time_regression;
     Alcotest.test_case "gate: footprint regression fails" `Quick
       test_gate_catches_footprint_regression;
+    Alcotest.test_case "gate: traffic regression fails" `Quick
+      test_gate_catches_traffic_regression;
+    Alcotest.test_case "gate: pool cap breach fails" `Quick
+      test_gate_catches_cap_breach;
     Alcotest.test_case "gate: improvement is a note" `Quick
       test_gate_improvement_is_note;
     Alcotest.test_case "gate: missing benchmark fails" `Quick

@@ -1,0 +1,309 @@
+(* Tests for the translation-validation layer (Certify).
+
+   Three angles, mirroring the memlint/memtrace suites:
+
+   - the honest pipeline certifies: every benchmark compiles with
+     ~certify:true to zero failed obligations, and the passes actually
+     emit obligations (an empty certificate would vacuously pass);
+
+   - mutations are rejected: a bogus rewrite injected behind the
+     checker's back - coalescing two overlapping-live blocks, a forged
+     size-domination proof, a forged non-overlap claim - must be
+     refuted by the independent checker.  The coalesce mutation is
+     deliberately chosen so Memlint only *warns* (the footprints are
+     not structurally equal, so its total-clobber rule cannot error):
+     memcert is the layer that catches it;
+
+   - a qcheck property: randomly generated programs (chains of
+     map stages, stacks of sibling loops with hoistable temporaries)
+     certify end to end with zero failed obligations. *)
+
+open Ir
+open Ast
+module P = Symalg.Poly
+module Pr = Symalg.Prover
+module B = Build
+module C = Core.Certify
+module ML = Core.Memlint
+module Lmad = Lmads.Lmad
+module Refset = Lmads.Refset
+
+let c = P.const
+let n = P.var "n"
+let ctx_n2 = Pr.add_range Pr.empty "n" ~lo:(c 2) ()
+
+let fill b name cnt seed =
+  B.mapnest b name [ (Names.fresh "i", cnt) ] (fun bb ->
+      [ B.fadd bb (Float seed) (Float 0.0) ])
+
+(* ---------------------------------------------------------------- *)
+(* The honest pipeline certifies                                     *)
+(* ---------------------------------------------------------------- *)
+
+let bench_progs =
+  [
+    ("nw", Benchsuite.Nw.prog);
+    ("lud", Benchsuite.Lud.prog);
+    ("hotspot", Benchsuite.Hotspot.prog);
+    ("lbm", Benchsuite.Lbm.prog);
+    ("optionpricing", Benchsuite.Option_pricing.prog);
+    ("locvolcalib", Benchsuite.Locvolcalib.prog);
+    ("nn", Benchsuite.Nn.prog);
+  ]
+
+let test_benchmarks_certify () =
+  List.iter
+    (fun (name, prog) ->
+      let cpl = Core.Pipeline.compile ~certify:true prog in
+      let certs = cpl.Core.Pipeline.certs in
+      Alcotest.(check int)
+        (name ^ ": one certificate per rewriting pass")
+        2 (List.length certs);
+      (match Core.Pipeline.first_cert_failure certs with
+      | None -> ()
+      | Some (pass, ch) ->
+          Alcotest.failf "%s: refuted obligation in %s: %a" name pass
+            C.pp_checked ch);
+      let emitted =
+        List.fold_left (fun a (_, r) -> a + r.C.emitted) 0 certs
+      in
+      Alcotest.(check bool)
+        (name ^ ": obligations were emitted")
+        true (emitted > 0))
+    bench_progs
+
+(* Without ~certify:true no certificates are collected - the recording
+   must be strictly opt-in (zero cost on the normal path). *)
+let test_certify_opt_in () =
+  let cpl = Core.Pipeline.compile Benchsuite.Hotspot.prog in
+  Alcotest.(check int) "no certificates by default" 0
+    (List.length cpl.Core.Pipeline.certs)
+
+(* ---------------------------------------------------------------- *)
+(* Mutation: overlapping-live coalesce that memlint only warns about  *)
+(* ---------------------------------------------------------------- *)
+
+(* a = fill n; b = fill (n-1); c = a + b.  Both fills are live until
+   the sum; their footprints differ in length, so after forging b into
+   a's block Memlint cannot prove a total clobber (LMADs not equal)
+   and only warns.  The forged Live_disjoint obligation must still be
+   refuted by the certificate checker. *)
+let overlap2_prog () =
+  let m = P.sub n P.one in
+  B.prog "certoverlap" ~ctx:ctx_n2 ~params:[ pat_elem "n" i64 ]
+    ~ret:[ arr F64 [ m ] ]
+    (fun b ->
+      let a = fill b "as" n 1.0 in
+      let bs = fill b "bs" m 2.0 in
+      let iv = Names.fresh "i" in
+      let cs =
+        B.mapnest b "cs" [ (iv, m) ] (fun bb ->
+            [
+              B.fadd bb
+                (B.index bb a [ P.var iv ])
+                (B.index bb bs [ P.var iv ]);
+            ])
+      in
+      [ Var cs ])
+
+(* The first two annotated mapnest bindings at the top level, in
+   binding order: the two fills. *)
+let two_fills (p : prog) =
+  let fills =
+    List.filter_map
+      (fun s ->
+        match s.exp with
+        | EMap _ ->
+            List.find_opt
+              (fun pe -> is_array_typ pe.pt && pe.pmem <> None)
+              s.pat
+        | _ -> None)
+      p.body.stms
+  in
+  match fills with
+  | pe_a :: pe_b :: _ -> (pe_a, pe_b)
+  | _ -> Alcotest.fail "expected two annotated fills"
+
+let test_mutation_overlapping_coalesce () =
+  let p = Core.Pipeline.to_memory_ir (overlap2_prog ()) in
+  let pre = Ir.Clone.clone_prog p in
+  let pe_a, pe_b = two_fills p in
+  let ma = Option.get pe_a.pmem and mb = Option.get pe_b.pmem in
+  (* the bogus rewrite: rebind b into a's block, keeping b's own
+     (shorter) index function - exactly what a buggy coalescer that
+     skipped the liveness check would produce *)
+  pe_b.pmem <- Some { block = ma.block; ixfn = mb.ixfn };
+  let lint = ML.check p in
+  Alcotest.(check bool) "memlint only warns (no total clobber)" true
+    (ML.ok lint);
+  Alcotest.(check bool) "memlint did notice the share" true
+    (ML.warnings lint <> []);
+  let r = C.recorder ~pass:"reuse" in
+  C.emit r
+    (C.Coalesce { earlier = ma.block; later = mb.block })
+    ~ctx:ctx_n2
+    (C.Live_disjoint
+       { earlier = ma.block; later = mb.block; movers = [ pe_b.pv ] });
+  let report =
+    C.check ~pass:"reuse" ~pre ~post:p (C.obligations r)
+  in
+  Alcotest.(check bool) "memcert refutes the coalesce" true
+    (not (C.ok report));
+  match C.failures report with
+  | { verdict = C.Failed _; _ } :: _ -> ()
+  | _ -> Alcotest.fail "expected a Failed verdict"
+
+(* A true claim under the same rewrite kind is proved - the checker
+   rejects the mutation above because it is false, not because of the
+   claim's shape. *)
+let test_honest_claim_accepted () =
+  let p = Core.Pipeline.to_memory_ir (overlap2_prog ()) in
+  let pre = Ir.Clone.clone_prog p in
+  let pe_a, pe_b = two_fills p in
+  let ma = Option.get pe_a.pmem and mb = Option.get pe_b.pmem in
+  let r = C.recorder ~pass:"reuse" in
+  C.emit r
+    (C.Coalesce { earlier = ma.block; later = mb.block })
+    ~ctx:ctx_n2
+    (C.Size_ge { larger = n; smaller = P.sub n P.one });
+  let report = C.check ~pass:"reuse" ~pre ~post:p (C.obligations r) in
+  Alcotest.(check bool) "honest size claim proved" true (C.ok report)
+
+(* ---------------------------------------------------------------- *)
+(* Mutation: forged size proof (rotation of a growing buffer)         *)
+(* ---------------------------------------------------------------- *)
+
+let test_mutation_forged_size_proof () =
+  let p = Core.Pipeline.to_memory_ir (overlap2_prog ()) in
+  let pre = Ir.Clone.clone_prog p in
+  let r = C.recorder ~pass:"reuse" in
+  (* n >= 2n is false for every admissible n: the prover refuses and
+     the concretizer must find a numeric witness, not wave it through *)
+  C.emit r
+    (C.Rotation
+       {
+         loop_binding = "acc";
+         init_block = "mem_fake";
+         init_arr = "a0";
+         spare_block = "mem_spare";
+       })
+    ~ctx:ctx_n2
+    (C.Size_ge { larger = n; smaller = P.mul (c 2) n });
+  let report = C.check ~pass:"reuse" ~pre ~post:p (C.obligations r) in
+  Alcotest.(check bool) "forged size proof refuted" true
+    (not (C.ok report));
+  match C.failures report with
+  | [ { verdict = C.Failed msg; _ } ] ->
+      (* refuted with a concrete witness, not just "unproven" *)
+      Alcotest.(check bool) "refutation carries detail" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected exactly one Failed obligation"
+
+(* ---------------------------------------------------------------- *)
+(* Mutation: forged non-overlap claim (short-circuit side)            *)
+(* ---------------------------------------------------------------- *)
+
+let test_mutation_forged_nonoverlap () =
+  let p = Core.Pipeline.to_memory_ir (overlap2_prog ()) in
+  let pre = Ir.Clone.clone_prog p in
+  let l = Lmad.make P.zero [ Lmad.dim n P.one ] in
+  let r = C.recorder ~pass:"shortcircuit" in
+  (* a write set claimed disjoint from itself: refutable at any size *)
+  C.emit r
+    (C.Copy_elide
+       { candidate = "src"; dst_block = "mem_dst"; at_binding = "y" })
+    ~ctx:ctx_n2
+    (C.Nonoverlap { w = Refset.of_lmad l; u = Refset.of_lmad l });
+  let report =
+    C.check ~pass:"shortcircuit" ~pre ~post:p (C.obligations r)
+  in
+  Alcotest.(check bool) "forged non-overlap refuted" true
+    (not (C.ok report))
+
+(* ---------------------------------------------------------------- *)
+(* qcheck: generated programs certify end to end                      *)
+(* ---------------------------------------------------------------- *)
+
+(* A chain of [k] map stages over one fill: every adjacent pair is a
+   same-scope coalescing candidate. *)
+let gen_chain k =
+  B.prog "qcchain" ~ctx:ctx_n2 ~params:[ pat_elem "n" i64 ]
+    ~ret:[ arr F64 [ n ] ]
+    (fun b ->
+      let first = fill b "x0" n 1.0 in
+      let rec go prev i =
+        if i > k then prev
+        else
+          let iv = Names.fresh "i" in
+          let nx =
+            B.mapnest b (Printf.sprintf "x%d" i) [ (iv, n) ] (fun bb ->
+                [
+                  B.fadd bb
+                    (B.index bb prev [ P.var iv ])
+                    (Float (float_of_int i));
+                ])
+          in
+          go nx (i + 1)
+      in
+      [ Var (go first 1) ])
+
+(* [s] sibling loops, each with a per-iteration temporary: hoisting
+   fires in every loop and the hoisted blocks coalesce pairwise. *)
+let gen_siblings s bound =
+  B.prog "qcsib" ~ctx:ctx_n2 ~params:[ pat_elem "n" i64 ]
+    ~ret:[ arr F64 [ n ] ]
+    (fun b ->
+      let init = fill b "acc0" n 0.0 in
+      let mk b0 seed init =
+        B.loop1 b0 "acc" (arr F64 [ n ]) (Var init) ~bound:(c bound)
+          (fun bb ~param ~i:_ ->
+            let tmp = fill bb "tmp" n seed in
+            let iv = Names.fresh "i" in
+            let acc' =
+              B.mapnest bb "acc'" [ (iv, n) ] (fun b3 ->
+                  [
+                    B.fadd b3
+                      (B.index b3 param [ P.var iv ])
+                      (B.index b3 tmp [ P.var iv ]);
+                  ])
+            in
+            Var acc')
+      in
+      let rec go prev i =
+        if i > s then prev else go (mk b (float_of_int i) prev) (i + 1)
+      in
+      [ Var (go init 1) ])
+
+let certified name prog =
+  let cpl = Core.Pipeline.compile ~certify:true prog in
+  match Core.Pipeline.first_cert_failure cpl.Core.Pipeline.certs with
+  | None -> true
+  | Some (pass, ch) ->
+      QCheck.Test.fail_reportf "%s: refuted obligation in %s: %a" name pass
+        C.pp_checked ch
+
+let prop_generated_programs_certify =
+  QCheck.Test.make ~name:"generated programs certify (zero failed)" ~count:8
+    (QCheck.make
+       ~print:(fun (k, s, bound) ->
+         Printf.sprintf "chain=%d siblings=%d bound=%d" k s bound)
+       QCheck.Gen.(triple (int_range 1 4) (int_range 1 3) (int_range 2 5)))
+    (fun (k, s, bound) ->
+      certified "chain" (gen_chain k)
+      && certified "siblings" (gen_siblings s bound))
+
+let tests =
+  [
+    Alcotest.test_case "all benchmarks certify (zero failed)" `Quick
+      test_benchmarks_certify;
+    Alcotest.test_case "certification is opt-in" `Quick test_certify_opt_in;
+    Alcotest.test_case "mutation: overlapping-live coalesce refuted" `Quick
+      test_mutation_overlapping_coalesce;
+    Alcotest.test_case "honest size claim proved" `Quick
+      test_honest_claim_accepted;
+    Alcotest.test_case "mutation: forged size proof refuted" `Quick
+      test_mutation_forged_size_proof;
+    Alcotest.test_case "mutation: forged non-overlap refuted" `Quick
+      test_mutation_forged_nonoverlap;
+    QCheck_alcotest.to_alcotest prop_generated_programs_certify;
+  ]

@@ -15,4 +15,5 @@ let () =
       ("gpu", Test_gpu.tests);
       ("pool", Test_pool.tests);
       ("bench", Test_bench.tests);
+      ("certify", Test_certify.tests);
     ]

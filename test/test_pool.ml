@@ -18,8 +18,11 @@ module Exec = Gpu.Exec
 (* Pool unit tests                                                   *)
 (* ---------------------------------------------------------------- *)
 
-let hit = function `Hit served -> served | `Miss -> Alcotest.fail "expected hit"
-let miss = function `Miss -> () | `Hit _ -> Alcotest.fail "expected miss"
+let hit = function
+  | `Hit served -> served
+  | `Miss _ -> Alcotest.fail "expected hit"
+
+let miss = function `Miss _ -> () | `Hit _ -> Alcotest.fail "expected miss"
 
 let test_pool_exact_fit () =
   let p = Pool.create () in
@@ -86,6 +89,38 @@ let test_pool_fragmentation () =
   (* 100 of 1100 pool-owned bytes were idle even at the peak *)
   Alcotest.(check (float 1e-9)) "fragmentation" (100. /. 1100.)
     s.Pool.p_fragmentation
+
+let test_pool_cap_evicts () =
+  let p = Pool.create ~cap:2048 () in
+  miss (Pool.alloc p 1000.);
+  miss (Pool.alloc p 1000.);
+  Pool.free p 1000.;
+  Pool.free p 1000.;
+  (* 2000 B obtained, all cached.  A 2000 B request lives in the empty
+     2^11 class, so it must miss; growing to 4000 B would breach the
+     cap, so both cached 1000 B blocks are evicted first. *)
+  (match Pool.alloc p 2000. with
+  | `Miss 2 -> ()
+  | `Miss n -> Alcotest.failf "expected 2 evictions, got %d" n
+  | `Hit _ -> Alcotest.fail "expected miss");
+  let s = Pool.stats p in
+  Alcotest.(check (float 0.0)) "device bytes back under cap" 2000.
+    s.Pool.p_device_bytes;
+  Alcotest.(check int) "evictions counted" 2 s.Pool.p_evictions;
+  Alcotest.(check bool) "cap recorded" true (s.Pool.p_cap = Some 2048.)
+
+let test_pool_cap_never_refuses_live () =
+  (* live memory above the cap is still served - the cap only bounds
+     cache growth, so with nothing cached every alloc is a plain miss *)
+  let p = Pool.create ~cap:1024 () in
+  miss (Pool.alloc p 1000.);
+  (match Pool.alloc p 1000. with
+  | `Miss 0 -> ()
+  | `Miss n -> Alcotest.failf "nothing cached, yet %d evictions" n
+  | `Hit _ -> Alcotest.fail "expected miss");
+  let s = Pool.stats p in
+  Alcotest.(check (float 0.0)) "live memory granted past the cap" 2000.
+    s.Pool.p_device_bytes
 
 (* ---------------------------------------------------------------- *)
 (* Executor integration                                              *)
@@ -195,6 +230,10 @@ let tests =
       test_pool_stats;
     Alcotest.test_case "pool: fragmentation accounting" `Quick
       test_pool_fragmentation;
+    Alcotest.test_case "pool: cap evicts cached blocks" `Quick
+      test_pool_cap_evicts;
+    Alcotest.test_case "pool: cap never refuses live memory" `Quick
+      test_pool_cap_never_refuses_live;
     Alcotest.test_case "exec: hits + misses = allocs" `Quick
       test_hits_plus_misses;
     Alcotest.test_case "exec: --no-pool changes no counter" `Quick
