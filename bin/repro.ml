@@ -596,56 +596,136 @@ let cert_json_of name (certs : (string * Core.Certify.report) list) =
     (String.concat ","
        (List.map (fun (_, r) -> Core.Certify.json_of_report r) certs))
 
-let run_certify which options reuse verbose_reports json out =
-  let certify b =
-    let c =
-      Core.Pipeline.compile ~options ~reuse ~certify:true b.prog
-    in
-    let certs = c.Core.Pipeline.certs in
-    if json then (
-      let s = cert_json_of b.name certs in
-      match out with
-      | None -> print_endline s
-      | Some dir ->
-          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-          let path = Filename.concat dir (b.name ^ ".cert.json") in
-          let oc = open_out path in
-          output_string oc s;
-          output_char oc '\n';
-          close_out oc;
-          Printf.printf "%-14s wrote %s\n" b.name path)
-    else
-      List.iter
-        (fun (_, r) ->
-          if verbose_reports || not (Core.Certify.ok r) then
-            Fmt.pr "%a@.@." Core.Certify.pp_report r)
-        certs;
-    match Core.Pipeline.first_cert_failure certs with
-    | None ->
-        let tally f = List.fold_left (fun n (_, r) -> n + f r) 0 certs in
-        (* with --json to stdout, keep stdout pure JSON (pipeable) and
-           put the human summary on stderr *)
-        let print : ('a, out_channel, unit) format -> 'a =
-          if json && out = None then Printf.eprintf else Printf.printf
-        in
-        print "%-14s %d obligations: %d proved, %d concretized, 0 failed\n"
-          b.name
-          (tally (fun (r : Core.Certify.report) -> r.Core.Certify.emitted))
-          (tally (fun r -> r.Core.Certify.proved))
-          (tally (fun r -> r.Core.Certify.concretized));
-        true
-    | Some (pass, ch) ->
-        Fmt.epr "%-14s refuted obligation in %s: %a@." b.name pass
-          Core.Certify.pp_checked ch;
-        false
+let cert_doc_of (docs : string list) =
+  Printf.sprintf "{\"benchmarks\":[%s]}" (String.concat "," docs)
+
+let run_certify which options reuse verbose_reports json out check baseline
+    current report_path =
+  let selected =
+    match which with
+    | "all" -> Ok benches
+    | s -> Result.map (fun b -> [ b ]) (find_bench s)
   in
-  match which with
-  | "all" ->
-      let ok = List.fold_left (fun ok b -> certify b && ok) true benches in
-      if ok then Ok () else Error "certification failed"
-  | s ->
-      Result.bind (find_bench s) (fun b ->
-          if certify b then Ok () else Error "certification failed")
+  Result.bind selected (fun bs ->
+      (* With --json to stdout, keep stdout pure JSON (pipeable into
+         bench/certs-baseline.json): every human-readable line -
+         summaries, -r reports, "wrote" confirmations - goes to
+         stderr.  With --check, stdout carries the gate report
+         instead. *)
+      let stdout_is_json = json && out = None && not check in
+      let human : ('a, out_channel, unit) format -> 'a =
+        if stdout_is_json then Printf.eprintf else Printf.printf
+      in
+      (* Compile + check every selected benchmark, returning the
+         per-benchmark JSON documents.  With [strict], the first
+         refuted obligation is an error; under --check the gate
+         attributes failures instead, so generation never aborts. *)
+      let certify_docs ~strict () =
+        let all_ok = ref true in
+        let docs =
+          List.map
+            (fun b ->
+              let c =
+                Core.Pipeline.compile ~options ~reuse ~certify:true b.prog
+              in
+              let certs = c.Core.Pipeline.certs in
+              List.iter
+                (fun (_, r) ->
+                  if verbose_reports || not (Core.Certify.ok r) then
+                    if json || check then
+                      Fmt.epr "%a@.@." Core.Certify.pp_report r
+                    else Fmt.pr "%a@.@." Core.Certify.pp_report r)
+                certs;
+              (match Core.Pipeline.first_cert_failure certs with
+              | None ->
+                  let tally f =
+                    List.fold_left (fun n (_, r) -> n + f r) 0 certs
+                  in
+                  human
+                    "%-14s %d obligations: %d proved, %d concretized, 0 \
+                     failed\n"
+                    b.name
+                    (tally (fun (r : Core.Certify.report) ->
+                         r.Core.Certify.emitted))
+                    (tally (fun r -> r.Core.Certify.proved))
+                    (tally (fun r -> r.Core.Certify.concretized))
+              | Some (pass, ch) ->
+                  Fmt.epr "%-14s refuted obligation in %s: %a@." b.name pass
+                    Core.Certify.pp_checked ch;
+                  all_ok := false);
+              cert_json_of b.name certs)
+            bs
+        in
+        if !all_ok || not strict then Ok docs
+        else Error "certification failed"
+      in
+      if check then
+        let obtain_current () =
+          match current with
+          | Some path -> read_file path
+          | None -> Result.map cert_doc_of (certify_docs ~strict:false ())
+        in
+        Result.bind (obtain_current ()) (fun cur_s ->
+            Result.bind
+              (Result.map_error
+                 (fun e -> Printf.sprintf "baseline %s: %s" baseline e)
+                 (read_file baseline))
+              (fun base_s ->
+                Result.bind
+                  (Result.map_error
+                     (fun e -> "baseline parse error: " ^ e)
+                     (Benchsuite.Benchjson.parse base_s))
+                  (fun base ->
+                    Result.bind
+                      (Result.map_error
+                         (fun e -> "current parse error: " ^ e)
+                         (Benchsuite.Benchjson.parse cur_s))
+                      (fun cur ->
+                        let g =
+                          Benchsuite.Benchjson.cert_gate ~baseline:base
+                            ~current:cur ()
+                        in
+                        let rep =
+                          Benchsuite.Benchjson.report ~label:"cert gate" g
+                        in
+                        print_string rep;
+                        if g.Benchsuite.Benchjson.notes <> [] then
+                          print_string
+                            "refresh with: dune exec bin/repro.exe -- \
+                             certify all --json > bench/certs-baseline.json\n";
+                        (match report_path with
+                        | Some path ->
+                            let oc = open_out path in
+                            output_string oc rep;
+                            close_out oc;
+                            Printf.printf "wrote %s\n" path
+                        | None -> ());
+                        if Benchsuite.Benchjson.ok g then Ok ()
+                        else
+                          Error
+                            (Printf.sprintf
+                               "cert gate failed: %d regression(s)"
+                               (List.length
+                                  g.Benchsuite.Benchjson.regressions))))))
+      else
+        Result.bind (certify_docs ~strict:true ()) (fun docs ->
+            (if json then
+               match out with
+               | None -> print_endline (cert_doc_of docs)
+               | Some dir ->
+                   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                   List.iter2
+                     (fun b doc ->
+                       let path =
+                         Filename.concat dir (b.name ^ ".cert.json")
+                       in
+                       let oc = open_out path in
+                       output_string oc doc;
+                       output_char oc '\n';
+                       close_out oc;
+                       Printf.eprintf "%-14s wrote %s\n" b.name path)
+                     bs docs);
+            Ok ()))
 
 (* ---- prove-nw ---------------------------------------------------- *)
 
@@ -960,6 +1040,39 @@ let certify_cmd =
             "With $(b,--json): write one $(i,BENCH).cert.json per benchmark \
              into $(docv) instead of stdout.")
   in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Compare the certificates against $(b,--baseline) and exit \
+             nonzero on any regression (lost obligation, weakened verdict, \
+             dropped emitted/proved count, or any currently failed \
+             obligation).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt string "bench/certs-baseline.json"
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Committed certificate baseline to gate against.")
+  in
+  let current =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "current" ] ~docv:"FILE"
+          ~doc:
+            "Gate an existing combined certificate document instead of \
+             re-certifying (e.g. the output a previous CI step emitted).")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the gate's diff report to $(docv).")
+  in
   Cmd.v
     (Cmd.info "certify"
        ~doc:
@@ -967,8 +1080,10 @@ let certify_cmd =
           independent certificate checker (translation validation); exit \
           nonzero on any refuted obligation")
     Term.(
-      const (fun w o ru r j out -> to_exit (run_certify w o ru r j out))
-      $ bench_arg $ options_term $ reuse_term $ reports $ json $ out)
+      const (fun w o ru r j out c b cur rep ->
+          to_exit (run_certify w o ru r j out c b cur rep))
+      $ bench_arg $ options_term $ reuse_term $ reports $ json $ out $ check
+      $ baseline $ current $ report)
 
 let prove_cmd =
   Cmd.v (Cmd.info "prove-nw" ~doc:"Discharge the Fig. 9 proof obligation")

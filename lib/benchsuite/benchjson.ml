@@ -336,10 +336,180 @@ let gate ?(tolerance = default_tolerance) ~(baseline : t) ~(current : t) () :
     checked = !checked;
   }
 
-let report (g : gate) : string =
+(* ---------------------------------------------------------------- *)
+(* The certificate gate                                               *)
+(* ---------------------------------------------------------------- *)
+
+(* Compares a freshly emitted combined certificate document ([repro
+   certify all --json]) against a committed baseline
+   (bench/certs-baseline.json).  Certificates are exact - every
+   obligation either re-proves or it does not - so there is no
+   tolerance: any lost ground is a regression.
+
+   Per (benchmark, pass, obligation id):
+
+   - a benchmark, pass, or obligation present in the baseline must
+     stay present;
+   - an obligation's verdict may not weaken (proved > concretized >
+     failed);
+   - a pass's emitted and proved counts may not decrease (the passes
+     must keep justifying at least as many rewrites as before);
+   - any failed obligation in the current run is a regression
+     outright, baseline or not.
+
+   Strengthened verdicts, new obligations, new passes and new
+   benchmarks are notes - a prompt to refresh the baseline. *)
+
+let verdict_rank = function
+  | "proved" -> 2
+  | "concretized" -> 1
+  | _ -> 0 (* failed, or anything unrecognized *)
+
+let cert_gate ~(baseline : t) ~(current : t) () : gate =
+  let regressions = ref [] in
+  let notes = ref [] in
+  let checked = ref 0 in
+  let reg fmt = Printf.ksprintf (fun m -> regressions := m :: !regressions) fmt in
+  let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+  let passes v =
+    Option.value ~default:[] (Option.bind (member "passes" v) arr)
+  in
+  let pass_name p = Option.value ~default:"?" (Option.bind (member "pass" p) str) in
+  let obls p =
+    Option.value ~default:[] (Option.bind (member "obligations" p) arr)
+  in
+  let obl_id o = Option.bind (member "id" o) num in
+  let obl_verdict o =
+    Option.value ~default:"?" (Option.bind (member "verdict" o) str)
+  in
+  let obl_rewrite o =
+    Option.value ~default:"?" (Option.bind (member "rewrite" o) str)
+  in
+  let base_b = benchmarks_of baseline and cur_b = benchmarks_of current in
+  let find name l = List.find_opt (fun b -> name_of b = name) l in
+  (* any current failure is a hard failure, gated or not *)
+  List.iter
+    (fun cb ->
+      List.iter
+        (fun cp ->
+          List.iter
+            (fun o ->
+              if obl_verdict o = "failed" then
+                reg "%s/%s: obligation #%g (%s) FAILED in the current run"
+                  (name_of cb) (pass_name cp)
+                  (Option.value ~default:(-1.) (obl_id o))
+                  (obl_rewrite o))
+            (obls cp))
+        (passes cb))
+    cur_b;
+  List.iter
+    (fun bb ->
+      let bname = name_of bb in
+      match find bname cur_b with
+      | None ->
+          reg "%s: benchmark present in baseline but missing from current run"
+            bname
+      | Some cb ->
+          List.iter
+            (fun bp ->
+              let pname = pass_name bp in
+              match
+                List.find_opt (fun cp -> pass_name cp = pname) (passes cb)
+              with
+              | None ->
+                  reg "%s: pass %s present in baseline but missing from \
+                       current run"
+                    bname pname
+              | Some cp ->
+                  (* aggregate counts: emitted and proved must not drop *)
+                  List.iter
+                    (fun field ->
+                      match (num_at [ field ] bp, num_at [ field ] cp) with
+                      | Some b, Some c ->
+                          incr checked;
+                          if c < b then
+                            reg "%s/%s: %s count dropped %g -> %g" bname pname
+                              field b c
+                          else if c > b then
+                            note
+                              "%s/%s: %s count grew %g -> %g - consider \
+                               refreshing the baseline"
+                              bname pname field b c
+                      | _ -> ())
+                    [ "emitted"; "proved" ];
+                  (* per-obligation verdicts, matched by id *)
+                  let cur_obls = obls cp in
+                  List.iter
+                    (fun bo ->
+                      match obl_id bo with
+                      | None -> ()
+                      | Some id -> (
+                          match
+                            List.find_opt (fun co -> obl_id co = Some id)
+                              cur_obls
+                          with
+                          | None ->
+                              reg
+                                "%s/%s: obligation #%g (%s) disappeared from \
+                                 the current run"
+                                bname pname id (obl_rewrite bo)
+                          | Some co ->
+                              incr checked;
+                              let bv = obl_verdict bo and cv = obl_verdict co in
+                              if verdict_rank cv < verdict_rank bv then
+                                reg
+                                  "%s/%s: obligation #%g (%s) weakened %s -> \
+                                   %s"
+                                  bname pname id (obl_rewrite bo) bv cv
+                              else if verdict_rank cv > verdict_rank bv then
+                                note
+                                  "%s/%s: obligation #%g strengthened %s -> \
+                                   %s - consider refreshing the baseline"
+                                  bname pname id bv cv))
+                    (obls bp);
+                  let base_ids =
+                    List.filter_map obl_id (obls bp)
+                  in
+                  List.iter
+                    (fun co ->
+                      match obl_id co with
+                      | Some id when not (List.mem id base_ids) ->
+                          note
+                            "%s/%s: new obligation #%g (%s) not in baseline - \
+                             refresh to start gating it"
+                            bname pname id (obl_rewrite co)
+                      | _ -> ())
+                    cur_obls)
+            (passes bb);
+          List.iter
+            (fun cp ->
+              let pname = pass_name cp in
+              if
+                List.find_opt (fun bp -> pass_name bp = pname) (passes bb)
+                = None
+              then
+                note "%s: new pass %s not in baseline - refresh to start \
+                      gating it"
+                  bname pname)
+            (passes cb))
+    base_b;
+  List.iter
+    (fun cb ->
+      let cname = name_of cb in
+      if find cname base_b = None then
+        note "%s: new benchmark not in baseline - refresh to start gating it"
+          cname)
+    cur_b;
+  {
+    regressions = List.rev !regressions;
+    notes = List.rev !notes;
+    checked = !checked;
+  }
+
+let report ?(label = "bench gate") (g : gate) : string =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "bench gate: %d comparisons, %d regression(s), %d note(s)\n"
+    (Printf.sprintf "%s: %d comparisons, %d regression(s), %d note(s)\n" label
        g.checked
        (List.length g.regressions)
        (List.length g.notes));

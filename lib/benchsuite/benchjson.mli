@@ -1,0 +1,116 @@
+(** Minimal JSON parsing plus the two CI gates: the bench-trajectory
+    gate over [BENCH.json] and the certificate gate over the combined
+    [repro certify all --json] document.
+
+    The repo deliberately carries no JSON dependency - the emitters in
+    [bin/repro.ml] and {!Core.Trace} are hand-rolled prints - so the
+    reader side is hand-rolled too: a small recursive-descent parser
+    covering exactly the JSON the suite emits (objects, arrays,
+    strings with backslash escapes, numbers, booleans, null). *)
+
+(** {1 JSON values} *)
+
+(** A parsed JSON value.  Numbers are uniformly [float] - the suite's
+    integral counters are small enough to round-trip exactly. *)
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** members in source order *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document.  Trailing input (beyond
+    whitespace) is an error, as is any malformed construct; the error
+    string names the byte offset. *)
+
+(** {1 Accessors}
+
+    All accessors are total: a shape mismatch yields [None], never an
+    exception, so gate code can probe optional fields freely. *)
+
+val member : string -> t -> t option
+(** [member k v] is the value of key [k] when [v] is an object that
+    has it. *)
+
+val arr : t -> t list option
+(** The elements, when the value is an array. *)
+
+val num : t -> float option
+(** The number, when the value is one. *)
+
+val str : t -> string option
+(** The string, when the value is one. *)
+
+val num_at : string list -> t -> float option
+(** [num_at path v] descends through nested objects along [path] and
+    returns the number at the end, if every step exists. *)
+
+(** {1 Gate results} *)
+
+(** The outcome of a gate run: hard failures, informational notes, and
+    the number of individual comparisons performed. *)
+type gate = {
+  regressions : string list;
+      (** hard failures - the caller should exit nonzero *)
+  notes : string list;
+      (** informational: improvements and additions beyond the
+          baseline, each a prompt to refresh it *)
+  checked : int;  (** individual comparisons performed *)
+}
+
+val report : ?label:string -> gate -> string
+(** Render a gate outcome as a line-oriented report: a [label]
+    headline (default ["bench gate"]) with the comparison and failure
+    counts, one [REGRESSION] line per failure, one [note] line per
+    note. *)
+
+val ok : gate -> bool
+(** A gate passes iff it found no regression - notes never fail it. *)
+
+(** {1 The bench-trajectory gate} *)
+
+val default_tolerance : float
+(** Relative tolerance on modeled times (0.05): times are simulated,
+    so drift only comes from code changes, and the tolerance only
+    absorbs intentional cost-model adjustments. *)
+
+val gate : ?tolerance:float -> baseline:t -> current:t -> unit -> gate
+(** Compare a freshly emitted [BENCH.json] ([current]) against the
+    committed [bench/baseline.json] ([baseline]):
+
+    - per (benchmark, device, dataset) row, each modeled time
+      (unopt/opt/reuse) may not exceed the baseline by more than
+      [tolerance];
+    - per (benchmark, dataset, variant) footprint, the allocation
+      count, peak live bytes and modeled DRAM traffic must be
+      monotone non-increasing - exact counters, so any increase is a
+      regression by definition;
+    - a capped pool's high-water mark must not exceed its cap
+      (checked on the current record alone);
+    - a benchmark present in the baseline must stay present.
+
+    Improvements beyond tolerance and new benchmarks are notes. *)
+
+(** {1 The certificate gate} *)
+
+val cert_gate : baseline:t -> current:t -> unit -> gate
+(** Compare a freshly emitted combined certificate document ([repro
+    certify all --json], the output of {!val:Core.Certify.check}
+    serialized per pass) against the committed
+    [bench/certs-baseline.json].  Certificates are exact, so there is
+    no tolerance; per (benchmark, pass, obligation id):
+
+    - a benchmark, pass, or obligation present in the baseline must
+      stay present;
+    - an obligation's verdict may not weaken (proved > concretized >
+      failed);
+    - a pass's [emitted] and [proved] counts may not decrease;
+    - any failed obligation in the current run is a regression
+      outright, baseline or not.
+
+    Strengthened verdicts, new obligations, new passes and new
+    benchmarks are notes - a prompt to refresh the baseline with
+    [dune exec bin/repro.exe -- certify all --json >
+    bench/certs-baseline.json]. *)

@@ -22,11 +22,73 @@ let ctx0 =
     "numx" ~lo:(P.const 3) ()
 
 let alpha = 0.45 (* off-diagonal weight; diagonally dominant system *)
-let diag = 1.0 +. (2.0 *. alpha)
 
 let set1 b ~dst ~i v =
   B.bind b (dst ^ "'")
     (EUpdate { dst; slc = STriplet [ SFix i ]; src = SrcScalar v })
+
+(* One implicit timestep: a Thomas solve of the tridiagonal system with
+   off-diagonal weight [w] (lower/upper coefficients [-w], diagonal
+   [1 + 2w]) over the price vector [u], producing a fresh vector.  [w]
+   is a compile-time constant, so the damped startup step and the
+   regular Crank-Nicolson step are two instantiations of this
+   template. *)
+let thomas_step sb ~u ~w =
+  let numx = P.var "numx" in
+  let vec = arr F64 [ numx ] in
+  let a = -.w and cc = -.w in
+  let dg = 1.0 +. (2.0 *. w) in
+  (* forward sweep *)
+  let cp0 = B.bind sb "cp0" (EScratch (F64, [ numx ])) in
+  let dp0 = B.bind sb "dp0" (EScratch (F64, [ numx ])) in
+  let cp1 = set1 sb ~dst:cp0 ~i:P.zero (Float (cc /. dg)) in
+  let dp1 =
+    set1 sb ~dst:dp0 ~i:P.zero
+      (B.fdiv sb (B.index sb u [ P.zero ]) (Float dg))
+  in
+  let cpn = Ir.Names.fresh "cp" and dpn = Ir.Names.fresh "dp" in
+  let fw = Ir.Names.fresh "fx" in
+  let sweep =
+    B.loop sb "fwd"
+      [ (cpn, vec, Var cp1); (dpn, vec, Var dp1) ]
+      ~var:fw
+      ~bound:(P.sub numx P.one)
+      (fun fb ->
+        let x = P.add (P.var fw) P.one in
+        let cprev = B.index fb cpn [ P.sub x P.one ] in
+        let dprev = B.index fb dpn [ P.sub x P.one ] in
+        let m =
+          B.fdiv fb (Float 1.0)
+            (B.fsub fb (Float dg) (B.fmul fb (Float a) cprev))
+        in
+        let cp' = set1 fb ~dst:cpn ~i:x (B.fmul fb (Float cc) m) in
+        let ux = B.index fb u [ x ] in
+        let dp' =
+          set1 fb ~dst:dpn ~i:x
+            (B.fmul fb (B.fsub fb ux (B.fmul fb (Float a) dprev)) m)
+        in
+        [ Var cp'; Var dp' ])
+  in
+  let cpf, dpf =
+    match sweep with [ c; d ] -> (c, d) | _ -> assert false
+  in
+  (* backward substitution into a fresh vector *)
+  let un0 = B.bind sb "un0" (EScratch (F64, [ numx ])) in
+  let un1 =
+    set1 sb ~dst:un0 ~i:(P.sub numx P.one)
+      (B.index sb dpf [ P.sub numx P.one ])
+  in
+  B.loop1 sb "bwd" vec (Var un1)
+    ~bound:(P.sub numx P.one)
+    (fun wb ~param ~i:t ->
+      let x = P.sub (P.sub numx (P.const 2)) t in
+      let up1 = B.index wb param [ P.add x P.one ] in
+      let v =
+        B.fsub wb
+          (B.index wb dpf [ x ])
+          (B.fmul wb (B.index wb cpf [ x ]) up1)
+      in
+      Var (set1 wb ~dst:param ~i:x v))
 
 let prog : prog =
   let numo = P.var "numo"
@@ -59,74 +121,25 @@ let prog : prog =
                   in
                   Var (set1 ib ~dst:param ~i:x v))
             in
-            (* numT implicit steps, each one Thomas solve *)
+            (* numT implicit steps, each one Thomas solve.  Rannacher
+               startup: the first step is damped (half weight), later
+               steps use the full Crank-Nicolson weight.  Both arms are
+               complete solves with arm-local coefficient vectors, so
+               the reuse pass's hoist-through-if-arms strategy pairs
+               the two arms' scratch allocations and lifts them above
+               the conditional. *)
             let final =
               B.loop1 tb "time" vec (Var u_init) ~bound:numt
-                (fun sb ~param:u ~i:_t ->
-                  let a = -.alpha and cc = -.alpha in
-                  (* forward sweep *)
-                  let cp0 = B.bind sb "cp0" (EScratch (F64, [ numx ])) in
-                  let dp0 = B.bind sb "dp0" (EScratch (F64, [ numx ])) in
-                  let cp1 =
-                    set1 sb ~dst:cp0 ~i:P.zero (Float (cc /. diag))
+                (fun sb ~param:u ~i:t ->
+                  let first =
+                    B.cmp sb CEq (B.idx sb t) (B.idx sb P.zero)
                   in
-                  let dp1 =
-                    set1 sb ~dst:dp0 ~i:P.zero
-                      (B.fdiv sb (B.index sb u [ P.zero ]) (Float diag))
+                  let stepped =
+                    B.if_ sb "ustep" first
+                      (fun ab -> [ Var (thomas_step ab ~u ~w:(0.5 *. alpha)) ])
+                      (fun ab -> [ Var (thomas_step ab ~u ~w:alpha) ])
                   in
-                  let cpn = Ir.Names.fresh "cp" and dpn = Ir.Names.fresh "dp" in
-                  let fw = Ir.Names.fresh "fx" in
-                  let sweep =
-                    B.loop sb "fwd"
-                      [ (cpn, vec, Var cp1); (dpn, vec, Var dp1) ]
-                      ~var:fw
-                      ~bound:(P.sub numx P.one)
-                      (fun fb ->
-                        let x = P.add (P.var fw) P.one in
-                        let cprev = B.index fb cpn [ P.sub x P.one ] in
-                        let dprev = B.index fb dpn [ P.sub x P.one ] in
-                        let m =
-                          B.fdiv fb (Float 1.0)
-                            (B.fsub fb (Float diag)
-                               (B.fmul fb (Float a) cprev))
-                        in
-                        let cp' =
-                          set1 fb ~dst:cpn ~i:x (B.fmul fb (Float cc) m)
-                        in
-                        let ux = B.index fb u [ x ] in
-                        let dp' =
-                          set1 fb ~dst:dpn ~i:x
-                            (B.fmul fb
-                               (B.fsub fb ux (B.fmul fb (Float a) dprev))
-                               m)
-                        in
-                        [ Var cp'; Var dp' ])
-                  in
-                  let cpf, dpf =
-                    match sweep with
-                    | [ c; d ] -> (c, d)
-                    | _ -> assert false
-                  in
-                  (* backward substitution into a fresh vector *)
-                  let un0 = B.bind sb "un0" (EScratch (F64, [ numx ])) in
-                  let un1 =
-                    set1 sb ~dst:un0 ~i:(P.sub numx P.one)
-                      (B.index sb dpf [ P.sub numx P.one ])
-                  in
-                  let unew =
-                    B.loop1 sb "bwd" vec (Var un1)
-                      ~bound:(P.sub numx P.one)
-                      (fun wb ~param ~i:t ->
-                        let x = P.sub (P.sub numx (P.const 2)) t in
-                        let up1 = B.index wb param [ P.add x P.one ] in
-                        let v =
-                          B.fsub wb
-                            (B.index wb dpf [ x ])
-                            (B.fmul wb (B.index wb cpf [ x ]) up1)
-                        in
-                        Var (set1 wb ~dst:param ~i:x v))
-                  in
-                  Var unew)
+                  Var (List.hd stepped))
             in
             [ Var final ])
       in
@@ -143,13 +156,15 @@ let direct ~numo ~numx ~numt =
       Array.init numx (fun x ->
           1.0 +. (0.001 *. float_of_int ((x + o) mod numx)))
     in
-    let a = -.alpha and cc = -.alpha in
-    for _ = 1 to numt do
+    for step = 0 to numt - 1 do
+      let w = if step = 0 then 0.5 *. alpha else alpha in
+      let a = -.w and cc = -.w in
+      let dg = 1.0 +. (2.0 *. w) in
       let cp = Array.make numx 0.0 and dp = Array.make numx 0.0 in
-      cp.(0) <- cc /. diag;
-      dp.(0) <- u.(0) /. diag;
+      cp.(0) <- cc /. dg;
+      dp.(0) <- u.(0) /. dg;
       for x = 1 to numx - 1 do
-        let m = 1.0 /. (diag -. (a *. cp.(x - 1))) in
+        let m = 1.0 /. (dg -. (a *. cp.(x - 1))) in
         cp.(x) <- cc *. m;
         dp.(x) <- (u.(x) -. (a *. dp.(x - 1))) *. m
       done;

@@ -135,6 +135,18 @@ let prog : prog =
                      src = SrcArr xd;
                    })
             in
+            (* At the last step (k = q-1) the perimeter and interior are
+               empty (m = 0): the yellow/blue/red phases reduce to
+               zero-trip mapnests and empty-slice write-backs.
+               Branching them away keeps the semantics and leaves the
+               blue temporary's allocation local to the else arm, where
+               the reuse pass's hoist-through-if-arms strategy lifts it
+               in front of the conditional and then out of the loop. *)
+            let kq = B.cmp lb CEq (B.idx lb k) (B.idx lb (P.sub q P.one)) in
+            let anext =
+              B.if_ lb "anext" kq
+                (fun _tb -> [ Var a1 ])
+                (fun lb ->
             (* ---- yellow: perimeter row U_kj = L_kk^-1 A_kj -------- *)
             let jv = Ir.Names.fresh "j" in
             let top_base j =
@@ -328,6 +340,8 @@ let prog : prog =
                    })
             in
             [ Var a4 ])
+            in
+            [ Var (List.hd anext) ])
       in
       [ Var (List.hd res) ])
 

@@ -38,6 +38,11 @@ type rewrite =
     }
   | Coalesce of { earlier : string; later : string }
   | Hoist of { block : string; loop_binding : string }
+  | Mem_intro of { block : string; binding : string }
+  | Exist_intro of { binding : string }
+  | Float_up of { binding : string }
+  | Dead_removal of { block : string }
+  | If_hoist of { block : string; if_binding : string }
 
 type claim =
   | Nonoverlap of { w : Refset.t; u : Refset.t }
@@ -50,6 +55,11 @@ type claim =
   | Live_disjoint of { earlier : string; later : string; movers : string list }
   | Dies_each_iter of { block : string; loop_binding : string }
   | Sole_occupant of { block : string; ixfn : Ixfn.t }
+  | Grouped of { mem : string; wits : string list; arr : string }
+  | Footprint_fits of { block : string; arr : string }
+  | Dominance of { binding : string }
+  | Unreferenced of { name : string }
+  | Dies_in_arm of { block : string; if_binding : string; arm : bool }
 
 type obligation = {
   o_id : int;
@@ -96,6 +106,15 @@ let pp_rewrite ppf = function
       Fmt.pf ppf "coalesce %s <- %s" earlier later
   | Hoist { block; loop_binding } ->
       Fmt.pf ppf "hoist %s out of loop %s" block loop_binding
+  | Mem_intro { block; binding } ->
+      Fmt.pf ppf "memory introduction of %s for %s" block binding
+  | Exist_intro { binding } ->
+      Fmt.pf ppf "existential grouping introduced at %s" binding
+  | Float_up { binding } -> Fmt.pf ppf "float %s to its block top" binding
+  | Dead_removal { block } ->
+      Fmt.pf ppf "dead-allocation removal of %s" block
+  | If_hoist { block; if_binding } ->
+      Fmt.pf ppf "hoist %s out of an arm of if %s" block if_binding
 
 let pp_claim ppf = function
   | Nonoverlap { w; u } ->
@@ -120,6 +139,19 @@ let pp_claim ppf = function
       Fmt.pf ppf "%s dies within each iteration of %s" block loop_binding
   | Sole_occupant { block; ixfn } ->
       Fmt.pf ppf "sole occupant of %s is %a" block Ixfn.pp ixfn
+  | Grouped { mem; wits; arr } ->
+      Fmt.pf ppf "existential group [%s%a; %s]" mem
+        Fmt.(list ~sep:nop (fmt "; %s"))
+        wits arr
+  | Footprint_fits { block; arr } ->
+      Fmt.pf ppf "footprint of %s fits its block %s" arr block
+  | Dominance { binding } ->
+      Fmt.pf ppf "definition of %s dominates its uses" binding
+  | Unreferenced { name } -> Fmt.pf ppf "zero references to %s" name
+  | Dies_in_arm { block; if_binding; arm } ->
+      Fmt.pf ppf "%s dies within the %s arm of if %s" block
+        (if arm then "true" else "false")
+        if_binding
 
 let claim_kind = function
   | Nonoverlap _ -> "nonoverlap"
@@ -132,6 +164,11 @@ let claim_kind = function
   | Live_disjoint _ -> "live-disjoint"
   | Dies_each_iter _ -> "dies-each-iter"
   | Sole_occupant _ -> "sole-occupant"
+  | Grouped _ -> "grouped"
+  | Footprint_fits _ -> "footprint-fits"
+  | Dominance _ -> "dominance"
+  | Unreferenced _ -> "unreferenced"
+  | Dies_in_arm _ -> "dies-in-arm"
 
 (* ---------------------------------------------------------------- *)
 (* Verdicts and reports                                              *)
@@ -286,8 +323,11 @@ let annot_mentions (p : prog) name =
     (all_pat_elems p)
 
 (* Occurrences of [name] in expression position that are not
-   loop-carried plumbing: allowed are a TMem parameter's init atom and
-   the body-result atom feeding a TMem parameter position. *)
+   loop-carried plumbing: allowed are a TMem parameter's init atom,
+   the body-result atom feeding a TMem parameter position, and an
+   arm-result atom feeding a TMem binder of an [if] (the conditional
+   forwards the block's identity exactly like a loop's mem
+   position). *)
 let nonstructural_occurrence (p : prog) name : bool =
   let rec go_block ?(tmem_res = []) (b : block) =
     List.exists go_stm b.stms
@@ -315,7 +355,14 @@ let nonstructural_occurrence (p : prog) name : bool =
         List.exists (fun (_, n) -> SS.mem name (fv_idx n)) nest
         || go_block body
     | EIf { cond; tb; fb } ->
-        SS.mem name (fv_atom cond) || go_block tb || go_block fb
+        let tmem_res =
+          List.mapi (fun i (q : pat_elem) -> (i, q.pt = TMem)) s.pat
+          |> List.filter_map (fun (i, is_mem) ->
+                 if is_mem then Some i else None)
+        in
+        SS.mem name (fv_atom cond)
+        || go_block ~tmem_res tb
+        || go_block ~tmem_res fb
     | e -> SS.mem name (fv_exp e)
   in
   go_block p.body
@@ -841,6 +888,394 @@ let check_sole_occupant post post_scal block ixfn =
   | None ->
       (Proved, "sole-occupancy re-derived over the post program's annotations")
 
+(* An introduced existential group must appear in the post program as a
+   contiguous [mem; witness...; array] run in the binding pattern, with
+   the array annotated into its own group's memory and the arity of the
+   branch results (or loop params/results) matching the pattern. *)
+let check_grouped post mem wits arr =
+  match find_stm post arr with
+  | None ->
+      ( Failed (Fmt.str "%s is not bound in the post-pass program" arr),
+        "structural" )
+  | Some s -> (
+      let pats = Array.of_list s.pat in
+      let n = Array.length pats in
+      let expected = (mem :: wits) @ [ arr ] in
+      let k = List.length expected in
+      let i0 = ref (-1) in
+      Array.iteri (fun i pe -> if pe.pv = mem && !i0 < 0 then i0 := i) pats;
+      let run_matches =
+        !i0 >= 0
+        && !i0 + k <= n
+        && List.for_all2
+             (fun j name -> pats.(j).pv = name)
+             (List.init k (fun j -> !i0 + j))
+             expected
+      in
+      if not run_matches then
+        ( Failed
+            (Fmt.str "pattern of %s does not group [%a] contiguously" arr
+               Fmt.(list ~sep:semi string)
+               expected),
+          "structural" )
+      else if pats.(!i0).pt <> TMem then
+        (Failed (Fmt.str "%s is not a memory binder" mem), "structural")
+      else if
+        List.exists
+          (fun j -> pats.(j).pt <> TScalar I64)
+          (List.init (k - 2) (fun j -> !i0 + 1 + j))
+      then
+        ( Failed (Fmt.str "a witness of %s is not an i64 scalar" arr),
+          "structural" )
+      else
+        match pats.(!i0 + k - 1).pmem with
+        | None ->
+            ( Failed (Fmt.str "%s carries no memory annotation" arr),
+              "structural" )
+        | Some m when m.block <> mem ->
+            ( Failed
+                (Fmt.str "%s is annotated into %s, not its group's %s" arr
+                   m.block mem),
+              "structural" )
+        | Some _ -> (
+            match s.exp with
+            | EIf { tb; fb; _ } ->
+                if List.length tb.res = n && List.length fb.res = n then
+                  (Proved, "grouping re-derived over the if's pattern and arms")
+                else
+                  ( Failed
+                      (Fmt.str
+                         "branch result arity differs from the pattern of %s"
+                         arr),
+                    "structural" )
+            | ELoop { params; body; _ } ->
+                if List.length params = n && List.length body.res = n then
+                  ( Proved,
+                    "grouping re-derived over the loop's pattern and params" )
+                else
+                  ( Failed
+                      (Fmt.str
+                         "loop param/result arity differs from the pattern of \
+                          %s"
+                         arr),
+                    "structural" )
+            | _ ->
+                ( Failed (Fmt.str "%s is not bound by an if or a loop" arr),
+                  "structural" )))
+
+(* An introduced allocation is consistent with the index function it
+   backs: everything is re-derived from the post program (the recorded
+   block/array names only select where to look). *)
+let check_footprint_fits post post_scal ctx block arr =
+  match find_pat_elem post arr with
+  | None ->
+      ( Failed (Fmt.str "%s is not bound in the post-pass program" arr),
+        "structural" )
+  | Some pe -> (
+      match pe.pmem with
+      | None ->
+          (Failed (Fmt.str "%s carries no memory annotation" arr), "structural")
+      | Some m when m.block <> block ->
+          ( Failed
+              (Fmt.str "%s is annotated into %s, certificate says %s" arr
+                 m.block block),
+            "structural" )
+      | Some m -> (
+          match alloc_size post block with
+          | None ->
+              ( Failed
+                  (Fmt.str "%s has no allocation in the post program" block),
+                "structural" )
+          | Some size ->
+              let l = resolve_lmad post_scal (memory_lmad m.ixfn) in
+              let size = resolve post_scal size in
+              let last = P.sub size P.one in
+              check_bounds_in ctx l P.zero last))
+
+(* Dominance after hoisting: at the moved statement's post-pass
+   position every free variable is already in scope, and nothing that
+   executes before it references the moved binding. *)
+let check_dominance post binding =
+  let verdict = ref None in
+  let found = ref false in
+  let set v = if !verdict = None then verdict := Some v in
+  let rec go_block scope (b : block) =
+    List.fold_left
+      (fun scope s ->
+        if !found || !verdict <> None then scope
+        else begin
+          (if List.exists (fun pe -> pe.pv = binding) s.pat then begin
+             found := true;
+             let fv =
+               List.fold_left
+                 (fun a pe -> SS.remove pe.pv a)
+                 (fv_stm s) s.pat
+             in
+             match SS.choose_opt (SS.diff fv scope) with
+             | Some v ->
+                 set
+                   (Fmt.str "%s reads %s, which is not yet defined there"
+                      binding v)
+             | None -> ()
+           end
+           else begin
+             if SS.mem binding (fv_stm s) then
+               set
+                 (Fmt.str
+                    "%s is referenced (at the binding of %a) before it is \
+                     defined"
+                    binding
+                    Fmt.(list ~sep:comma string)
+                    (List.map (fun pe -> pe.pv) s.pat));
+             match s.exp with
+             | ELoop { params; var; body; _ } ->
+                 let inner =
+                   List.fold_left
+                     (fun sc (pe, _) -> SS.add pe.pv sc)
+                     (SS.add var scope) params
+                 in
+                 ignore (go_block inner body)
+             | EMap { nest; body } ->
+                 let inner =
+                   List.fold_left
+                     (fun sc (v, _) -> SS.add v sc)
+                     scope nest
+                 in
+                 ignore (go_block inner body)
+             | EIf { tb; fb; _ } ->
+                 ignore (go_block scope tb);
+                 ignore (go_block scope fb)
+             | _ -> ()
+           end);
+          List.fold_left (fun sc pe -> SS.add pe.pv sc) scope s.pat
+        end)
+      scope b.stms
+  in
+  let scope0 =
+    List.fold_left (fun sc pe -> SS.add pe.pv sc) SS.empty post.params
+  in
+  ignore (go_block scope0 post.body);
+  match !verdict with
+  | Some w -> (Failed w, "structural")
+  | None ->
+      if !found then
+        (Proved, "def-before-use re-derived at the post-pass position")
+      else
+        ( Failed (Fmt.str "%s is not bound in the post-pass program" binding),
+          "structural" )
+
+(* Dead-code removal: the block had zero remaining references in the
+   pre program - no annotation, no expression-position occurrence (even
+   structural loop plumbing keeps an allocation alive) - and is gone
+   from the post program. *)
+let check_unreferenced pre post name =
+  if annot_mentions pre name then
+    ( Failed (Fmt.str "%s is still referenced by an annotation" name),
+      "structural" )
+  else if exp_occurrence_in pre.body name then
+    ( Failed
+        (Fmt.str "%s occurs in expression position in the pre program" name),
+      "structural" )
+  else if
+    List.exists (fun pe -> pe.pv = name) (all_pat_elems post)
+    || SS.mem name (fv_block post.body)
+  then
+    (Failed (Fmt.str "%s survives in the post-pass program" name), "structural")
+  else (Proved, "zero references re-derived; allocation removed")
+
+(* As [exp_occurrence_in], but specialized to the body of an [if] arm
+   and tolerant of existential threading.  Two relaxations, each
+   re-derived here independently of the optimizer's eligibility tests
+   in {!Reuse}:
+
+   - an occurrence of the block as the initializer of a loop-carried
+     *mem* parameter merely hands its identity to the loop, and is
+     accepted provided the loop's mem result binder in the same tuple
+     position is itself clean within the arm;
+
+   - the identity may leave the arm through the arm's result, at a
+     TMem position of the conditional, provided the receiving binder
+     has a *dead identity*: no array is ever annotated into it, every
+     occurrence is structural plumbing (a loop's mem position or an
+     [if]'s mem position), and every binder that plumbing forwards
+     the identity into is transitively dead as well.  Nobody ever
+     reads through such a chain, so the contents still die in the arm
+     - this is exactly the situation the dead-chain rewrite removes
+     and certifies separately.
+
+   Every other occurrence (operand, non-mem initializer, live arm
+   result) is an escape. *)
+let arm_escape_occurrence (pre : prog) (ifstm : stm) (armblk : block) name :
+    bool =
+  (* binders the identity of [target] is structurally forwarded into,
+     program-wide: loop mem params it initializes (and their result
+     binders), loop result binders whose body-result position it
+     feeds, and [if] binders whose arm-result position it feeds *)
+  let forwarded_binders target =
+    let acc = ref [] in
+    let add v = acc := v :: !acc in
+    List.iter
+      (fun (s : stm) ->
+        match s.exp with
+        | ELoop { params; body; _ } ->
+            List.iteri
+              (fun j ((pe : pat_elem), a) ->
+                match a with
+                | Var v when v = target && pe.pt = TMem -> (
+                    add pe.pv;
+                    match List.nth_opt s.pat j with
+                    | Some (q : pat_elem) -> add q.pv
+                    | None -> ())
+                | _ -> ())
+              params;
+            List.iteri
+              (fun j a ->
+                match (a, List.nth_opt params j) with
+                | Var v, Some ((pe : pat_elem), _)
+                  when v = target && pe.pt = TMem -> (
+                    match List.nth_opt s.pat j with
+                    | Some (q : pat_elem) -> add q.pv
+                    | None -> ())
+                | _ -> ())
+              body.res
+        | EIf { tb; fb; _ } ->
+            List.iter
+              (fun (b : block) ->
+                List.iteri
+                  (fun j a ->
+                    match (a, List.nth_opt s.pat j) with
+                    | Var v, Some (q : pat_elem)
+                      when v = target && q.pt = TMem ->
+                        add q.pv
+                    | _ -> ())
+                  b.res)
+              [ tb; fb ]
+        | _ -> ())
+      (all_stms_block pre.body);
+    !acc
+  in
+  let rec identity_dead seen target =
+    SS.mem target seen
+    ||
+    let seen = SS.add target seen in
+    (not (annot_mentions pre target))
+    && (not (nonstructural_occurrence pre target))
+    && List.for_all (identity_dead seen) (forwarded_binders target)
+  in
+  (* occurrences of [target] inside the arm: with [strict] every
+     expression-position occurrence is an escape except an arm-result
+     forward out of a TMem [if] position (collected into [out]);
+     without it, loop-mem-init occurrences additionally yield the
+     loop's result binder for the strict follow-up scan. *)
+  let out = ref [] in
+  let arm_occ ~strict target =
+    let chain = ref [] in
+    let rec stm_occ (s : stm) =
+      match s.exp with
+      | ELoop { params; bound; body; _ } ->
+          let bad = ref (SS.mem target (fv_idx bound)) in
+          List.iteri
+            (fun j ((pe : pat_elem), a) ->
+              match a with
+              | Var v when v = target ->
+                  if strict || pe.pt <> TMem then bad := true
+                  else (
+                    match List.nth_opt s.pat j with
+                    | Some (q : pat_elem) -> chain := q.pv :: !chain
+                    | None -> bad := true)
+              | _ -> ())
+            params;
+          !bad || block_occ body
+      | EMap { nest; body; _ } ->
+          List.exists (fun (_, n) -> SS.mem target (fv_idx n)) nest
+          || block_occ body
+      | EIf { cond; tb; fb } ->
+          SS.mem target (fv_atom cond) || block_occ tb || block_occ fb
+      | e -> SS.mem target (fv_exp e)
+    and block_occ ?(top = false) (b : block) =
+      List.exists stm_occ b.stms
+      || List.exists
+           (fun (j, a) ->
+             match a with
+             | Var v when v = target ->
+                 let forwards_out =
+                   top
+                   &&
+                   match List.nth_opt ifstm.pat j with
+                   | Some (q : pat_elem) when q.pt = TMem ->
+                       out := q.pv :: !out;
+                       true
+                   | _ -> false
+                 in
+                 not forwards_out
+             | _ -> false)
+           (List.mapi (fun j a -> (j, a)) b.res)
+    in
+    (block_occ ~top:true armblk, !chain)
+  in
+  let esc, chain = arm_occ ~strict:false name in
+  esc
+  || List.exists (fun r -> fst (arm_occ ~strict:true r)) chain
+  || not (List.for_all (identity_dead SS.empty) !out)
+
+(* Arm-local death: in the pre program the block is allocated inside
+   one arm of the conditional and nothing about it leaks out of that
+   arm (in particular it is not part of the arm's existential result,
+   and any loop-carried threading of it ends inside the arm); in the
+   post program the allocation has left the arm. *)
+let check_dies_in_arm pre post block if_binding arm =
+  let arm_name = if arm then "true" else "false" in
+  match find_stm pre if_binding with
+  | None ->
+      ( Failed (Fmt.str "no statement binds %s in the pre program" if_binding),
+        "structural" )
+  | Some s -> (
+      match s.exp with
+      | EIf { tb; fb; _ } -> (
+          let armblk = if arm then tb else fb in
+          if find_in_block armblk block = None then
+            ( Failed
+                (Fmt.str "%s is not allocated within the %s arm of %s" block
+                   arm_name if_binding),
+              "structural" )
+          else if arm_escape_occurrence pre s armblk block then
+            ( Failed
+                (Fmt.str
+                   "%s occurs in expression position inside the %s arm \
+                    (contents escape the arm)"
+                   block arm_name),
+              "structural" )
+          else
+            match find_stm post if_binding with
+            | Some { exp = EIf { tb = tb'; fb = fb'; _ }; _ } ->
+                let armblk' = if arm then tb' else fb' in
+                if find_in_block armblk' block <> None then
+                  ( Failed
+                      (Fmt.str "%s is still allocated inside the %s arm" block
+                         arm_name),
+                    "structural" )
+                else if
+                  find_in_block post.body block = None
+                  && annot_mentions post block
+                then
+                  ( Failed
+                      (Fmt.str
+                         "%s has no allocation in the post program but is \
+                          still referenced"
+                         block),
+                    "structural" )
+                else
+                  ( Proved,
+                    "arm-local death re-derived; allocation lifted above the \
+                     if" )
+            | _ ->
+                ( Failed
+                    (Fmt.str "if %s not found in the post program" if_binding),
+                  "structural" ))
+      | _ ->
+          ( Failed (Fmt.str "%s does not bind an if" if_binding),
+            "structural" ))
+
 (* ---------------------------------------------------------------- *)
 (* The checker driver                                                *)
 (* ---------------------------------------------------------------- *)
@@ -881,6 +1316,13 @@ let check ~pass ~pre ~post obls =
               check_dies_each_iter pre post block loop_binding
           | Sole_occupant { block; ixfn } ->
               check_sole_occupant post post_scal block ixfn
+          | Grouped { mem; wits; arr } -> check_grouped post mem wits arr
+          | Footprint_fits { block; arr } ->
+              check_footprint_fits post post_scal o.o_ctx block arr
+          | Dominance { binding } -> check_dominance post binding
+          | Unreferenced { name } -> check_unreferenced pre post name
+          | Dies_in_arm { block; if_binding; arm } ->
+              check_dies_in_arm pre post block if_binding arm
         in
         { obl = o; verdict; detail })
       obls

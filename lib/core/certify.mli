@@ -50,6 +50,25 @@ type rewrite =
     }
   | Coalesce of { earlier : string; later : string }
   | Hoist of { block : string; loop_binding : string }
+  | Mem_intro of {
+      block : string;  (** the freshly introduced memory block *)
+      binding : string;  (** the array the block backs *)
+    }
+      (** {!Memintro} materialized an allocation for an array. *)
+  | Exist_intro of { binding : string  (** the grouped array binder *) }
+      (** {!Memintro} wrapped an [if]/[loop] result in the
+          [mem, witness…, array] existential grouping of section IV. *)
+  | Float_up of { binding : string }
+      (** {!Hoist} floated the statement binding [binding] to the top
+          of its block (or out of an [if] arm, for scalars). *)
+  | Dead_removal of { block : string }
+      (** {!Cleanup} deleted the allocation of [block]. *)
+  | If_hoist of {
+      block : string;
+      if_binding : string;  (** first binder of the conditional *)
+    }
+      (** {!Reuse} (strategy 4) lifted an arm-local allocation above
+          its conditional. *)
 
 (** The symbolic fact the pass relied on. *)
 type claim =
@@ -86,6 +105,27 @@ type claim =
   | Sole_occupant of { block : string; ixfn : Ixfn.t }
       (** Every annotation into [block] uses exactly [ixfn] (the
           rotation spare inherits a safe size). *)
+  | Grouped of { mem : string; wits : string list; arr : string }
+      (** Existential grouping well-formedness: the post-pass pattern
+          binding [arr] contains the contiguous run
+          [mem; wits…; arr], typed [TMem]/[i64]/array, with [arr]
+          annotated into [mem] and branch/param arities matching. *)
+  | Footprint_fits of { block : string; arr : string }
+      (** ixfn/alloc-size consistency: [arr]'s post-pass index
+          function stays within the allocation of [block] - both
+          re-derived from the post program, nothing trusted. *)
+  | Dominance of { binding : string }
+      (** Hoisting preserved dominance: at [binding]'s post-pass
+          position every free variable is already defined, and nothing
+          executing earlier references [binding]. *)
+  | Unreferenced of { name : string }
+      (** Zero remaining references: [name] has no annotation mention
+          and no expression-position occurrence (structural loop
+          plumbing included) in the pre program, and is gone after. *)
+  | Dies_in_arm of { block : string; if_binding : string; arm : bool }
+      (** [block]'s contents never leave the [arm] ([true] = then) of
+          the conditional binding [if_binding], so its allocation may
+          lift above the [if]. *)
 
 type obligation = {
   o_id : int;  (** emission order within the pass *)

@@ -11,10 +11,18 @@
 
    A block is live when some memory annotation names it, or when its
    name occurs free in any expression (memory values flow through loop
-   parameters and branch results). *)
+   parameters and branch results).  Sub-block results are counted by
+   *name*, not through [fv_exp]: an arm-local allocation returned as an
+   [if]'s existential memory component is bound inside the arm, so it
+   is not free in the conditional - but it is certainly live. *)
 
 open Ir.Ast
 module SS = Ir.Ast.SS
+
+let res_vars (b : block) : SS.t =
+  List.fold_left
+    (fun acc a -> match a with Var v -> SS.add v acc | _ -> acc)
+    SS.empty b.res
 
 let rec live_blocks_block (b : block) : SS.t =
   List.fold_left
@@ -34,7 +42,7 @@ let rec live_blocks_block (b : block) : SS.t =
       in
       let from_sub =
         match s.exp with
-        | EMap { body; _ } -> live_blocks_block body
+        | EMap { body; _ } -> SS.union (res_vars body) (live_blocks_block body)
         | ELoop { params; body; _ } ->
             let from_params =
               List.fold_left
@@ -47,15 +55,18 @@ let rec live_blocks_block (b : block) : SS.t =
                   match init with Var v -> SS.add v acc | _ -> acc)
                 SS.empty params
             in
-            SS.union from_params (live_blocks_block body)
+            SS.union from_params
+              (SS.union (res_vars body) (live_blocks_block body))
         | EIf { tb; fb; _ } ->
-            SS.union (live_blocks_block tb) (live_blocks_block fb)
+            SS.union
+              (SS.union (res_vars tb) (res_vars fb))
+              (SS.union (live_blocks_block tb) (live_blocks_block fb))
         | _ -> SS.empty
       in
       SS.union from_exp from_sub)
     SS.empty b.stms
 
-let rec strip_block live (b : block) : block * int =
+let rec strip_block cert live (b : block) : block * int =
   let removed = ref 0 in
   let stms =
     List.filter_map
@@ -63,19 +74,25 @@ let rec strip_block live (b : block) : block * int =
         match (s.exp, s.pat) with
         | EAlloc _, [ pe ] when not (SS.mem pe.pv live) ->
             incr removed;
+            (match cert with
+            | Some r ->
+                Certify.emit r
+                  (Certify.Dead_removal { block = pe.pv })
+                  (Certify.Unreferenced { name = pe.pv })
+            | None -> ());
             None
         | _ ->
             let exp, r =
               match s.exp with
               | EMap m ->
-                  let body, r = strip_block live m.body in
+                  let body, r = strip_block cert live m.body in
                   (EMap { m with body }, r)
               | ELoop l ->
-                  let body, r = strip_block live l.body in
+                  let body, r = strip_block cert live l.body in
                   (ELoop { l with body }, r)
               | EIf i ->
-                  let tb, r1 = strip_block live i.tb in
-                  let fb, r2 = strip_block live i.fb in
+                  let tb, r1 = strip_block cert live i.tb in
+                  let fb, r2 = strip_block cert live i.fb in
                   (EIf { i with tb; fb }, r1 + r2)
               | e -> (e, 0)
             in
@@ -87,7 +104,7 @@ let rec strip_block live (b : block) : block * int =
 
 (* Remove dead allocations; returns the cleaned program and how many
    allocations were eliminated. *)
-let run (p : prog) : prog * int =
+let run ?cert (p : prog) : prog * int =
   let live = live_blocks_block p.body in
   (* block results and parameters may also carry memory *)
   let live =
@@ -101,5 +118,5 @@ let run (p : prog) : prog * int =
       (fun acc a -> match a with Var v -> SS.add v acc | _ -> acc)
       live p.body.res
   in
-  let body, removed = strip_block live p.body in
+  let body, removed = strip_block cert live p.body in
   ({ p with body }, removed)

@@ -7,5 +7,9 @@
     in the executor's allocation counters and the benchmark harness's
     footprint table. *)
 
-val run : Ir.Ast.prog -> Ir.Ast.prog * int
-(** The cleaned program and the number of allocations removed. *)
+val run : ?cert:Certify.recorder -> Ir.Ast.prog -> Ir.Ast.prog * int
+(** The cleaned program and the number of allocations removed.  With
+    [?cert], every removed allocation emits an
+    {!constructor:Certify.claim.Unreferenced} obligation (under a
+    {!constructor:Certify.rewrite.Dead_removal} rewrite): zero
+    remaining references in the pre program, gone in the post. *)

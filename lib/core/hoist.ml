@@ -3,12 +3,13 @@
    Short-circuiting requires the destination memory to be allocated (in
    scope) at the definition point of the candidate's fresh array.  This
    pass aggressively moves [EAlloc] statements - together with the pure
-   scalar statements their sizes depend on - (a) to the top of their
-   block, and (b) out of loop and if bodies whenever the size is
-   computable outside.
+   scalar statements their sizes depend on - to the top of their block,
+   and floats pure scalars out of if arms when computable outside.
 
-   Per-thread allocations inside mapnest bodies are only hoisted to the
-   top of the body, never out of it (each thread owns its block). *)
+   Allocations never leave their block here: loop bodies need a fresh
+   block per iteration (double buffering, footnote 23), mapnest bodies
+   are per-thread, and if-arm allocations are lifted only by Reuse's
+   strategy 4, under certificates this blind pass cannot discharge. *)
 
 open Ir.Ast
 module SS = Ir.Ast.SS
@@ -27,10 +28,20 @@ let is_alloc (s : stm) = match s.exp with EAlloc _ -> true | _ -> false
 
 let binders (s : stm) = SS.of_list (List.map (fun pe -> pe.pv) s.pat)
 
+(* A moved statement's certificate: its definition still dominates its
+   uses at the new position (checked on the post-pass program). *)
+let cert_moved cert (s : stm) =
+  match (cert, s.pat) with
+  | Some r, pe :: _ ->
+      Certify.emit r
+        (Certify.Float_up { binding = pe.pv })
+        (Certify.Dominance { binding = pe.pv })
+  | _ -> ()
+
 (* Stable partition of a block's statements into a hoistable prefix
    (allocs + their pure scalar dependency closure, in dependency order)
    and the rest. *)
-let float_allocs_to_top (b : block) : block =
+let float_allocs_to_top cert (b : block) : block =
   let stms = b.stms in
   (* compute the set of variables needed by allocs, transitively through
      pure scalar statements *)
@@ -56,28 +67,37 @@ let float_allocs_to_top (b : block) : block =
         || (is_scalar_pure s && not (SS.is_empty (SS.inter (binders s) !needed))))
       stms
   in
+  (* Only statements that jumped over a kept statement actually moved. *)
+  let seen_rest = ref false in
+  List.iter
+    (fun s ->
+      if List.memq s rest then seen_rest := true
+      else if !seen_rest then cert_moved cert s)
+    stms;
   { b with stms = hoisted @ rest }
 
-(* Hoist allocs (and their scalar deps) out of a sub-block when their
-   free variables are all available in the enclosing scope.  Returns the
-   extracted statements and the reduced block. *)
-let extract_hoistable ~outer_scope (b : block) : stm list * block =
+(* Float pure scalars out of an [if] arm when their free variables are
+   all available in the enclosing scope.  Allocations stay inside the
+   arm: an arm-local allocation is only lifted by {!Reuse}'s strategy 4,
+   which proves the arm-local death and branch-size claims a blind
+   extraction could not.  Returns the extracted statements and the
+   reduced block. *)
+let extract_hoistable cert ~outer_scope (b : block) : stm list * block =
   let rec go scope acc kept = function
     | [] -> (List.rev acc, List.rev kept)
     | s :: rest ->
         let fv = fv_stm s in
-        let movable =
-          (is_alloc s || is_scalar_pure s) && SS.subset fv outer_scope
-        in
+        let movable = is_scalar_pure s && SS.subset fv outer_scope in
         (* a statement whose deps were kept locally cannot move *)
         let movable = movable && SS.is_empty (SS.inter fv scope) in
         if movable then go scope (s :: acc) kept rest
         else go (SS.union scope (binders s)) acc (s :: kept) rest
   in
   let moved, kept = go SS.empty [] [] b.stms in
+  List.iter (cert_moved cert) moved;
   (moved, { b with stms = kept })
 
-let rec hoist_block ~scope (b : block) : block =
+let rec hoist_block cert ~scope (b : block) : block =
   (* First recurse, allowing nested hoists to surface here. *)
   let scope_ref = ref scope in
   let stms =
@@ -98,13 +118,17 @@ let rec hoist_block ~scope (b : block) : block =
                   (fun sc (pe, _) -> SS.add pe.pv sc)
                   (SS.add var !scope_ref) params
               in
-              let body = hoist_block ~scope:inner_scope body in
+              let body = hoist_block cert ~scope:inner_scope body in
               [ { s with exp = ELoop { l with params; body } } ]
           | EIf ({ tb; fb; _ } as i) ->
-              let tb = hoist_block ~scope:!scope_ref tb in
-              let fb = hoist_block ~scope:!scope_ref fb in
-              let moved_t, tb = extract_hoistable ~outer_scope:!scope_ref tb in
-              let moved_f, fb = extract_hoistable ~outer_scope:!scope_ref fb in
+              let tb = hoist_block cert ~scope:!scope_ref tb in
+              let fb = hoist_block cert ~scope:!scope_ref fb in
+              let moved_t, tb =
+                extract_hoistable cert ~outer_scope:!scope_ref tb
+              in
+              let moved_f, fb =
+                extract_hoistable cert ~outer_scope:!scope_ref fb
+              in
               moved_t @ moved_f @ [ { s with exp = EIf { i with tb; fb } } ]
           | EMap ({ nest; body } as m) ->
               (* do not hoist out of the parallel body; only normalize
@@ -112,7 +136,7 @@ let rec hoist_block ~scope (b : block) : block =
               let inner_scope =
                 List.fold_left (fun sc (v, _) -> SS.add v sc) !scope_ref nest
               in
-              let body = hoist_block ~scope:inner_scope body in
+              let body = hoist_block cert ~scope:inner_scope body in
               [ { s with exp = EMap { m with body } } ]
           | _ -> [ s ]
         in
@@ -120,9 +144,9 @@ let rec hoist_block ~scope (b : block) : block =
         out)
       b.stms
   in
-  float_allocs_to_top { b with stms }
+  float_allocs_to_top cert { b with stms }
 
-let hoist (p : prog) : prog =
+let hoist ?cert (p : prog) : prog =
   let scope = SS.of_list (List.map (fun pe -> pe.pv) p.params) in
   (* input arrays' memory blocks are in scope too *)
   let scope =
@@ -131,4 +155,4 @@ let hoist (p : prog) : prog =
         match pe.pmem with Some m -> SS.add m.block sc | None -> sc)
       scope p.params
   in
-  { p with body = hoist_block ~scope p.body }
+  { p with body = hoist_block cert ~scope p.body }

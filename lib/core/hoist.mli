@@ -3,9 +3,17 @@
     Short-circuiting needs the destination block to be allocated (in
     scope) at the candidate's creation point.  This pass floats
     [EAlloc] statements - with the pure scalar statements their sizes
-    depend on - to the top of their blocks, and out of [if] branches.
-    Allocations are deliberately {e not} hoisted out of loop bodies: a
-    loop parameter carrying the previous iteration's result requires a
-    fresh block per iteration (double buffering, footnote 23). *)
+    depend on - to the top of their blocks, and floats pure scalars out
+    of [if] branches.  Allocations are deliberately {e not} hoisted out
+    of loop bodies (a loop parameter carrying the previous iteration's
+    result requires a fresh block per iteration - double buffering,
+    footnote 23) and stay inside [if] arms, where {!Reuse}'s strategy 4
+    can later lift them above the conditional under an arm-local death
+    certificate. *)
 
-val hoist : Ir.Ast.prog -> Ir.Ast.prog
+val hoist : ?cert:Certify.recorder -> Ir.Ast.prog -> Ir.Ast.prog
+(** With [?cert], every statement whose position actually changed
+    emits a {!constructor:Certify.claim.Dominance} obligation (under a
+    {!constructor:Certify.rewrite.Float_up} rewrite): at the new
+    position all free variables are defined and nothing executing
+    earlier reads the moved binding. *)

@@ -93,28 +93,35 @@ let poly_atoms ps =
   let stms, atoms = List.split (List.map poly_atom ps) in
   (List.concat stms, atoms)
 
+let cert_emit cert rw ?ctx claim =
+  match cert with Some r -> Certify.emit r rw ?ctx claim | None -> ()
+
 (* ---------------------------------------------------------------- *)
 (* Main traversal                                                    *)
 (* ---------------------------------------------------------------- *)
 
-let rec transform_block ctx env (b : block) : block * env =
+let rec transform_block cert ctx env (b : block) : block * env =
   let stms, env =
     List.fold_left
       (fun (acc, env) s ->
-        let new_stms, env = transform_stm ctx env s in
+        let new_stms, env = transform_stm cert ctx env s in
         (List.rev_append new_stms acc, env))
       ([], env) b.stms
   in
   ({ b with stms = List.rev stms }, env)
 
-and transform_stm ctx env (s : stm) : stm list * env =
+and transform_stm cert ctx env (s : stm) : stm list * env =
   let fresh_result s =
     let allocs, env =
       List.fold_left
         (fun (allocs, env) pe ->
-          if is_array_typ pe.pt then
+          if is_array_typ pe.pt then (
             let alloc, mem = alloc_for pe in
-            (alloc :: allocs, bind_mem env pe mem)
+            cert_emit cert
+              (Certify.Mem_intro { block = mem.block; binding = pe.pv })
+              ~ctx
+              (Certify.Footprint_fits { block = mem.block; arr = pe.pv });
+            (alloc :: allocs, bind_mem env pe mem))
           else (allocs, bind_plain env pe))
         ([], env) s.pat
     in
@@ -149,11 +156,11 @@ and transform_stm ctx env (s : stm) : stm list * env =
           (fun env (v, _) -> bind_plain env (pat_elem v (TScalar I64)))
           env nest
       in
-      let body, _ = transform_block ctx env_body body in
+      let body, _ = transform_block cert ctx env_body body in
       fresh_result { s with exp = EMap { nest; body } }
   | ELoop { params; var; bound; body } ->
-      transform_loop ctx env s params var bound body
-  | EIf { cond; tb; fb } -> transform_if ctx env s cond tb fb
+      transform_loop cert ctx env s params var bound body
+  | EIf { cond; tb; fb } -> transform_if cert ctx env s cond tb fb
   | EAtom _ | EBin _ | ECmp _ | EUn _ | EIdx _ | EIndex _ | EReduce _
   | EArgmin _ | EAlloc _ ->
       ([ s ], List.fold_left bind_plain env s.pat)
@@ -166,7 +173,7 @@ and transform_stm ctx env (s : stm) : stm list * env =
    - the parameter's annotation is the anti-unified index function over
      the witness parameter names.
    The statement's binding pattern mirrors the grouping. *)
-and transform_loop ctx env s params var bound body =
+and transform_loop cert ctx env s params var bound body =
   (* Provisional body environment: array params annotated with their
      initializer's index function in a fresh block name.  One transform
      round suffices: the supported programs rebuild their loop results,
@@ -195,7 +202,7 @@ and transform_loop ctx env s params var bound body =
       (bind_plain env (pat_elem var (TScalar I64)))
       annotated
   in
-  let body, env_after = transform_block ctx env_body body in
+  let body, env_after = transform_block cert ctx env_body body in
   if List.length body.res <> List.length params then
     err "memintro: loop arity mismatch";
   (* Per-parameter groups. *)
@@ -298,14 +305,17 @@ and transform_loop ctx env s params var bound body =
         o
     | [] -> err "memintro: pattern underflow"
   in
+  let cur_wits = ref [] in
   List.iter
     (fun bp ->
       match bp with
       | `Mem pe ->
           final_pats := !final_pats @ [ pe ];
+          cur_wits := [];
           env := { !env with types = SM.add pe.pv TMem !env.types }
       | `Wit pe ->
           final_pats := !final_pats @ [ pe ];
+          cur_wits := !cur_wits @ [ pe.pv ];
           env := bind_plain !env pe
       | `Orig ->
           let o = take_orig () in
@@ -314,6 +324,10 @@ and transform_loop ctx env s params var bound body =
       | `Annot (mem_name, out_ixfn) ->
           let o = take_orig () in
           final_pats := !final_pats @ [ o ];
+          cert_emit cert
+            (Certify.Exist_intro { binding = o.pv })
+            ~ctx
+            (Certify.Grouped { mem = mem_name; wits = !cur_wits; arr = o.pv });
           env := bind_mem !env o { block = mem_name; ixfn = out_ixfn })
     !bind_pats;
   let body = { stms = body.stms @ !body_extra; res = !body_res } in
@@ -323,9 +337,9 @@ and transform_loop ctx env s params var bound body =
   (!pre_stms @ [ new_stm ], !env)
 
 (* Ifs (Fig. 5a): same grouping per array result. *)
-and transform_if ctx env s cond tb fb =
-  let tb, env_t = transform_block ctx env tb in
-  let fb, env_f = transform_block ctx env fb in
+and transform_if cert ctx env s cond tb fb =
+  let tb, env_t = transform_block cert ctx env tb in
+  let fb, env_f = transform_block cert ctx env fb in
   if
     List.length tb.res <> List.length s.pat
     || List.length fb.res <> List.length s.pat
@@ -369,6 +383,15 @@ and transform_if ctx env s cond tb fb =
             res_t := !res_t @ [ Var mt.block ] @ t_atoms @ [ rt ];
             res_f := !res_f @ [ Var mf.block ] @ f_atoms @ [ rf ];
             final_pats := !final_pats @ [ mem_pat ] @ wit_pats @ [ pe ];
+            cert_emit cert
+              (Certify.Exist_intro { binding = pe.pv })
+              ~ctx
+              (Certify.Grouped
+                 {
+                   mem = mem_pat.pv;
+                   wits = List.map (fun w -> w.pv) wit_pats;
+                   arr = pe.pv;
+                 });
             env := { !env with types = SM.add mem_pat.pv TMem !env.types };
             List.iter (fun w -> env := bind_plain !env w) wit_pats;
             env :=
@@ -378,14 +401,13 @@ and transform_if ctx env s cond tb fb =
     s.pat;
   let tb = { stms = tb.stms @ !extra_t; res = !res_t } in
   let fb = { stms = fb.stms @ !extra_f; res = !res_f } in
-  ignore ctx;
   ([ stm !final_pats (EIf { cond; tb; fb }) ], !env)
 
 (* ---------------------------------------------------------------- *)
 (* Entry point                                                        *)
 (* ---------------------------------------------------------------- *)
 
-let introduce (p : prog) : prog =
+let introduce ?cert (p : prog) : prog =
   let env =
     List.fold_left
       (fun env pe ->
@@ -403,5 +425,5 @@ let introduce (p : prog) : prog =
       { mems = SM.empty; types = SM.empty }
       p.params
   in
-  let body, _ = transform_block p.ctx env p.body in
+  let body, _ = transform_block cert p.ctx env p.body in
   { p with body }

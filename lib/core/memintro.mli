@@ -15,7 +15,15 @@
 
 exception Mem_error of string
 
-val introduce : Ir.Ast.prog -> Ir.Ast.prog
-(** @raise Mem_error on unsupported shapes (e.g. an anti-unification
+val introduce : ?cert:Certify.recorder -> Ir.Ast.prog -> Ir.Ast.prog
+(** With [?cert], every introduced allocation emits a
+    {!constructor:Certify.claim.Footprint_fits} obligation (under a
+    {!constructor:Certify.rewrite.Mem_intro} rewrite) and every
+    existentialized [if]/[loop] result a
+    {!constructor:Certify.claim.Grouped} obligation (under
+    {!constructor:Certify.rewrite.Exist_intro}), re-checked by the
+    independent {!val:Certify.check} driver.
+
+    @raise Mem_error on unsupported shapes (e.g. an anti-unification
     failure that would need a normalizing copy the caller did not
     insert). *)

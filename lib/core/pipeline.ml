@@ -30,9 +30,9 @@ type compiled = {
       (* one memlint report per pipeline stage, in pass order; empty
          unless compiled with ~lint:true *)
   certs : (string * Certify.report) list;
-      (* one checked certificate per rewriting pass (shortcircuit,
-         reuse), in pass order; empty unless compiled with
-         ~certify:true *)
+      (* one checked certificate per pipeline pass (memintro, hoist,
+         shortcircuit, cleanup, reuse, cleanup-reuse), in pass order;
+         empty unless compiled with ~certify:true *)
 }
 
 let timed f =
@@ -74,10 +74,21 @@ let compile ?(options = Shortcircuit.default_options)
   in
   let unopt, time_base = timed (fun () -> to_memory_ir p) in
   let opt_base =
-    let q = Memintro.introduce (Ir.Clone.clone_prog p) in
+    let q0 = Ir.Clone.clone_prog p in
+    let mi_cert = recorder "memintro" in
+    let mi_pre = if certify then Some (Ir.Clone.clone_prog q0) else None in
+    let q = Memintro.introduce ?cert:mi_cert q0 in
     lint_after "memintro" q;
-    let q = Hoist.hoist q in
+    (match mi_pre with
+    | Some pre -> check_cert "memintro" mi_cert ~pre ~post:q
+    | None -> ());
+    let h_cert = recorder "hoist" in
+    let h_pre = if certify then Some (Ir.Clone.clone_prog q) else None in
+    let q = Hoist.hoist ?cert:h_cert q in
     lint_after "hoist" q;
+    (match h_pre with
+    | Some pre -> check_cert "hoist" h_cert ~pre ~post:q
+    | None -> ());
     ignore (Lastuse.annotate q);
     lint_after "lastuse" q;
     q
@@ -93,8 +104,13 @@ let compile ?(options = Shortcircuit.default_options)
   (match sc_pre with
   | Some pre -> check_cert "shortcircuit" sc_cert ~pre ~post:opt
   | None -> ());
-  let opt, dead_allocs = Cleanup.run opt in
+  let cl_cert = recorder "cleanup" in
+  let cl_pre = if certify then Some (Ir.Clone.clone_prog opt) else None in
+  let opt, dead_allocs = Cleanup.run ?cert:cl_cert opt in
   lint_after "cleanup" opt;
+  (match cl_pre with
+  | Some pre -> check_cert "cleanup" cl_cert ~pre ~post:opt
+  | None -> ());
   (* third variant: memory-block reuse on a private clone of the
      short-circuited program, followed by a liveness refresh and a
      cleanup round to collect the allocations the pass orphaned *)
@@ -111,8 +127,15 @@ let compile ?(options = Shortcircuit.default_options)
   (match !re_pre with
   | Some pre -> check_cert "reuse" re_cert ~pre ~post:reuse_p
   | None -> ());
-  let reuse_p, reuse_dead_allocs = Cleanup.run reuse_p in
+  (* the second cleanup round gets its own pass name so the two rounds
+     stay distinguishable in reports and the certificate baseline *)
+  let clr_cert = recorder "cleanup-reuse" in
+  let clr_pre = if certify then Some (Ir.Clone.clone_prog reuse_p) else None in
+  let reuse_p, reuse_dead_allocs = Cleanup.run ?cert:clr_cert reuse_p in
   lint_after "reuse" reuse_p;
+  (match clr_pre with
+  | Some pre -> check_cert "cleanup-reuse" clr_cert ~pre ~post:reuse_p
+  | None -> ());
   {
     source = p;
     unopt;

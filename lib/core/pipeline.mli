@@ -24,9 +24,10 @@ type compiled = {
           lastuse, shortcircuit, cleanup, reuse), in pass order; empty
           unless compiled with [~lint:true] *)
   certs : (string * Certify.report) list;
-      (** one checked {!Certify} certificate per rewriting pass
-          ([shortcircuit], [reuse]), in pass order; empty unless
-          compiled with [~certify:true] *)
+      (** one checked {!Certify} certificate per pipeline pass
+          ([memintro], [hoist], [shortcircuit], [cleanup], [reuse],
+          [cleanup-reuse] - the second cleanup round, after reuse), in
+          pass order; empty unless compiled with [~certify:true] *)
 }
 
 val to_memory_ir : Ir.Ast.prog -> Ir.Ast.prog
@@ -49,8 +50,10 @@ val compile :
     making [reuse] a clone of [opt]).  With [~lint:true] the
     {!Memlint} verifier runs after every pass of the optimized build
     and the reports are collected in {!compiled.lint}.  With
-    [~certify:true] each rewriting pass emits per-rewrite proof
-    obligations which {!Certify.check} re-derives against a snapshot of
+    [~certify:true] every pipeline pass - memory introduction,
+    hoisting, short-circuiting, both cleanup rounds, and reuse - emits
+    per-rewrite proof obligations which {!Certify.check} re-derives
+    against a snapshot of
     the pass's own input and its (pre-cleanup) output; the checked
     certificates land in {!compiled.certs}, so a failed obligation
     names the pass and rewrite that introduced it. *)

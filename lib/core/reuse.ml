@@ -178,6 +178,45 @@ let rec rename_annots_stm oldm newm (s : stm) : unit =
 and rename_annots_block oldm newm (b : block) : unit =
   List.iter (rename_annots_stm oldm newm) b.stms
 
+(* Rename every reference to mem block [oldm] - annotations *and*
+   expression-position atoms (loop-carried mem initializers, block
+   results) - to [newm] within a subtree.  Used when an [if] arm's
+   allocation is absorbed by its partner in the other arm; names are
+   globally unique, so the rewrite is total. *)
+let rec rename_var_stm oldm newm (s : stm) : stm =
+  List.iter (rename_pe oldm newm) s.pat;
+  let ratom = function Var v when v = oldm -> Var newm | a -> a in
+  let exp =
+    match s.exp with
+    | EMap ({ body; _ } as m) ->
+        EMap { m with body = rename_var_block oldm newm body }
+    | ELoop ({ params; body; _ } as l) ->
+        let params =
+          List.map
+            (fun (pe, init) ->
+              rename_pe oldm newm pe;
+              (pe, ratom init))
+            params
+        in
+        ELoop { l with params; body = rename_var_block oldm newm body }
+    | EIf ({ tb; fb; _ } as i) ->
+        EIf
+          {
+            i with
+            tb = rename_var_block oldm newm tb;
+            fb = rename_var_block oldm newm fb;
+          }
+    | EAtom a -> EAtom (ratom a)
+    | e -> e
+  in
+  { s with exp }
+
+and rename_var_block oldm newm (b : block) : block =
+  {
+    stms = List.map (rename_var_stm oldm newm) b.stms;
+    res = List.map (function Var v when v = oldm -> Var newm | a -> a) b.res;
+  }
+
 (* Variables occurring in *expression* position anywhere in a subtree:
    atoms, array operands, concat/update names, loop initializers and
    body results - everything except memory annotations and index
@@ -214,6 +253,49 @@ and exp_vars_block (b : block) (acc : SS.t) : SS.t =
   List.fold_left
     (fun acc a -> match a with Var v -> SS.add v acc | _ -> acc)
     acc b.res
+
+(* Does mem block [name], allocated inside an [if] arm, escape the arm
+   in expression position?  One relaxation over a bare
+   [exp_vars_block] membership test: memintro threads an arm-local
+   block through an enclosing loop as the initializer of a
+   loop-carried *mem* parameter, an occurrence that merely hands the
+   block's identity to the loop.  Such an initializer is benign iff
+   the loop's mem result binder at the same tuple position is itself
+   clean - no expression-position occurrence in the arm, in
+   particular not among the arm's results - so the chain ends inside
+   the arm.  Any other occurrence (operand, non-mem initializer, arm
+   result) is an escape. *)
+let arm_block_escapes (arm : block) name : bool =
+  let chain = ref [] in
+  let rec stm_occ (s : stm) : bool =
+    match s.exp with
+    | ELoop { params; body; _ } ->
+        let hard = ref false in
+        List.iteri
+          (fun j ((pe : pat_elem), init) ->
+            match init with
+            | Var v when v = name ->
+                if pe.pt = TMem then (
+                  match List.nth_opt s.pat j with
+                  | Some (q : pat_elem) -> chain := q.pv :: !chain
+                  | None -> hard := true)
+                else hard := true
+            | _ -> ())
+          params;
+        !hard || block_occ body
+    | EMap { body; _ } -> block_occ body
+    | EIf { cond; tb; fb } ->
+        (match cond with Var v -> v = name | _ -> false)
+        || block_occ tb || block_occ fb
+    | e -> SS.mem name (exp_vars e SS.empty)
+  and block_occ (b : block) : bool =
+    List.exists stm_occ b.stms
+    || List.exists (function Var v -> v = name | _ -> false) b.res
+  in
+  block_occ arm
+  ||
+  let all = exp_vars_block arm SS.empty in
+  List.exists (fun r -> SS.mem r all) !chain
 
 (* Every annotation into block [blk] anywhere in a subtree (pattern
    elements and loop parameters, nested bodies included) - the full
@@ -338,11 +420,37 @@ let chain_analysis (p : prog) =
         List.iter go_stm body.stms;
         List.iter note_atom_hard body.res
     | EIf { cond; tb; fb } ->
+        (* An [if] forwards each arm's TMem result into its own TMem
+           binder - existential plumbing exactly like a loop's mem
+           positions, so an atom at such a position is structural and
+           the chain can continue through the conditional.  Non-mem
+           positions stay hard. *)
         note_atom_hard cond;
+        List.iter
+          (fun (q : pat_elem) ->
+            if q.pt = TMem then mem_binders := SS.add q.pv !mem_binders)
+          s.pat;
+        let arm_res (b : block) =
+          List.iteri
+            (fun i a ->
+              let structural_pos =
+                match List.nth_opt s.pat i with
+                | Some (q : pat_elem) -> q.pt = TMem
+                | None -> false
+              in
+              if structural_pos then (
+                match a with
+                | Var v ->
+                    structural :=
+                      { co_loop = s; co_idx = i; co_name = v } :: !structural
+                | _ -> ())
+              else note_atom_hard a)
+            b.res
+        in
         List.iter go_stm tb.stms;
-        List.iter note_atom_hard tb.res;
+        arm_res tb;
         List.iter go_stm fb.stms;
-        List.iter note_atom_hard fb.res
+        arm_res fb
     | EAlloc _ -> (
         match s.pat with
         | [ pe ] when pe.pt = TMem -> mem_binders := SS.add pe.pv !mem_binders
@@ -360,14 +468,20 @@ let remove_dead_chains (st : stats) opts cert (p : prog) : prog =
   let candidates =
     ref (SS.diff mem_binders (SS.union annot hard))
   in
-  (* a position is removable iff both its parameter and its outer
-     binder are candidates *)
+  (* a loop position is removable iff both its parameter and its outer
+     binder are candidates; an [if] position (which has no parameter)
+     iff its TMem binder is one *)
   let removable_pos (s : stm) i =
-    match (List.nth_opt (match s.exp with ELoop { params; _ } -> params | _ -> []) i,
-           List.nth_opt s.pat i)
-    with
-    | Some (pe, _), Some q ->
-        SS.mem pe.pv !candidates && SS.mem q.pv !candidates
+    match s.exp with
+    | ELoop { params; _ } -> (
+        match (List.nth_opt params i, List.nth_opt s.pat i) with
+        | Some (pe, _), Some q ->
+            SS.mem pe.pv !candidates && SS.mem q.pv !candidates
+        | _ -> false)
+    | EIf _ -> (
+        match List.nth_opt s.pat i with
+        | Some q -> q.pt = TMem && SS.mem q.pv !candidates
+        | _ -> false)
     | _ -> false
   in
   (* evict names referenced from positions that will survive *)
@@ -429,6 +543,46 @@ let remove_dead_chains (st : stats) opts cert (p : prog) : prog =
                   s with
                   pat = pat';
                   exp = ELoop { lp with params = params'; body = { body with res = res' } };
+                };
+              ]
+      | EIf ({ tb; fb; _ } as ifr) ->
+          let keep = Array.make (List.length s.pat) true in
+          List.iteri
+            (fun i (q : pat_elem) ->
+              if removable_pos s i then begin
+                keep.(i) <- false;
+                st.chain_links <- st.chain_links + 1;
+                let loop_binding =
+                  match s.pat with pe :: _ -> pe.pv | [] -> "?"
+                in
+                (match cert with
+                | None -> ()
+                | Some r ->
+                    Certify.emit r
+                      (Certify.Chain_removal { loop_binding; position = i })
+                      (Certify.Dead_mem { names = [ q.pv ] }));
+                trace opts
+                  "reuse: dropping dead mem chain position %d of if %s" i
+                  loop_binding
+              end)
+            s.pat;
+          if Array.for_all Fun.id keep then l @ [ s ]
+          else
+            let sel xs =
+              List.filteri (fun i _ -> i >= Array.length keep || keep.(i)) xs
+            in
+            l
+            @ [
+                {
+                  s with
+                  pat = sel s.pat;
+                  exp =
+                    EIf
+                      {
+                        ifr with
+                        tb = { tb with res = sel tb.res };
+                        fb = { fb with res = sel fb.res };
+                      };
                 };
               ]
       | _ -> l @ [ s ]
@@ -913,7 +1067,27 @@ let coalesce_block (st : stats) opts cert ctx scalars mems (b : block) : unit =
    - a size depending only on the loop variable [v] hoists as
      [sz[v:=0]], provided the prover shows [sz[v:=0] >= sz] for all
      [v] in [0, bound) (the shrinking-interior pattern); the
-     obligation counts as a size-domination proof. *)
+     obligation counts as a size-domination proof.
+
+   The pass also hoists through [if] arms.  An allocation local to an
+   arm - no expression-position occurrence inside the arm, not the
+   home of anything the arm returns, size computable above the [if] -
+   is dead by the arm's end, so its allocation may lift above the
+   conditional:
+   - *paired*: when both arms hold such an allocation, the prover
+     compares the two sizes; the dominating one lifts above the [if]
+     and the other arm's block is renamed into it (1 -> 1 executed
+     allocations per branch taken, always profitable);
+   - *single-arm*: an unpaired candidate lifts only when the [if]
+     sits inside a sequential loop body, where the subsequent
+     loop-level hoist amortizes the (at most one) extra allocation
+     across the trip count.
+   Lifted blocks land in the enclosing scope, in front of the [if],
+   where the loop-level hoist above and sibling coalescing can pick
+   them up.  Each lift is certified: an
+   {!constructor:Certify.claim.Dies_in_arm} claim per arm-local block
+   and a branch-wise {!constructor:Certify.claim.Size_ge} for the
+   dominating size. *)
 
 let hoist_allocs (st : stats) opts cert (p0 : prog) : prog =
   let note_mems m (pes : pat_elem list) =
@@ -924,7 +1098,7 @@ let hoist_allocs (st : stats) opts cert (p0 : prog) : prog =
         | None -> m)
       m pes
   in
-  let rec go_stm ctx scalars (s : stm) : stm list =
+  let rec go_stm ~in_loop ctx scalars (s : stm) : stm list =
     match s.exp with
     | EMap { nest; body } ->
         let ctx' =
@@ -934,13 +1108,18 @@ let hoist_allocs (st : stats) opts cert (p0 : prog) : prog =
                 ~hi:(P.sub (resolve scalars n) P.one) ())
             ctx nest
         in
-        [ { s with exp = EMap { nest; body = go_block ctx' scalars body } } ]
+        [
+          {
+            s with
+            exp = EMap { nest; body = go_block ~in_loop:false ctx' scalars body };
+          };
+        ]
     | ELoop ({ var; bound; body; params } as lp) ->
         let ctx' =
           Pr.add_range ctx var ~lo:P.zero
             ~hi:(P.sub (resolve scalars bound) P.one) ()
         in
-        let body = go_block ctx' scalars body in
+        let body = go_block ~in_loop:true ctx' scalars body in
         let bscalars =
           List.fold_left
             (fun sc bs ->
@@ -1025,20 +1204,139 @@ let hoist_allocs (st : stats) opts cert (p0 : prog) : prog =
         List.rev !lifted
         @ [ { s with exp = ELoop { lp with body = { body with stms = stms' } } } ]
     | EIf ({ tb; fb; _ } as i) ->
-        [
+        let tb = go_block ~in_loop ctx scalars tb in
+        let fb = go_block ~in_loop ctx scalars fb in
+        let if_binding = match s.pat with q :: _ -> q.pv | [] -> "?" in
+        (* Arm-local hoist candidates: allocations whose block does
+           not escape the arm in expression position (loop-carried mem
+           threading with a dead chain result is tolerated, see
+           [arm_block_escapes]), is not the home of anything the arm
+           returns, and whose size (after resolving arm-local scalar
+           definitions) mentions no arm-bound variable, so the request
+           is computable above the conditional. *)
+        let arm_candidates (arm : block) : (pat_elem * P.t) list =
+          let ascalars =
+            List.fold_left
+              (fun sc bs ->
+                match scalar_def bs with
+                | Some (v, pl) -> P.SM.add v pl sc
+                | None -> sc)
+              scalars arm.stms
+          in
+          let bound_names =
+            List.fold_left
+              (fun acc (bs : stm) ->
+                List.fold_left (fun acc pe -> SS.add pe.pv acc) acc bs.pat)
+              SS.empty arm.stms
+          in
+          let mems_arm =
+            List.fold_left
+              (fun m (bs : stm) ->
+                let m = note_mems m bs.pat in
+                match bs.exp with
+                | ELoop { params = ps; _ } -> note_mems m (List.map fst ps)
+                | _ -> m)
+              SM.empty (all_stms_block arm)
+          in
+          let escape = res_refs mems_arm arm in
+          List.filter_map
+            (fun (bs : stm) ->
+              match (bs.pat, bs.exp) with
+              | [ pe ], EAlloc sz when pe.pt = TMem ->
+                  if SS.mem pe.pv escape || arm_block_escapes arm pe.pv then
+                    None
+                  else
+                    let szr = resolve ascalars sz in
+                    if
+                      SS.is_empty
+                        (SS.inter (SS.of_list (P.vars szr)) bound_names)
+                    then Some (pe, szr)
+                    else None
+              | _ -> None)
+            arm.stms
+        in
+        let lifted = ref [] in
+        let dropped = ref SS.empty in
+        let renames = ref [] in
+        let cert_lift (pe : pat_elem) arm claims =
+          match cert with
+          | None -> ()
+          | Some r ->
+              let rw = Certify.If_hoist { block = pe.pv; if_binding } in
+              Certify.emit r rw
+                (Certify.Dies_in_arm { block = pe.pv; if_binding; arm });
+              List.iter
+                (fun (larger, smaller) ->
+                  Certify.emit r rw ~ctx
+                    (Certify.Size_ge { larger; smaller }))
+                claims
+        in
+        (* The dominating block lifts above the [if]; the partner arm's
+           block is renamed into it, so either branch taken executes
+           exactly one allocation where it executed one before. *)
+        let lift_pair ~(kept : pat_elem * P.t * bool)
+            ~(partner : pat_elem * P.t * bool) =
+          let kpe, ksz, karm = kept and ppe, psz, parm = partner in
+          lifted := stm [ kpe ] (EAlloc ksz) :: !lifted;
+          dropped := SS.add kpe.pv (SS.add ppe.pv !dropped);
+          renames := (ppe.pv, kpe.pv, parm) :: !renames;
+          st.hoisted <- st.hoisted + 1;
+          st.size_proofs <- st.size_proofs + 1;
+          cert_lift kpe karm [ (ksz, psz) ];
+          cert_lift ppe parm [];
+          trace opts "reuse: hoisted alloc %s above if %s (absorbing %s)"
+            kpe.pv if_binding ppe.pv
+        in
+        let lift_single (pe : pat_elem) sz arm =
+          lifted := stm [ pe ] (EAlloc sz) :: !lifted;
+          dropped := SS.add pe.pv !dropped;
+          st.hoisted <- st.hoisted + 1;
+          cert_lift pe arm [ (sz, P.zero) ];
+          trace opts "reuse: hoisted alloc %s out of an arm of if %s" pe.pv
+            if_binding
+        in
+        (* Unpaired candidates allocate on both paths where before they
+           allocated on one, so they only pay off under a loop. *)
+        let single pe sz arm = if in_loop then lift_single pe sz arm in
+        let rec pair ts fs =
+          match (ts, fs) with
+          | (tpe, tsz) :: ts', (fpe, fsz) :: fs' ->
+              if Pr.prove_ge ctx tsz fsz then
+                lift_pair ~kept:(tpe, tsz, true) ~partner:(fpe, fsz, false)
+              else if Pr.prove_ge ctx fsz tsz then
+                lift_pair ~kept:(fpe, fsz, false) ~partner:(tpe, tsz, true)
+              else begin
+                single tpe tsz true;
+                single fpe fsz false
+              end;
+              pair ts' fs'
+          | ts', [] -> List.iter (fun (pe, sz) -> single pe sz true) ts'
+          | [], fs' -> List.iter (fun (pe, sz) -> single pe sz false) fs'
+        in
+        pair (arm_candidates tb) (arm_candidates fb);
+        let prune (arm : block) =
           {
-            s with
-            exp =
-              EIf
-                {
-                  i with
-                  tb = go_block ctx scalars tb;
-                  fb = go_block ctx scalars fb;
-                };
-          };
-        ]
+            arm with
+            stms =
+              List.filter
+                (fun (bs : stm) ->
+                  match (bs.pat, bs.exp) with
+                  | [ pe ], EAlloc _ -> not (SS.mem pe.pv !dropped)
+                  | _ -> true)
+                arm.stms;
+          }
+        in
+        let finish arm_flag blk =
+          prune
+            (List.fold_left
+               (fun b (oldm, newm, f) ->
+                 if f = arm_flag then rename_var_block oldm newm b else b)
+               blk !renames)
+        in
+        List.rev !lifted
+        @ [ { s with exp = EIf { i with tb = finish true tb; fb = finish false fb } } ]
     | _ -> [ s ]
-  and go_block ctx scalars (b : block) : block =
+  and go_block ~in_loop ctx scalars (b : block) : block =
     let scalars =
       List.fold_left
         (fun sc s ->
@@ -1047,9 +1345,9 @@ let hoist_allocs (st : stats) opts cert (p0 : prog) : prog =
           | None -> sc)
         scalars b.stms
     in
-    { b with stms = List.concat_map (go_stm ctx scalars) b.stms }
+    { b with stms = List.concat_map (go_stm ~in_loop ctx scalars) b.stms }
   in
-  { p0 with body = go_block p0.ctx P.SM.empty p0.body }
+  { p0 with body = go_block ~in_loop:false p0.ctx P.SM.empty p0.body }
 
 (* ---------------------------------------------------------------- *)
 (* Driver                                                            *)

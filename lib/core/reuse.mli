@@ -25,7 +25,17 @@
       body's results) is allocated once in front of the loop instead,
       with a loop-variable-dependent size generalized to its iteration
       maximum by a prover obligation; hoisted blocks of sibling loops
-      then coalesce under the same-scope rule.
+      then coalesce under the same-scope rule.  The same strategy
+      hoists through [if] arms: an allocation local to an arm (dead by
+      the arm's end, size computable above the conditional) lifts in
+      front of the [if] - when both arms hold one, the prover picks
+      the dominating size and the other arm's block is renamed into
+      the lifted block; an unpaired arm-local allocation lifts only
+      inside a sequential loop body, where the loop-level hoist
+      amortizes it.  Each such lift emits an
+      {!constructor:Certify.rewrite.If_hoist} rewrite with
+      {!constructor:Certify.claim.Dies_in_arm} and branch-wise
+      {!constructor:Certify.claim.Size_ge} obligations.
 
     Liveness comes from the same reference/alias machinery as the
     last-use analysis: a block is live from its allocation to the last
@@ -42,7 +52,8 @@ type options = {
   coalesce : bool;  (** same-scope coalescing *)
   chains : bool;  (** dead existential chain removal *)
   rotation : bool;  (** double-buffer rotation *)
-  cross_scope : bool;  (** alloc hoisting out of loop bodies *)
+  cross_scope : bool;
+      (** alloc hoisting out of loop bodies and through [if] arms *)
 }
 
 val default_options : options
@@ -57,7 +68,8 @@ type stats = {
   mutable size_proofs : int;  (** prover obligations discharged *)
   mutable chain_links : int;  (** dead existential mem positions removed *)
   mutable rotated : int;  (** loops rewritten to double-buffering *)
-  mutable hoisted : int;  (** allocations lifted out of loop bodies *)
+  mutable hoisted : int;
+      (** allocations lifted out of loop bodies or [if] arms *)
 }
 
 val fresh_stats : unit -> stats
@@ -78,5 +90,6 @@ val optimize :
     names, the rotation's trip-count/size proofs and
     initializer-liveness claim, each coalescing's live-range disjointness
     (with the moved annotations) and size-domination proof under the
-    prover context it was discharged in, and each hoisted allocation's
-    dies-within-iteration claim. *)
+    prover context it was discharged in, each loop-hoisted allocation's
+    dies-within-iteration claim, and each [if]-arm hoist's arm-local
+    death and branch-wise size-domination claims. *)

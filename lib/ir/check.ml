@@ -311,8 +311,16 @@ let rec infer_exp env (e : exp) : typ list =
       List.map (fun (pe, _) -> pe.pt) params
   | EIf { cond; tb; fb } ->
       if expect_scalar env cond <> Bool then err "if condition not bool";
+      (* Only one branch executes: each arm is checked against the
+         consumption state at the [if], and the union of both arms'
+         consumptions holds afterwards.  A shared set would reject
+         programs whose arms consume the same array. *)
+      let saved = !(env.consumed) in
       let t1 = infer_block env tb in
+      let t_cons = !(env.consumed) in
+      env.consumed := saved;
       let t2 = infer_block env fb in
+      env.consumed := SS.union t_cons !(env.consumed);
       if List.length t1 <> List.length t2 then err "if branch arity mismatch";
       List.iter2
         (fun a b ->
@@ -320,6 +328,19 @@ let rec infer_exp env (e : exp) : typ list =
             err "if branch type mismatch: %a vs %a" Pretty.pp_typ a
               Pretty.pp_typ b)
         t1 t2;
+      (* Array results move into the conditional's binders - the
+         branch value is consumed by the [if] (like a loop-carried
+         array), so the binder is a fresh unique value and the
+         returned name may not be used afterwards. *)
+      List.iter
+        (fun (b : block) ->
+          List.iter2
+            (fun a t ->
+              match (a, t) with
+              | Var v, TArr _ -> consume env v
+              | _ -> ())
+            b.res t1)
+        [ tb; fb ];
       t1
   | EAlloc size ->
       check_idx env size;
@@ -363,15 +384,10 @@ and check_stm env (s : stm) : env =
     | EAtom (Var v) -> Some (SS.singleton v)
     | ESlice (v, _) | ETranspose (v, _) | EReshape (v, _) | EReverse (v, _) ->
         Some (SS.singleton v)
-    (* The result of an update does NOT alias the (consumed) operand for
-       uniqueness purposes: it is a fresh unique value.  The *memory*
-       aliasing between them is tracked separately by the alias analysis
-       of the memory passes. *)
-    | EIf { tb; fb; _ } ->
-        Some
-          (SS.union
-             (SS.of_list (List.filter_map atom_var tb.res))
-             (SS.of_list (List.filter_map atom_var fb.res)))
+    (* The results of updates and conditionals do NOT alias their
+       (consumed) operands for uniqueness purposes: they are fresh
+       unique values.  The *memory* aliasing between them is tracked
+       separately by the alias analysis of the memory passes. *)
     | _ -> None
   in
   match (s.pat, alias_of) with

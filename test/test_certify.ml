@@ -58,7 +58,7 @@ let test_benchmarks_certify () =
       let certs = cpl.Core.Pipeline.certs in
       Alcotest.(check int)
         (name ^ ": one certificate per rewriting pass")
-        2 (List.length certs);
+        6 (List.length certs);
       (match Core.Pipeline.first_cert_failure certs with
       | None -> ()
       | Some (pass, ch) ->
@@ -221,6 +221,201 @@ let test_mutation_forged_nonoverlap () =
     (not (C.ok report))
 
 (* ---------------------------------------------------------------- *)
+(* Mutation: forged existential grouping (memintro side)              *)
+(* ---------------------------------------------------------------- *)
+
+(* One top-level conditional producing an array: memory introduction
+   wraps its result in the [mem, witness..., array] grouping, giving
+   the checker a real grouping to compare forgeries against. *)
+let cond_prog () =
+  B.prog "certcond" ~ctx:ctx_n2
+    ~params:[ pat_elem "n" i64; pat_elem "c" boolt ]
+    ~ret:[ arr F64 [ n ] ]
+    (fun b ->
+      let bs =
+        B.if_ b "bs" (Var "c")
+          (fun tb -> [ Var (fill tb "bs_t" n 1.0) ])
+          (fun fb -> [ Var (fill fb "bs_f" n 2.0) ])
+      in
+      [ Var (List.hd bs) ])
+
+(* The first conditional statement, searching compound bodies. *)
+let find_if (p : prog) =
+  let rec go stms =
+    List.find_map
+      (fun s ->
+        match s.exp with
+        | EIf _ -> Some s
+        | EMap { body; _ } | ELoop { body; _ } -> go body.stms
+        | _ -> None)
+      stms
+  in
+  match go p.body.stms with
+  | Some s -> s
+  | None -> Alcotest.fail "expected a conditional"
+
+(* The grouping run of an existential conditional pattern:
+   (mem binder, witness binders, array binder). *)
+let grouping_of (s : stm) =
+  let mem =
+    match List.find_opt (fun pe -> pe.pt = TMem) s.pat with
+    | Some pe -> pe.pv
+    | None -> Alcotest.fail "expected a TMem binder"
+  in
+  let wits =
+    List.filter_map
+      (fun pe -> if pe.pt = i64 then Some pe.pv else None)
+      s.pat
+  in
+  let a =
+    match
+      List.find_opt (fun pe -> is_array_typ pe.pt && pe.pmem <> None) s.pat
+    with
+    | Some pe -> pe
+    | None -> Alcotest.fail "expected an annotated array binder"
+  in
+  (mem, wits, a)
+
+let test_mutation_forged_grouping () =
+  let p = Core.Pipeline.to_memory_ir (cond_prog ()) in
+  let pre = Ir.Clone.clone_prog p in
+  let ifs = find_if p in
+  let mem, wits, pe_arr = grouping_of ifs in
+  let r = C.recorder ~pass:"memintro" in
+  (* the honest grouping proves... *)
+  C.emit r
+    (C.Exist_intro { binding = pe_arr.pv })
+    ~ctx:ctx_n2
+    (C.Grouped { mem; wits; arr = pe_arr.pv });
+  (* ...and the forged one - the array claimed grouped with a block
+     that is not the one binding it (here: the block the array is
+     annotated into inside an arm, not the conditional's existential
+     binder) - must be refuted structurally. *)
+  let arm_mem =
+    match ifs.exp with
+    | EIf { tb; _ } -> (
+        match
+          List.find_map
+            (fun s ->
+              List.find_map
+                (fun pe -> Option.map (fun m -> m.block) pe.pmem)
+                s.pat)
+            tb.stms
+        with
+        | Some m -> m
+        | None -> Alcotest.fail "expected an annotated arm binding")
+    | _ -> assert false
+  in
+  C.emit r
+    (C.Exist_intro { binding = pe_arr.pv })
+    ~ctx:ctx_n2
+    (C.Grouped { mem = arm_mem; wits; arr = pe_arr.pv });
+  let report = C.check ~pass:"memintro" ~pre ~post:p (C.obligations r) in
+  Alcotest.(check int) "honest grouping proved, forgery refuted" 1
+    report.C.failed;
+  match C.failures report with
+  | [ { verdict = C.Failed msg; _ } ] ->
+      Alcotest.(check bool) "refutation names the mismatch" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected exactly one Failed obligation"
+
+(* ---------------------------------------------------------------- *)
+(* Mutation: forged if-arm hoist (reuse strategy 4)                   *)
+(* ---------------------------------------------------------------- *)
+
+(* In [cond_prog] each arm's fill IS the arm's result: its contents
+   escape the conditional, so a Dies_in_arm claim for its block is
+   false and must be refuted.  A branch-wise size forgery under the
+   same rewrite must be refuted with a concrete witness. *)
+let test_mutation_forged_if_hoist () =
+  let p = Core.Pipeline.to_memory_ir (cond_prog ()) in
+  let pre = Ir.Clone.clone_prog p in
+  let ifs = find_if p in
+  let if_binding = (List.hd ifs.pat).pv in
+  let arm_mem =
+    match ifs.exp with
+    | EIf { tb; _ } -> (
+        match
+          List.find_map
+            (fun s ->
+              List.find_map
+                (fun pe -> Option.map (fun m -> m.block) pe.pmem)
+                s.pat)
+            tb.stms
+        with
+        | Some m -> m
+        | None -> Alcotest.fail "expected an annotated arm binding")
+    | _ -> assert false
+  in
+  let r = C.recorder ~pass:"reuse" in
+  C.emit r
+    (C.If_hoist { block = arm_mem; if_binding })
+    ~ctx:ctx_n2
+    (C.Dies_in_arm { block = arm_mem; if_binding; arm = true });
+  (* n >= 2n is false for every admissible n: the branch-wise size
+     obligation must be refuted with a numeric witness *)
+  C.emit r
+    (C.If_hoist { block = arm_mem; if_binding })
+    ~ctx:ctx_n2
+    (C.Size_ge { larger = n; smaller = P.mul (c 2) n });
+  let report = C.check ~pass:"reuse" ~pre ~post:p (C.obligations r) in
+  Alcotest.(check int) "both forgeries refuted" 2 report.C.failed;
+  List.iter
+    (function
+      | { C.verdict = C.Failed msg; _ } ->
+          Alcotest.(check bool) "refutation carries detail" true
+            (String.length msg > 0)
+      | _ -> Alcotest.fail "expected Failed verdicts")
+    (C.failures report)
+
+(* ---------------------------------------------------------------- *)
+(* The certificate gate: a proved -> concretized flip is a regression *)
+(* ---------------------------------------------------------------- *)
+
+module BJ = Benchsuite.Benchjson
+
+let cert_doc ~verdict0 ~proved ~concretized =
+  Printf.sprintf
+    {|{"benchmarks":[{"name":"b","passes":[{"pass":"memintro",
+       "emitted":2,"proved":%d,"concretized":%d,"failed":0,
+       "obligations":[
+         {"id":0,"kind":"rewrite","rewrite":"mem_intro of m0",
+          "claim":"grouped","verdict":"%s","detail":""},
+         {"id":1,"kind":"rewrite","rewrite":"mem_intro of m1",
+          "claim":"grouped","verdict":"proved","detail":""}]}]}]}|}
+    proved concretized verdict0
+
+let parse_doc s =
+  match BJ.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "bad test JSON: %s" e
+
+let test_cert_gate_flip () =
+  let baseline =
+    parse_doc (cert_doc ~verdict0:"proved" ~proved:2 ~concretized:0)
+  in
+  let same =
+    parse_doc (cert_doc ~verdict0:"proved" ~proved:2 ~concretized:0)
+  in
+  let flipped =
+    parse_doc (cert_doc ~verdict0:"concretized" ~proved:1 ~concretized:1)
+  in
+  let g0 = BJ.cert_gate ~baseline ~current:same () in
+  Alcotest.(check bool) "identity passes" true (BJ.ok g0);
+  let g1 = BJ.cert_gate ~baseline ~current:flipped () in
+  Alcotest.(check bool) "flip fails the gate" true (not (BJ.ok g1));
+  let contains_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "flip is reported as a weakening" true
+    (List.exists
+       (fun m ->
+         contains_sub m "weakened" || contains_sub m "proved count")
+       g1.BJ.regressions)
+
+(* ---------------------------------------------------------------- *)
 (* qcheck: generated programs certify end to end                      *)
 (* ---------------------------------------------------------------- *)
 
@@ -274,6 +469,56 @@ let gen_siblings s bound =
       in
       [ Var (go init 1) ])
 
+(* A loop whose body branches: depending on [mode], the true arm, the
+   false arm, or both arms allocate a local temporary that dies inside
+   the arm - exercising the single-arm and pair-lift shapes of the
+   if-arm hoist (reuse strategy 4) plus the dead-chain removal that
+   certifies the threading it leaves behind. *)
+let gen_cond mode bound =
+  B.prog "qccond" ~ctx:ctx_n2
+    ~params:[ pat_elem "n" i64; pat_elem "c" boolt ]
+    ~ret:[ arr F64 [ n ] ]
+    (fun b ->
+      let init = fill b "a0" n 0.0 in
+      let arm_with_tmp seed bb param =
+        let tmp = fill bb (Printf.sprintf "tmp%.0f" seed) n seed in
+        let iv = Names.fresh "i" in
+        [
+          Var
+            (B.mapnest bb "r" [ (iv, n) ] (fun b3 ->
+                 [
+                   B.fadd b3
+                     (B.index b3 param [ P.var iv ])
+                     (B.index b3 tmp [ P.var iv ]);
+                 ]));
+        ]
+      in
+      let arm_plain seed bb param =
+        let iv = Names.fresh "i" in
+        [
+          Var
+            (B.mapnest bb "r" [ (iv, n) ] (fun b3 ->
+                 [ B.fadd b3 (B.index b3 param [ P.var iv ]) (Float seed) ]));
+        ]
+      in
+      let r =
+        B.loop1 b "acc" (arr F64 [ n ]) (Var init) ~bound:(c bound)
+          (fun bb ~param ~i:_ ->
+            let t_arm, f_arm =
+              match mode with
+              | 0 -> (arm_with_tmp 1.0, arm_with_tmp 2.0)
+              | 1 -> (arm_with_tmp 3.0, arm_plain 4.0)
+              | _ -> (arm_plain 5.0, arm_with_tmp 6.0)
+            in
+            let st =
+              B.if_ bb "st" (Var "c")
+                (fun tb -> t_arm tb param)
+                (fun fb -> f_arm fb param)
+            in
+            Var (List.hd st))
+      in
+      [ Var r ])
+
 let certified name prog =
   let cpl = Core.Pipeline.compile ~certify:true prog in
   match Core.Pipeline.first_cert_failure cpl.Core.Pipeline.certs with
@@ -292,6 +537,15 @@ let prop_generated_programs_certify =
       certified "chain" (gen_chain k)
       && certified "siblings" (gen_siblings s bound))
 
+let prop_conditional_programs_certify =
+  QCheck.Test.make
+    ~name:"generated conditional programs certify (zero failed)" ~count:9
+    (QCheck.make
+       ~print:(fun (mode, bound) ->
+         Printf.sprintf "mode=%d bound=%d" mode bound)
+       QCheck.Gen.(pair (int_range 0 2) (int_range 2 5)))
+    (fun (mode, bound) -> certified "cond" (gen_cond mode bound))
+
 let tests =
   [
     Alcotest.test_case "all benchmarks certify (zero failed)" `Quick
@@ -305,5 +559,12 @@ let tests =
       test_mutation_forged_size_proof;
     Alcotest.test_case "mutation: forged non-overlap refuted" `Quick
       test_mutation_forged_nonoverlap;
+    Alcotest.test_case "mutation: forged existential grouping refuted" `Quick
+      test_mutation_forged_grouping;
+    Alcotest.test_case "mutation: forged if-arm hoist refuted" `Quick
+      test_mutation_forged_if_hoist;
+    Alcotest.test_case "cert gate: proved -> concretized flip fails" `Quick
+      test_cert_gate_flip;
     QCheck_alcotest.to_alcotest prop_generated_programs_certify;
+    QCheck_alcotest.to_alcotest prop_conditional_programs_certify;
   ]
