@@ -54,6 +54,7 @@ let run_tables () =
         ( name,
           compiled.Core.Pipeline.dead_allocs,
           compiled.Core.Pipeline.reuse_dead_allocs,
+          compiled.Core.Pipeline.pack_dead_allocs,
           o.Benchsuite.Runner.footprints )
         :: !footprints;
       overheads :=
@@ -64,21 +65,23 @@ let run_tables () =
   Printf.printf "%s\n" hr;
   Printf.printf
     "Memory footprint: peak live bytes, unoptimized / short-circuited / \
-     reused\n";
-  Printf.printf "%-15s %-10s %12s %12s %12s %9s %s\n" "Benchmark" "dataset"
-    "unopt (MB)" "opt (MB)" "reuse (MB)" "saved" "dead allocs (sc+reuse)";
+     reused / packed\n";
+  Printf.printf "%-15s %-10s %12s %12s %12s %12s %9s %s\n" "Benchmark"
+    "dataset" "unopt (MB)" "opt (MB)" "reuse (MB)" "pack (MB)" "saved"
+    "dead allocs (sc+reuse+pack)";
   List.iter
-    (fun (name, dead, rdead, fps) ->
+    (fun (name, dead, rdead, pdead, fps) ->
       List.iter
-        (fun (ds, u, o, r) ->
+        (fun (ds, u, o, r, p) ->
           let open Benchsuite.Runner in
-          Printf.printf "%-15s %-10s %12.1f %12.1f %12.1f %8.0f%% %5d+%d\n"
+          Printf.printf
+            "%-15s %-10s %12.1f %12.1f %12.1f %12.1f %8.0f%% %5d+%d+%d\n"
             name ds (u.f_peak_bytes /. 1e6) (o.f_peak_bytes /. 1e6)
-            (r.f_peak_bytes /. 1e6)
+            (r.f_peak_bytes /. 1e6) (p.f_peak_bytes /. 1e6)
             (100.
-            *. (u.f_peak_bytes -. r.f_peak_bytes)
+            *. (u.f_peak_bytes -. p.f_peak_bytes)
             /. Float.max 1.0 u.f_peak_bytes)
-            dead rdead)
+            dead rdead pdead)
         fps)
     (List.rev !footprints);
   Printf.printf "\n";

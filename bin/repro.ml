@@ -1,9 +1,10 @@
 (* The `repro` command-line driver.
 
-     repro table <1..7|all>     regenerate the paper's tables (three
+     repro table <1..7|all>     regenerate the paper's tables (four
                                 variants: unoptimized, short-circuited,
-                                memory-reused); --bench-json writes a
-                                machine-readable perf record
+                                memory-reused, arena-packed);
+                                --bench-json writes a machine-readable
+                                perf record
      repro validate [bench]     full-mode validation at reduced sizes
      repro lint [bench]         static memory-IR verification (memlint)
      repro trace [bench]        traced execution + dynamic cross-check
@@ -26,6 +27,7 @@ type bench = {
   table :
     ?options:Core.Shortcircuit.options ->
     ?reuse:Core.Reuse.options ->
+    ?pack:Core.Pack.options ->
     ?pool:bool ->
     ?pool_cap:int ->
     unit ->
@@ -107,40 +109,47 @@ let find_bench s =
 
 let pp_footprints ?(verbose = false) (o : Benchsuite.Runner.outcome) =
   List.iter
-    (fun (label, u, p, r) ->
+    (fun (label, u, p, r, pk_) ->
       let a (f : Benchsuite.Runner.footprint) =
-        if f.Benchsuite.Runner.f_scratch = 0 then
-          string_of_int f.Benchsuite.Runner.f_allocs
+        let base =
+          if f.Benchsuite.Runner.f_scratch = 0 then
+            string_of_int f.Benchsuite.Runner.f_allocs
+          else
+            Printf.sprintf "%d+%ds" f.Benchsuite.Runner.f_allocs
+              f.Benchsuite.Runner.f_scratch
+        in
+        if f.Benchsuite.Runner.f_arena_allocs = 0 then base
         else
-          Printf.sprintf "%d+%ds" f.Benchsuite.Runner.f_allocs
-            f.Benchsuite.Runner.f_scratch
+          Printf.sprintf "%s(%da)" base f.Benchsuite.Runner.f_arena_allocs
       in
       let pk (f : Benchsuite.Runner.footprint) =
         f.Benchsuite.Runner.f_peak_bytes
       in
       Printf.printf
-        "  footprint %-9s allocs %s -> %s -> %s | peak %.3g -> %.3g -> \
-         %.3g B (unopt/opt/reuse)\n"
-        label (a u) (a p) (a r) (pk u) (pk p) (pk r);
+        "  footprint %-9s allocs %s -> %s -> %s -> %s | peak %.3g -> %.3g \
+         -> %.3g -> %.3g B (unopt/opt/reuse/pack)\n"
+        label (a u) (a p) (a r) (a pk_) (pk u) (pk p) (pk r) (pk pk_);
       let hm (f : Benchsuite.Runner.footprint) =
         Printf.sprintf "%d/%d" f.Benchsuite.Runner.f_pool_hits
           f.Benchsuite.Runner.f_pool_misses
       in
       match (u.Benchsuite.Runner.f_pool, p.Benchsuite.Runner.f_pool,
-             r.Benchsuite.Runner.f_pool)
+             r.Benchsuite.Runner.f_pool, pk_.Benchsuite.Runner.f_pool)
       with
-      | Some pu, Some pp_, Some pr ->
-          Printf.printf "  pool      %-9s hit/miss %s -> %s -> %s\n" label
-            (hm u) (hm p) (hm r);
+      | Some pu, Some pp_, Some pr, Some ppk ->
+          Printf.printf "  pool      %-9s hit/miss %s -> %s -> %s -> %s\n"
+            label (hm u) (hm p) (hm r) (hm pk_);
           if verbose then
             Printf.printf
-              "  pool      %-9s high-water %.3g -> %.3g -> %.3g B | \
-               fragmentation %.0f%% -> %.0f%% -> %.0f%%\n"
+              "  pool      %-9s high-water %.3g -> %.3g -> %.3g -> %.3g B | \
+               fragmentation %.0f%% -> %.0f%% -> %.0f%% -> %.0f%%\n"
               label pu.Gpu.Device.Pool.p_high_water
               pp_.Gpu.Device.Pool.p_high_water pr.Gpu.Device.Pool.p_high_water
+              ppk.Gpu.Device.Pool.p_high_water
               (100. *. pu.Gpu.Device.Pool.p_fragmentation)
               (100. *. pp_.Gpu.Device.Pool.p_fragmentation)
               (100. *. pr.Gpu.Device.Pool.p_fragmentation)
+              (100. *. ppk.Gpu.Device.Pool.p_fragmentation)
       | _ -> ())
     o.Benchsuite.Runner.footprints
 
@@ -165,12 +174,14 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
         (List.map
            (fun (r : Benchsuite.Table.row) ->
              Printf.sprintf
-               "{\"device\":\"%s\",\"dataset\":\"%s\",\"ref_ms\":%g,\"unopt_ms\":%g,\"opt_ms\":%g,\"reuse_ms\":%g,\"impact\":%g,\"reuse_impact\":%g}"
+               "{\"device\":\"%s\",\"dataset\":\"%s\",\"ref_ms\":%g,\"unopt_ms\":%g,\"opt_ms\":%g,\"reuse_ms\":%g,\"pack_ms\":%g,\"impact\":%g,\"reuse_impact\":%g,\"pack_impact\":%g}"
                (json_escape r.Benchsuite.Table.device)
                (json_escape r.Benchsuite.Table.dataset)
                r.Benchsuite.Table.ref_ms r.Benchsuite.Table.unopt_ms
                r.Benchsuite.Table.opt_ms r.Benchsuite.Table.reuse_ms
-               r.Benchsuite.Table.impact r.Benchsuite.Table.reuse_impact)
+               r.Benchsuite.Table.pack_ms r.Benchsuite.Table.impact
+               r.Benchsuite.Table.reuse_impact
+               r.Benchsuite.Table.pack_impact)
            o.Benchsuite.Runner.table.Benchsuite.Table.rows)
     in
     let fp (f : Benchsuite.Runner.footprint) =
@@ -194,21 +205,23 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
         | None -> ""
       in
       Printf.sprintf
-        "{\"allocs\":%d,\"scratch\":%d,\"alloc_bytes\":%g,\"peak_bytes\":%g,\"traffic_bytes\":%g%s}"
-        f.Benchsuite.Runner.f_allocs f.Benchsuite.Runner.f_scratch
-        f.Benchsuite.Runner.f_alloc_bytes f.Benchsuite.Runner.f_peak_bytes
-        f.Benchsuite.Runner.f_traffic_bytes pool
+        "{\"allocs\":%d,\"arena_allocs\":%d,\"scratch\":%d,\"alloc_bytes\":%g,\"peak_bytes\":%g,\"traffic_bytes\":%g%s}"
+        f.Benchsuite.Runner.f_allocs f.Benchsuite.Runner.f_arena_allocs
+        f.Benchsuite.Runner.f_scratch f.Benchsuite.Runner.f_alloc_bytes
+        f.Benchsuite.Runner.f_peak_bytes f.Benchsuite.Runner.f_traffic_bytes
+        pool
     in
     let fps =
       String.concat ","
         (List.map
-           (fun (label, u, p, r) ->
+           (fun (label, u, p, r, pk) ->
              Printf.sprintf
-               "{\"dataset\":\"%s\",\"unopt\":%s,\"opt\":%s,\"reuse\":%s}"
-               (json_escape label) (fp u) (fp p) (fp r))
+               "{\"dataset\":\"%s\",\"unopt\":%s,\"opt\":%s,\"reuse\":%s,\"pack\":%s}"
+               (json_escape label) (fp u) (fp p) (fp r) (fp pk))
            o.Benchsuite.Runner.footprints)
     in
     let rst = c.Core.Pipeline.reuse_stats in
+    let pst = c.Core.Pipeline.pack_stats in
     (* per-pass obligation counts of the translation-validation run that
        rides along with every table compile *)
     let certify =
@@ -223,13 +236,16 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
            c.Core.Pipeline.certs)
     in
     Printf.sprintf
-      "{\"name\":\"%s\",\"table\":%d,\"rows\":[%s],\"footprints\":[%s],\"compile_s\":{\"base\":%g,\"shortcircuit\":%g,\"reuse\":%g},\"dead_allocs\":%d,\"reuse_dead_allocs\":%d,\"reuse_stats\":{\"candidates\":%d,\"coalesced\":%d,\"size_proofs\":%d,\"chain_links\":%d,\"rotated\":%d,\"hoisted\":%d},\"certify\":{%s}}"
+      "{\"name\":\"%s\",\"table\":%d,\"rows\":[%s],\"footprints\":[%s],\"compile_s\":{\"base\":%g,\"shortcircuit\":%g,\"reuse\":%g,\"pack\":%g},\"dead_allocs\":%d,\"reuse_dead_allocs\":%d,\"pack_dead_allocs\":%d,\"reuse_stats\":{\"candidates\":%d,\"coalesced\":%d,\"size_proofs\":%d,\"chain_links\":%d,\"rotated\":%d,\"hoisted\":%d},\"pack_stats\":{\"arenas\":%d,\"packed\":%d,\"unpacked\":%d,\"offset_proofs\":%d},\"certify\":{%s}}"
       (json_escape b.name) b.table_no rows fps c.Core.Pipeline.time_base
       c.Core.Pipeline.time_sc c.Core.Pipeline.time_reuse
-      c.Core.Pipeline.dead_allocs c.Core.Pipeline.reuse_dead_allocs
+      c.Core.Pipeline.time_pack c.Core.Pipeline.dead_allocs
+      c.Core.Pipeline.reuse_dead_allocs c.Core.Pipeline.pack_dead_allocs
       rst.Core.Reuse.candidates rst.Core.Reuse.coalesced
       rst.Core.Reuse.size_proofs rst.Core.Reuse.chain_links
-      rst.Core.Reuse.rotated rst.Core.Reuse.hoisted certify
+      rst.Core.Reuse.rotated rst.Core.Reuse.hoisted pst.Core.Pack.arenas
+      pst.Core.Pack.packed pst.Core.Pack.unpacked
+      pst.Core.Pack.offset_proofs certify
   in
   let date =
     let t = Unix.localtime (Unix.time ()) in
@@ -258,16 +274,18 @@ let default_bench_json_name () =
   Printf.sprintf "BENCH_%04d-%02d-%02d.json" (t.Unix.tm_year + 1900)
     (t.Unix.tm_mon + 1) t.Unix.tm_mday
 
-let run_table which options reuse pool pool_cap bench_json out =
+let run_table which options reuse pack pool pool_cap bench_json out =
   Symalg.Prover.reset_stats ();
   let run b =
-    let o = b.table ~options ~reuse ~pool ?pool_cap () in
+    let o = b.table ~options ~reuse ~pack ~pool ?pool_cap () in
     print_string (Benchsuite.Table.to_string o.Benchsuite.Runner.table);
     let st = o.Benchsuite.Runner.compiled.Core.Pipeline.stats in
     let rst = o.Benchsuite.Runner.compiled.Core.Pipeline.reuse_stats in
+    let pst = o.Benchsuite.Runner.compiled.Core.Pipeline.pack_stats in
     if options.Core.Shortcircuit.verbose then begin
       Fmt.pr "%a@.@." Core.Shortcircuit.pp_stats st;
       Fmt.pr "%a@.@." Core.Reuse.pp_stats rst;
+      Fmt.pr "%a@.@." Core.Pack.pp_stats pst;
       Fmt.pr "%a@.@." Symalg.Prover.pp_stats (Symalg.Prover.stats ())
     end
     else begin
@@ -280,7 +298,13 @@ let run_table which options reuse pool pool_cap bench_json out =
         rst.Core.Reuse.chain_links rst.Core.Reuse.rotated
         rst.Core.Reuse.hoisted rst.Core.Reuse.coalesced
         rst.Core.Reuse.candidates
-        o.Benchsuite.Runner.compiled.Core.Pipeline.reuse_dead_allocs
+        o.Benchsuite.Runner.compiled.Core.Pipeline.reuse_dead_allocs;
+      Printf.printf
+        "  packing: %d arenas, %d placed, %d unpacked, %d offset proofs \
+         (%d member allocs absorbed)\n"
+        pst.Core.Pack.arenas pst.Core.Pack.packed pst.Core.Pack.unpacked
+        pst.Core.Pack.offset_proofs
+        o.Benchsuite.Runner.compiled.Core.Pipeline.pack_dead_allocs
     end;
     pp_footprints ~verbose:options.Core.Shortcircuit.verbose o;
     (match o.Benchsuite.Runner.traffic with
@@ -324,14 +348,14 @@ let run_validate which =
   let validate b =
     let v = Benchsuite.Runner.validate b.prog (Lazy.force b.small_args) in
     Printf.printf
-      "%-14s interp-match: unopt=%b opt=%b reuse=%b | copies %d -> %d (%d \
-       elided) | circuits %d\n"
+      "%-14s interp-match: unopt=%b opt=%b reuse=%b pack=%b | copies %d -> \
+       %d (%d elided) | circuits %d\n"
       b.name v.Benchsuite.Runner.ok_unopt v.Benchsuite.Runner.ok_opt
-      v.Benchsuite.Runner.ok_reuse v.Benchsuite.Runner.copies_unopt
-      v.Benchsuite.Runner.copies_opt v.Benchsuite.Runner.elided
-      v.Benchsuite.Runner.sc_succeeded;
+      v.Benchsuite.Runner.ok_reuse v.Benchsuite.Runner.ok_pack
+      v.Benchsuite.Runner.copies_unopt v.Benchsuite.Runner.copies_opt
+      v.Benchsuite.Runner.elided v.Benchsuite.Runner.sc_succeeded;
     v.Benchsuite.Runner.ok_unopt && v.Benchsuite.Runner.ok_opt
-    && v.Benchsuite.Runner.ok_reuse
+    && v.Benchsuite.Runner.ok_reuse && v.Benchsuite.Runner.ok_pack
   in
   match which with
   | "all" ->
@@ -343,9 +367,9 @@ let run_validate which =
 
 (* ---- lint -------------------------------------------------------- *)
 
-let run_lint which options verbose_reports =
+let run_lint which options pack verbose_reports =
   let lint b =
-    let c = Core.Pipeline.compile ~options ~lint:true b.prog in
+    let c = Core.Pipeline.compile ~options ~pack ~lint:true b.prog in
     List.iter
       (fun (_, r) ->
         if verbose_reports || not (Core.Memlint.ok r) then
@@ -401,23 +425,27 @@ let print_histogram t =
     (tr.Core.Trace.t_elided_bytes /. 1e6)
 
 let bench_json (u : Benchsuite.Runner.traced) (o : Benchsuite.Runner.traced)
-    (r : Benchsuite.Runner.traced) =
+    (r : Benchsuite.Runner.traced) (p : Benchsuite.Runner.traced) =
   let clean =
     Core.Memtrace.ok u.Benchsuite.Runner.check
     && Core.Memtrace.ok o.Benchsuite.Runner.check
     && Core.Memtrace.ok r.Benchsuite.Runner.check
+    && Core.Memtrace.ok p.Benchsuite.Runner.check
   in
   Printf.sprintf
-    "{\"clean\": %b, \"unopt\": %s, \"opt\": %s, \"reuse\": %s}" clean
+    "{\"clean\": %b, \"unopt\": %s, \"opt\": %s, \"reuse\": %s, \"pack\": %s}"
+    clean
     (Core.Trace.to_json u.Benchsuite.Runner.trace)
     (Core.Trace.to_json o.Benchsuite.Runner.trace)
     (Core.Trace.to_json r.Benchsuite.Runner.trace)
+    (Core.Trace.to_json p.Benchsuite.Runner.trace)
 
 (* --diff: the optimizations may move and elide storage but must not
    change the logical event sequence.  Compare the variants' trace
    skeletons pairwise; any divergence is a failure. *)
 let diff_traces b (u : Benchsuite.Runner.traced)
-    (o : Benchsuite.Runner.traced) (r : Benchsuite.Runner.traced) : bool =
+    (o : Benchsuite.Runner.traced) (r : Benchsuite.Runner.traced)
+    (p : Benchsuite.Runner.traced) : bool =
   let pair ta tb =
     match Core.Trace.diff ta tb with
     | [] -> true
@@ -429,27 +457,30 @@ let diff_traces b (u : Benchsuite.Runner.traced)
   in
   let ok_uo = pair u.Benchsuite.Runner.trace o.Benchsuite.Runner.trace in
   let ok_or = pair o.Benchsuite.Runner.trace r.Benchsuite.Runner.trace in
-  if ok_uo && ok_or then
+  let ok_rp = pair r.Benchsuite.Runner.trace p.Benchsuite.Runner.trace in
+  if ok_uo && ok_or && ok_rp then
     Printf.printf
-      "%-14s skeletons agree across unopt/opt/reuse (%d logical events)\n"
+      "%-14s skeletons agree across unopt/opt/reuse/pack (%d logical \
+       events)\n"
       b.name
       (List.length (Core.Trace.skeleton u.Benchsuite.Runner.trace));
-  ok_uo && ok_or
+  ok_uo && ok_or && ok_rp
 
 let run_trace which json diff out =
   let trace b =
-    let u, o, r =
-      Benchsuite.Runner.trace_check3 b.prog (Lazy.force b.small_args)
+    let u, o, r, p =
+      Benchsuite.Runner.trace_check4 b.prog (Lazy.force b.small_args)
     in
     let clean =
       Core.Memtrace.ok u.Benchsuite.Runner.check
       && Core.Memtrace.ok o.Benchsuite.Runner.check
       && Core.Memtrace.ok r.Benchsuite.Runner.check
+      && Core.Memtrace.ok p.Benchsuite.Runner.check
     in
-    if diff then diff_traces b u o r && clean
+    if diff then diff_traces b u o r p && clean
     else begin
       if json then (
-        let s = bench_json u o r in
+        let s = bench_json u o r p in
         match out with
         | None -> print_endline s
         | Some dir ->
@@ -465,7 +496,7 @@ let run_trace which json diff out =
         List.iter
           (fun (t : Benchsuite.Runner.traced) ->
             Fmt.pr "%a@." Core.Memtrace.pp_report t.Benchsuite.Runner.check)
-          [ u; o; r ];
+          [ u; o; r; p ];
         print_histogram o.Benchsuite.Runner.trace;
         print_newline ()
       end;
@@ -482,12 +513,13 @@ let run_trace which json diff out =
 
 (* ---- dump -------------------------------------------------------- *)
 
-let run_dump which opt reuse =
+let run_dump which opt reuse pack =
   Result.map
     (fun b ->
       let c = Core.Pipeline.compile b.prog in
       let p =
-        if reuse then c.Core.Pipeline.reuse
+        if pack then c.Core.Pipeline.pack
+        else if reuse then c.Core.Pipeline.reuse
         else if opt then c.Core.Pipeline.opt
         else c.Core.Pipeline.unopt
       in
@@ -513,8 +545,8 @@ let read_file path =
     Ok s
   with Sys_error e -> Error e
 
-let run_bench options reuse pool pool_cap check baseline tolerance out current
-    report =
+let run_bench options reuse pack pool pool_cap check baseline tolerance out
+    current report =
   let obtain_current () =
     match current with
     | Some path -> read_file path
@@ -524,7 +556,7 @@ let run_bench options reuse pool pool_cap check baseline tolerance out current
           List.map
             (fun b ->
               Printf.printf "bench %-14s running...\n%!" b.name;
-              (b, b.table ~options ~reuse ~pool ?pool_cap ()))
+              (b, b.table ~options ~reuse ~pack ~pool ?pool_cap ()))
             benches
         in
         let json = bench_json_of outcomes (Symalg.Prover.stats ()) in
@@ -596,11 +628,30 @@ let cert_json_of name (certs : (string * Core.Certify.report) list) =
     (String.concat ","
        (List.map (fun (_, r) -> Core.Certify.json_of_report r) certs))
 
+(* The combined certificate document carries the prover's memo-cache
+   effectiveness over the whole certification run, mirroring the
+   "prover" object of BENCH.json: the checker leans on the same
+   memoized satisfiability/nonnegativity queries, so a cache collapse
+   shows up here first. *)
 let cert_doc_of (docs : string list) =
-  Printf.sprintf "{\"benchmarks\":[%s]}" (String.concat "," docs)
+  let pstats = Symalg.Prover.stats () in
+  let rate h m =
+    if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+  in
+  Printf.sprintf
+    "{\"benchmarks\":[%s],\"prover\":{\"sat_hits\":%d,\"sat_misses\":%d,\"sat_resets\":%d,\"sat_hit_rate\":%.4f,\"nonneg_hits\":%d,\"nonneg_misses\":%d,\"nonneg_resets\":%d,\"nonneg_hit_rate\":%.4f}}"
+    (String.concat "," docs)
+    pstats.Symalg.Prover.sat_hits pstats.Symalg.Prover.sat_misses
+    pstats.Symalg.Prover.sat_resets
+    (rate pstats.Symalg.Prover.sat_hits pstats.Symalg.Prover.sat_misses)
+    pstats.Symalg.Prover.nonneg_hits pstats.Symalg.Prover.nonneg_misses
+    pstats.Symalg.Prover.nonneg_resets
+    (rate pstats.Symalg.Prover.nonneg_hits
+       pstats.Symalg.Prover.nonneg_misses)
 
-let run_certify which options reuse verbose_reports json out check baseline
-    current report_path =
+let run_certify which options reuse pack verbose_reports json out check
+    baseline current report_path =
+  Symalg.Prover.reset_stats ();
   let selected =
     match which with
     | "all" -> Ok benches
@@ -626,7 +677,8 @@ let run_certify which options reuse verbose_reports json out check baseline
           List.map
             (fun b ->
               let c =
-                Core.Pipeline.compile ~options ~reuse ~certify:true b.prog
+                Core.Pipeline.compile ~options ~reuse ~pack ~certify:true
+                  b.prog
               in
               let certs = c.Core.Pipeline.certs in
               List.iter
@@ -831,6 +883,28 @@ let reuse_term =
           })
     $ no_reuse $ options_term)
 
+(* [--no-pack] disables the offset-based arena packing pass (the
+   fourth pipeline variant then degenerates to a clone of the reused
+   one) - the A/B baseline for the packing effect. *)
+let pack_term =
+  let no_pack =
+    Arg.(
+      value & flag
+      & info [ "no-pack" ]
+          ~doc:
+            "Disable the offset-based arena packing pass (the fourth \
+             pipeline variant becomes a copy of the memory-reused one).")
+  in
+  Term.(
+    const (fun no_pack (options : Core.Shortcircuit.options) ->
+        if no_pack then Core.Pack.disabled
+        else
+          {
+            Core.Pack.default_options with
+            Core.Pack.verbose = options.Core.Shortcircuit.verbose;
+          })
+    $ no_pack $ options_term)
+
 (* [--no-pool] reverts the allocator model to all-miss: every top-level
    allocation is charged [alloc_miss_cost], as before the pool existed
    (the A/B baseline for the pool's latency effect). *)
@@ -881,9 +955,10 @@ let table_cmd =
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table (1-7 or name or all)")
     Term.(
-      const (fun w o r p pc bj out -> to_exit (run_table w o r p pc bj out))
-      $ bench_arg $ options_term $ reuse_term $ pool_term $ pool_cap_term
-      $ bench_json $ out)
+      const (fun w o r pk p pc bj out ->
+          to_exit (run_table w o r pk p pc bj out))
+      $ bench_arg $ options_term $ reuse_term $ pack_term $ pool_term
+      $ pool_cap_term $ bench_json $ out)
 
 let validate_cmd =
   Cmd.v
@@ -900,9 +975,15 @@ let dump_cmd =
       value & flag
       & info [ "R"; "reuse" ] ~doc:"Dump the memory-reused IR.")
   in
+  let pack =
+    Arg.(
+      value & flag
+      & info [ "P"; "pack" ] ~doc:"Dump the arena-packed IR.")
+  in
   Cmd.v (Cmd.info "dump" ~doc:"Print a benchmark's memory-annotated IR")
     Term.(
-      const (fun w o r -> to_exit (run_dump w o r)) $ bench_arg $ opt $ reuse)
+      const (fun w o r p -> to_exit (run_dump w o r p))
+      $ bench_arg $ opt $ reuse $ pack)
 
 let lint_cmd =
   let reports =
@@ -917,8 +998,8 @@ let lint_cmd =
          "Verify the memory IR of a benchmark (or all) after every \
           pipeline pass")
     Term.(
-      const (fun w o r -> to_exit (run_lint w o r))
-      $ bench_arg $ options_term $ reports)
+      const (fun w o p r -> to_exit (run_lint w o p r))
+      $ bench_arg $ options_term $ pack_term $ reports)
 
 let trace_cmd =
   let json =
@@ -932,9 +1013,9 @@ let trace_cmd =
       value & flag
       & info [ "diff" ]
           ~doc:
-            "Compare the unopt/opt/reuse traces' logical event skeletons; \
-             the optimizations may move or elide storage but must not \
-             change the event sequence.")
+            "Compare the unopt/opt/reuse/pack traces' logical event \
+             skeletons; the optimizations may move or elide storage but \
+             must not change the event sequence.")
   in
   let out =
     Arg.(
@@ -1013,10 +1094,10 @@ let bench_cmd =
          "Emit the machine-readable performance record and optionally gate \
           it against a committed baseline")
     Term.(
-      const (fun o r p pc c b t out cur rep ->
-          to_exit (run_bench o r p pc c b t out cur rep))
-      $ options_term $ reuse_term $ pool_term $ pool_cap_term $ check
-      $ baseline $ tolerance $ out $ current $ report)
+      const (fun o r pk p pc c b t out cur rep ->
+          to_exit (run_bench o r pk p pc c b t out cur rep))
+      $ options_term $ reuse_term $ pack_term $ pool_term $ pool_cap_term
+      $ check $ baseline $ tolerance $ out $ current $ report)
 
 let certify_cmd =
   let reports =
@@ -1080,10 +1161,10 @@ let certify_cmd =
           independent certificate checker (translation validation); exit \
           nonzero on any refuted obligation")
     Term.(
-      const (fun w o ru r j out c b cur rep ->
-          to_exit (run_certify w o ru r j out c b cur rep))
-      $ bench_arg $ options_term $ reuse_term $ reports $ json $ out $ check
-      $ baseline $ current $ report)
+      const (fun w o ru pk r j out c b cur rep ->
+          to_exit (run_certify w o ru pk r j out c b cur rep))
+      $ bench_arg $ options_term $ reuse_term $ pack_term $ reports $ json
+      $ out $ check $ baseline $ current $ report)
 
 let prove_cmd =
   Cmd.v (Cmd.info "prove-nw" ~doc:"Discharge the Fig. 9 proof obligation")

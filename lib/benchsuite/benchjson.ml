@@ -215,9 +215,15 @@ let benchmarks_of v =
 let name_of b = Option.value ~default:"?" (Option.bind (member "name" b) str)
 
 (* time fields per row, footprint fields per variant *)
-let row_times = [ "unopt_ms"; "opt_ms"; "reuse_ms" ]
-let fp_variants = [ "unopt"; "opt"; "reuse" ]
+let row_times = [ "unopt_ms"; "opt_ms"; "reuse_ms"; "pack_ms" ]
+let fp_variants = [ "unopt"; "opt"; "reuse"; "pack" ]
 let fp_monotone = [ "allocs"; "peak_bytes"; "traffic_bytes" ]
+
+(* packing-pass counters: arenas and packed placements may only grow,
+   unpacked (undecidable) placements may only shrink - the planner must
+   not silently lose coverage *)
+let pack_grow = [ "arenas"; "packed" ]
+let pack_shrink = [ "unpacked" ]
 
 let gate ?(tolerance = default_tolerance) ~(baseline : t) ~(current : t) () :
     gate =
@@ -321,7 +327,44 @@ let gate ?(tolerance = default_tolerance) ~(baseline : t) ~(current : t) () :
                               bname ds variant hw cap
                       | _ -> ())
                     fp_variants)
-            (fps bb))
+            (fps bb);
+          (* packing coverage: the planner may not lose ground - fewer
+             arenas or packed placements, or more undecidable ones,
+             means previously provable offsets stopped proving *)
+          List.iter
+            (fun field ->
+              match
+                ( num_at [ "pack_stats"; field ] bb,
+                  num_at [ "pack_stats"; field ] cb )
+              with
+              | Some b, Some c ->
+                  incr checked;
+                  if c < b then
+                    reg "%s: pack_stats.%s dropped %g -> %g" bname field b c
+                  else if c > b then
+                    note
+                      "%s: pack_stats.%s grew %g -> %g - consider refreshing \
+                       the baseline"
+                      bname field b c
+              | _ -> ())
+            pack_grow;
+          List.iter
+            (fun field ->
+              match
+                ( num_at [ "pack_stats"; field ] bb,
+                  num_at [ "pack_stats"; field ] cb )
+              with
+              | Some b, Some c ->
+                  incr checked;
+                  if c > b then
+                    reg "%s: pack_stats.%s grew %g -> %g" bname field b c
+                  else if c < b then
+                    note
+                      "%s: pack_stats.%s shrank %g -> %g - consider \
+                       refreshing the baseline"
+                      bname field b c
+              | _ -> ())
+            pack_shrink)
     base_b;
   List.iter
     (fun cb ->

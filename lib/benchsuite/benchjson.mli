@@ -81,7 +81,7 @@ val gate : ?tolerance:float -> baseline:t -> current:t -> unit -> gate
     committed [bench/baseline.json] ([baseline]):
 
     - per (benchmark, device, dataset) row, each modeled time
-      (unopt/opt/reuse) may not exceed the baseline by more than
+      (unopt/opt/reuse/pack) may not exceed the baseline by more than
       [tolerance];
     - per (benchmark, dataset, variant) footprint, the allocation
       count, peak live bytes and modeled DRAM traffic must be
@@ -89,6 +89,9 @@ val gate : ?tolerance:float -> baseline:t -> current:t -> unit -> gate
       regression by definition;
     - a capped pool's high-water mark must not exceed its cap
       (checked on the current record alone);
+    - per benchmark, the packing pass's [pack_stats] must hold its
+      ground: [arenas] and [packed] may only grow, [unpacked]
+      (undecidable placements) may only shrink;
     - a benchmark present in the baseline must stay present.
 
     Improvements beyond tolerance and new benchmarks are notes. *)

@@ -53,6 +53,7 @@ type traffic_cmp = {
    peak of live device memory. *)
 type footprint = {
   f_allocs : int; (* top-level allocations *)
+  f_arena_allocs : int; (* packed arenas among [f_allocs] *)
   f_scratch : int; (* in-kernel (thread-private) allocations *)
   f_alloc_bytes : float;
   f_peak_bytes : float;
@@ -71,6 +72,7 @@ let footprint_of (r : Exec.report) : footprint =
   let c = r.Exec.counters in
   {
     f_allocs = c.Device.allocs;
+    f_arena_allocs = c.Device.arena_allocs;
     f_scratch = c.Device.scratch_allocs;
     f_alloc_bytes = c.Device.alloc_bytes +. c.Device.scratch_bytes;
     f_peak_bytes = c.Device.peak_bytes;
@@ -84,9 +86,10 @@ let footprint_of (r : Exec.report) : footprint =
 type outcome = {
   table : Table.t;
   compiled : Core.Pipeline.compiled;
-  footprints : (string * footprint * footprint * footprint) list;
-      (* dataset label, unoptimized / optimized / reused memory
-         behaviour *)
+  footprints :
+    (string * footprint * footprint * footprint * footprint) list;
+      (* dataset label, unoptimized / optimized / reused / packed
+         memory behaviour *)
   traffic : traffic_cmp option;
       (* present when the benchmark supplied reduced-size [trace_args] *)
 }
@@ -111,13 +114,15 @@ let traffic_comparison (compiled : Core.Pipeline.compiled)
     check = Core.Memtrace.check t;
   }
 
-let run_table ?options ?reuse ?(pool = true) ?pool_cap ?trace_args ~title
-    ~runs ~(prog : Ir.Ast.prog) ~(datasets : dataset list)
+let run_table ?options ?reuse ?pack ?(pool = true) ?pool_cap ?trace_args
+    ~title ~runs ~(prog : Ir.Ast.prog) ~(datasets : dataset list)
     ~(paper : (string * string * (float * float * float * float)) list) () :
     outcome =
   (* Every table run certifies: the checked per-pass certificates ride
      along in [compiled.certs] for the bench JSON record. *)
-  let compiled = Core.Pipeline.compile ?options ?reuse ~certify:true prog in
+  let compiled =
+    Core.Pipeline.compile ?options ?reuse ?pack ~certify:true prog
+  in
   let paper = paper_tbl paper in
   (* counters are device-independent: execute once per dataset *)
   let measured =
@@ -135,33 +140,38 @@ let run_table ?options ?reuse ?(pool = true) ?pool_cap ?trace_args ~title
           Exec.run ~mode:Exec.Cost_only ~pool ?pool_cap
             compiled.Core.Pipeline.reuse ds.args
         in
+        let r_pack =
+          Exec.run ~mode:Exec.Cost_only ~pool ?pool_cap
+            compiled.Core.Pipeline.pack ds.args
+        in
         let ref_c =
           match ds.ref_counters with
           | Static c -> c
           | From_opt f -> f r_opt.Exec.counters
         in
-        (ds, ref_c, r_unopt, r_opt, r_reuse))
+        (ds, ref_c, r_unopt, r_opt, r_reuse, r_pack))
       datasets
   in
   let rows =
     List.concat_map
       (fun device ->
         List.map
-          (fun (ds, ref_c, r_unopt, r_opt, r_reuse) ->
+          (fun (ds, ref_c, r_unopt, r_opt, r_reuse, r_pack) ->
             Table.make_row ~device:device.Device.name ~dataset:ds.label
               ~ref_time:(Device.time device ref_c)
               ~unopt_time:(Device.time device r_unopt.Exec.counters)
               ~opt_time:(Device.time device r_opt.Exec.counters)
               ~reuse_time:(Device.time device r_reuse.Exec.counters)
+              ~pack_time:(Device.time device r_pack.Exec.counters)
               ~paper:(Hashtbl.find_opt paper (device.Device.name, ds.label)))
           measured)
       devices
   in
   let footprints =
     List.map
-      (fun (ds, _, r_unopt, r_opt, r_reuse) ->
+      (fun (ds, _, r_unopt, r_opt, r_reuse, r_pack) ->
         (ds.label, footprint_of r_unopt, footprint_of r_opt,
-         footprint_of r_reuse))
+         footprint_of r_reuse, footprint_of r_pack))
       measured
   in
   let traffic = Option.map (traffic_comparison compiled) trace_args in
@@ -199,6 +209,19 @@ let trace_check3 ?(compiled : Core.Pipeline.compiled option)
     trace_variant ~variant:"opt" compiled.Core.Pipeline.opt args,
     trace_variant ~variant:"reuse" compiled.Core.Pipeline.reuse args )
 
+(* All four pipeline variants (packing included) traced and
+   cross-checked. *)
+let trace_check4 ?(compiled : Core.Pipeline.compiled option)
+    (prog : Ir.Ast.prog) (args : Ir.Value.t list) :
+    traced * traced * traced * traced =
+  let compiled =
+    match compiled with Some c -> c | None -> Core.Pipeline.compile prog
+  in
+  ( trace_variant ~variant:"unopt" compiled.Core.Pipeline.unopt args,
+    trace_variant ~variant:"opt" compiled.Core.Pipeline.opt args,
+    trace_variant ~variant:"reuse" compiled.Core.Pipeline.reuse args,
+    trace_variant ~variant:"pack" compiled.Core.Pipeline.pack args )
+
 (* Full-mode validation at a reduced size: the unoptimized and the
    short-circuited programs must agree with the reference interpreter
    (and the optimized run must elide at least [min_elided] copies when
@@ -207,6 +230,7 @@ type validation = {
   ok_unopt : bool;
   ok_opt : bool;
   ok_reuse : bool;
+  ok_pack : bool;
   elided : int;
   copies_unopt : int;
   copies_opt : int;
@@ -222,6 +246,7 @@ let validate ?(compiled : Core.Pipeline.compiled option)
   let r_unopt = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.unopt args in
   let r_opt = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.opt args in
   let r_reuse = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.reuse args in
+  let r_pack = Exec.run ~mode:Exec.Full compiled.Core.Pipeline.pack args in
   {
     ok_unopt =
       List.for_all2 (Value.approx_equal ~eps:1e-6) expect
@@ -231,6 +256,9 @@ let validate ?(compiled : Core.Pipeline.compiled option)
     ok_reuse =
       List.for_all2 (Value.approx_equal ~eps:1e-6) expect
         r_reuse.Exec.results;
+    ok_pack =
+      List.for_all2 (Value.approx_equal ~eps:1e-6) expect
+        r_pack.Exec.results;
     elided = r_opt.Exec.counters.Device.copies_elided;
     copies_unopt = r_unopt.Exec.counters.Device.copies;
     copies_opt = r_opt.Exec.counters.Device.copies;

@@ -43,6 +43,7 @@ type rewrite =
   | Float_up of { binding : string }
   | Dead_removal of { block : string }
   | If_hoist of { block : string; if_binding : string }
+  | Packing of { arena : string; members : string list }
 
 type claim =
   | Nonoverlap of { w : Refset.t; u : Refset.t }
@@ -60,6 +61,22 @@ type claim =
   | Dominance of { binding : string }
   | Unreferenced of { name : string }
   | Dies_in_arm of { block : string; if_binding : string; arm : bool }
+  | Packed_disjoint of {
+      arena : string;
+      a : string;
+      a_off : P.t;
+      a_size : P.t;
+      b : string;
+      b_off : P.t;
+      b_size : P.t;
+    }
+  | Fits_in_arena of {
+      arena : string;
+      member : string;
+      off : P.t;
+      size : P.t;
+      extent : P.t;
+    }
 
 type obligation = {
   o_id : int;
@@ -115,6 +132,10 @@ let pp_rewrite ppf = function
       Fmt.pf ppf "dead-allocation removal of %s" block
   | If_hoist { block; if_binding } ->
       Fmt.pf ppf "hoist %s out of an arm of if %s" block if_binding
+  | Packing { arena; members } ->
+      Fmt.pf ppf "pack %a into arena %s"
+        Fmt.(list ~sep:comma string)
+        members arena
 
 let pp_claim ppf = function
   | Nonoverlap { w; u } ->
@@ -152,6 +173,15 @@ let pp_claim ppf = function
       Fmt.pf ppf "%s dies within the %s arm of if %s" block
         (if arm then "true" else "false")
         if_binding
+  | Packed_disjoint { arena; a; a_off; a_size; b; b_off; b_size } ->
+      Fmt.pf ppf
+        "placements %s at [%a, %a+%a) and %s at [%a, %a+%a) disjoint in \
+         arena %s"
+        a P.pp a_off P.pp a_off P.pp a_size b P.pp b_off P.pp b_off P.pp
+        b_size arena
+  | Fits_in_arena { arena; member; off; size; extent } ->
+      Fmt.pf ppf "%s at offset %a of size %a fits arena %s of extent %a"
+        member P.pp off P.pp size arena P.pp extent
 
 let claim_kind = function
   | Nonoverlap _ -> "nonoverlap"
@@ -169,6 +199,8 @@ let claim_kind = function
   | Dominance _ -> "dominance"
   | Unreferenced _ -> "unreferenced"
   | Dies_in_arm _ -> "dies-in-arm"
+  | Packed_disjoint _ -> "packed-disjoint"
+  | Fits_in_arena _ -> "fits-in-arena"
 
 (* ---------------------------------------------------------------- *)
 (* Verdicts and reports                                              *)
@@ -551,6 +583,64 @@ let check_bounds_in ctx lmad lo hi =
                  P.pp mx P.pp lo P.pp hi),
             "footprint proved out of bounds" )
       | _ -> concrete ())
+
+(* Packing placements.  Independence from the pass: the member's size
+   and the arena's extent are re-derived from the post program's
+   allocations (never taken from the claim), so the only trusted
+   quantity is the placement offset itself - and a forged offset is
+   refuted numerically, symbolically or by concretization witness. *)
+let check_fits_in_arena post post_scal ctx ~arena ~member ~off =
+  match (alloc_size post arena, alloc_size post member) with
+  | None, _ ->
+      ( Failed (Fmt.str "arena %s is not allocated in the post program" arena),
+        "structural" )
+  | _, None ->
+      ( Failed
+          (Fmt.str "member %s is not allocated in the post program" member),
+        "structural" )
+  | Some ext, Some msz ->
+      let ext = resolve post_scal ext and msz = resolve post_scal msz in
+      let endp = P.add off msz in
+      if Pr.prove_ge ctx off P.zero && Pr.prove_ge ctx ext endp then
+        ( Proved,
+          Fmt.str "re-proved 0 <= %a and %a <= %a" P.pp off P.pp endp P.pp ext
+        )
+      else
+        concrete_verdict
+          (concretely ctx (fun env ->
+               let o = P.eval env off
+               and e = P.eval env endp
+               and x = P.eval env ext in
+               if o < 0 then `Violated (Fmt.str "offset %a = %d < 0" P.pp off o)
+               else if e > x then
+                 `Violated
+                   (Fmt.str "placement end %d exceeds arena extent %d" e x)
+               else `Holds))
+
+let check_packed_disjoint post post_scal ctx ~a ~a_off ~b ~b_off =
+  match (alloc_size post a, alloc_size post b) with
+  | None, _ ->
+      (Failed (Fmt.str "member %s is not allocated in the post program" a),
+       "structural")
+  | _, None ->
+      (Failed (Fmt.str "member %s is not allocated in the post program" b),
+       "structural")
+  | Some a_size, Some b_size ->
+      let a_size = resolve post_scal a_size
+      and b_size = resolve post_scal b_size in
+      let a_end = P.add a_off a_size and b_end = P.add b_off b_size in
+      if Pr.prove_ge ctx b_off a_end || Pr.prove_ge ctx a_off b_end then
+        (Proved, "placements re-proved address-disjoint")
+      else
+        concrete_verdict
+          (concretely ctx (fun env ->
+               let ao = P.eval env a_off and ae = P.eval env a_end in
+               let bo = P.eval env b_off and be = P.eval env b_end in
+               if ae <= ao || be <= bo then `Holds (* an empty placement *)
+               else if ao < be && bo < ae then
+                 `Violated
+                   (Fmt.str "offset %d lies in both placements" (max ao bo))
+               else `Holds))
 
 let check_last_use pre var at_binding =
   match find_stm pre at_binding with
@@ -1323,6 +1413,11 @@ let check ~pass ~pre ~post obls =
           | Unreferenced { name } -> check_unreferenced pre post name
           | Dies_in_arm { block; if_binding; arm } ->
               check_dies_in_arm pre post block if_binding arm
+          | Packed_disjoint { arena = _; a; a_off; a_size = _; b; b_off;
+                              b_size = _ } ->
+              check_packed_disjoint post post_scal o.o_ctx ~a ~a_off ~b ~b_off
+          | Fits_in_arena { arena; member; off; size = _; extent = _ } ->
+              check_fits_in_arena post post_scal o.o_ctx ~arena ~member ~off
         in
         { obl = o; verdict; detail })
       obls

@@ -69,6 +69,12 @@ type rewrite =
     }
       (** {!Reuse} (strategy 4) lifted an arm-local allocation above
           its conditional. *)
+  | Packing of {
+      arena : string;  (** the introduced arena block *)
+      members : string list;  (** packed blocks, in placement order *)
+    }
+      (** {!Pack} placed the member blocks at offsets inside one
+          arena allocation. *)
 
 (** The symbolic fact the pass relied on. *)
 type claim =
@@ -126,6 +132,33 @@ type claim =
       (** [block]'s contents never leave the [arm] ([true] = then) of
           the conditional binding [if_binding], so its allocation may
           lift above the [if]. *)
+  | Packed_disjoint of {
+      arena : string;
+      a : string;
+      a_off : P.t;
+      a_size : P.t;
+      b : string;
+      b_off : P.t;
+      b_size : P.t;
+    }
+      (** Two {e interfering} placements (overlapping live intervals)
+          occupy provably disjoint address ranges of the arena:
+          [b_off >= a_off + a_size] or [a_off >= b_off + b_size].  The
+          checker re-derives both sizes from the post program's member
+          allocations, so only the offsets are taken from the claim -
+          and a forged offset is refuted symbolically or by a
+          concretization witness. *)
+  | Fits_in_arena of {
+      arena : string;
+      member : string;
+      off : P.t;
+      size : P.t;
+      extent : P.t;
+    }
+      (** The placement lies inside the arena:
+          [0 <= off] and [off + size <= extent].  The checker
+          re-derives the member's size and the arena's extent from the
+          post program's allocations, never from the claim. *)
 
 type obligation = {
   o_id : int;  (** emission order within the pass *)

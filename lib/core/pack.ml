@@ -1,0 +1,534 @@
+(* Offset-based block packing: the arena planner.
+
+   Whole-block coalescing (Reuse) stops at "one block stands in for
+   another".  This pass packs the blocks that survive it into arenas:
+   per lexical block it derives live intervals from the coalescer's
+   first-reference machinery, builds the interference graph (two
+   blocks interfere iff their intervals overlap), and first-fit
+   assigns each block an element offset such that interfering
+   placements are provably address-disjoint while non-interfering
+   placements may overlap (sub-block reuse).  One EAlloc of the
+   provably-largest member end replaces the members' allocations; the
+   member annotations are rebased - block renamed to the arena, the
+   memory-side LMAD of the index function shifted by the placement
+   offset - and the orphaned member EAllocs are left for Cleanup.
+
+   Everything the prover cannot decide (a placement with no provable
+   candidate offset, an arena extent it cannot order) stays unpacked
+   and is counted in the stats.  See pack.mli for the contract. *)
+
+open Ir.Ast
+module P = Symalg.Poly
+module Pr = Symalg.Prover
+module Lmad = Lmads.Lmad
+module Ixfn = Lmads.Ixfn
+module SM = Map.Make (String)
+module SS = Ir.Ast.SS
+
+(* ---------------------------------------------------------------- *)
+(* Options and statistics                                            *)
+(* ---------------------------------------------------------------- *)
+
+type options = { verbose : bool; pack : bool }
+
+let default_options = { verbose = false; pack = true }
+let disabled = { verbose = false; pack = false }
+
+type stats = {
+  mutable arenas : int;
+  mutable packed : int;
+  mutable unpacked : int;
+  mutable offset_proofs : int;
+}
+
+let fresh_stats () = { arenas = 0; packed = 0; unpacked = 0; offset_proofs = 0 }
+
+let pp_stats ppf (s : stats) =
+  Report.section ~title:"block packing" ppf
+    [
+      ("arenas planned", string_of_int s.arenas);
+      ("blocks packed", string_of_int s.packed);
+      ("blocks left unpacked", string_of_int s.unpacked);
+      ("offset/extent proofs", string_of_int s.offset_proofs);
+    ]
+
+let trace opts fmt =
+  if opts.verbose then Fmt.epr (fmt ^^ "@.") else Fmt.kstr (fun _ -> ()) fmt
+
+let arena_base = "arena"
+let is_arena name = Ir.Names.base name = arena_base
+
+(* ---------------------------------------------------------------- *)
+(* Members and placements                                            *)
+(* ---------------------------------------------------------------- *)
+
+type member = {
+  m_idx : int; (* statement index of the EAlloc *)
+  m_name : string;
+  m_size : P.t; (* size as written (in scope at the alloc site) *)
+  m_rsize : P.t; (* resolved size, for the prover *)
+  m_first : int; (* live interval: first / last referencing statement *)
+  m_last : int;
+  m_aliases : SS.t; (* names the block threads through loop params *)
+}
+
+type placement = {
+  p_m : member;
+  p_off : P.t; (* offset as written, for the rebased index functions *)
+  p_roff : P.t; (* resolved offset, for the prover and the certs *)
+}
+
+let interferes a b = a.m_first <= b.m_last && b.m_first <= a.m_last
+
+(* A mem name may occur in expression position as the initializer of a
+   sequential loop's carried memory: the loop threads the block
+   through a param and rebinds it in its result pattern.  Such a
+   member is still packable - the initializer is renamed to the arena
+   and the annotations of every name the block threads into (the
+   param, the positional result, transitively) are shifted by the same
+   placement offset.  This computes that alias closure, or [None] when
+   some occurrence is anything else - in particular a rotation, where
+   the loop body yields a *different* block into the member's carried
+   position, so no single static offset is correct.  Those members
+   stay unpacked. *)
+let threaded_aliases (m : string) (b : block) : SS.t option =
+  let aliases = ref (SS.singleton m) in
+  let ok = ref true in
+  let is_alias = function Var v -> SS.mem v !aliases | _ -> false in
+  let rec grow_stm (s : stm) =
+    match s.exp with
+    | ELoop { params; body; _ } ->
+        List.iteri
+          (fun i ((pe : pat_elem), init) ->
+            if is_alias init then (
+              aliases := SS.add pe.pv !aliases;
+              match List.nth_opt s.pat i with
+              | Some (rpe : pat_elem) -> aliases := SS.add rpe.pv !aliases
+              | None -> ok := false))
+          params;
+        grow_block body
+    | EMap { body; _ } -> grow_block body
+    | EIf { tb; fb; _ } ->
+        grow_block tb;
+        grow_block fb
+    | _ -> ()
+  and grow_block (blk : block) = List.iter grow_stm blk.stms in
+  let rec fix () =
+    let before = SS.cardinal !aliases in
+    grow_block b;
+    if SS.cardinal !aliases > before then fix ()
+  in
+  fix ();
+  (* every expression occurrence must be sanctioned: a loop
+     initializer, or the body yielding the alias straight back at its
+     own carried position.  Anything else - an arm or kernel result, a
+     swapped yield, an array operand - defeats a static offset. *)
+  let rec check_stm (s : stm) =
+    match s.exp with
+    | ELoop { params; body; _ } ->
+        List.iteri
+          (fun i ((pe : pat_elem), _) ->
+            let yields =
+              match List.nth_opt body.res i with
+              | Some (Var v) -> SS.mem v !aliases
+              | _ -> false
+            in
+            if yields <> SS.mem pe.pv !aliases then ok := false)
+          params;
+        check_block ~res_ok:true body
+    | EMap { body; _ } -> check_block ~res_ok:false body
+    | EIf { cond; tb; fb } ->
+        if is_alias cond then ok := false;
+        check_block ~res_ok:false tb;
+        check_block ~res_ok:false fb
+    | e ->
+        let occ =
+          Reuse.exp_vars_block { stms = [ stm [] e ]; res = [] } SS.empty
+        in
+        if SS.exists (fun v -> SS.mem v !aliases) occ then ok := false
+  and check_block ~res_ok (blk : block) =
+    List.iter check_stm blk.stms;
+    if not res_ok then
+      List.iter (fun a -> if is_alias a then ok := false) blk.res
+  in
+  check_block ~res_ok:false b;
+  if !ok then Some !aliases else None
+
+(* Shift the memory-side LMAD of an index function by [delta]
+   elements: the chain's last link addresses the block, so adding the
+   placement offset there rebases every access and commutes with the
+   change-of-layout operations (which act on the head). *)
+let shift_ixfn delta ixfn =
+  if P.is_zero delta then ixfn
+  else
+    match List.rev (Ixfn.chain ixfn) with
+    | last :: before ->
+        let last' =
+          Lmad.make (P.add (Lmad.offset last) delta) (Lmad.dims last)
+        in
+        Ixfn.of_chain (List.rev (last' :: before))
+    | [] -> ixfn
+
+(* Rebase one placement: annotations homed in the member itself move
+   to the arena block at the shifted offset; annotations homed in a
+   threaded alias keep their name (the alias is a binder that will
+   hold the arena at run time) but shift all the same; the loop
+   initializers naming the member are renamed to the arena.  Only the
+   initializer rename rebuilds the expression - annotations live in
+   mutable [pmem] fields. *)
+let rebase_pe aliases oldm arena delta (pe : pat_elem) =
+  match pe.pmem with
+  | Some mi when mi.block = oldm ->
+      pe.pmem <- Some { block = arena; ixfn = shift_ixfn delta mi.ixfn }
+  | Some mi when SS.mem mi.block aliases ->
+      pe.pmem <- Some { mi with ixfn = shift_ixfn delta mi.ixfn }
+  | _ -> ()
+
+let rec rebase_stm aliases oldm arena delta (s : stm) : stm =
+  List.iter (rebase_pe aliases oldm arena delta) s.pat;
+  let exp =
+    match s.exp with
+    | EMap m ->
+        EMap { m with body = rebase_block aliases oldm arena delta m.body }
+    | ELoop ({ params; body; _ } as lp) ->
+        let params =
+          List.map
+            (fun ((pe : pat_elem), init) ->
+              rebase_pe aliases oldm arena delta pe;
+              let init =
+                match init with Var v when v = oldm -> Var arena | a -> a
+              in
+              (pe, init))
+            params
+        in
+        ELoop
+          { lp with params; body = rebase_block aliases oldm arena delta body }
+    | EIf i ->
+        EIf
+          {
+            i with
+            tb = rebase_block aliases oldm arena delta i.tb;
+            fb = rebase_block aliases oldm arena delta i.fb;
+          }
+    | e -> e
+  in
+  { s with exp }
+
+and rebase_block aliases oldm arena delta (b : block) : block =
+  {
+    stms = List.map (rebase_stm aliases oldm arena delta) b.stms;
+    res = List.map (function Var v when v = oldm -> Var arena | a -> a) b.res;
+  }
+
+(* First-fit offset assignment.  Candidates for a member are offset 0
+   and the end offsets of the already-placed members it interferes
+   with, tried in placement order; a candidate is admissible when the
+   member is provably disjoint from every placed interfering member.
+   Non-interfering members need no proof - overlapping them is the
+   point.  Members with no admissible candidate are returned loose. *)
+let place st ctx (members : member list) : placement list * member list =
+  let placed = ref [] and loose = ref [] in
+  List.iter
+    (fun m ->
+      let interf = List.filter (fun p -> interferes p.p_m m) !placed in
+      let cands =
+        (P.zero, P.zero)
+        :: List.map
+             (fun p ->
+               (P.add p.p_off p.p_m.m_size, P.add p.p_roff p.p_m.m_rsize))
+             interf
+      in
+      let admissible (_, roff) =
+        List.for_all
+          (fun p ->
+            Pr.prove_ge ctx roff (P.add p.p_roff p.p_m.m_rsize)
+            || Pr.prove_ge ctx p.p_roff (P.add roff m.m_rsize))
+          interf
+      in
+      match List.find_opt admissible cands with
+      | Some (off, roff) ->
+          st.offset_proofs <- st.offset_proofs + List.length interf;
+          placed := !placed @ [ { p_m = m; p_off = off; p_roff = roff } ]
+      | None -> loose := m :: !loose)
+    members;
+  (!placed, List.rev !loose)
+
+(* The arena extent: a member end the prover can show dominates every
+   other.  Built greedily; a placement whose end is incomparable to
+   the running extent is dropped back to unpacked. *)
+let extent_of st ctx (placements : placement list) =
+  let kept, ext =
+    List.fold_left
+      (fun (kept, ext) p ->
+        let e = P.add p.p_off p.p_m.m_size
+        and re = P.add p.p_roff p.p_m.m_rsize in
+        match ext with
+        | None -> (p :: kept, Some (e, re))
+        | Some (_, cur_re) when Pr.prove_ge ctx cur_re re ->
+            st.offset_proofs <- st.offset_proofs + 1;
+            (p :: kept, ext)
+        | Some (_, cur_re) when Pr.prove_ge ctx re cur_re ->
+            st.offset_proofs <- st.offset_proofs + 1;
+            (p :: kept, Some (e, re))
+        | Some _ -> (kept, ext))
+      ([], None) placements
+  in
+  (List.rev kept, ext)
+
+(* ---------------------------------------------------------------- *)
+(* Per-block packing                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let pack_block st opts cert ctx scalars mems (b : block) : block =
+  let stms = Array.of_list b.stms in
+  let n = Array.length stms in
+  let refs = Array.map (Reuse.block_refs mems) stms in
+  let escape = Reuse.res_refs mems b in
+  let hard = Reuse.exp_vars_block b SS.empty in
+  let first_ref names =
+    let first = ref max_int in
+    Array.iteri
+      (fun i r ->
+        if SS.exists (fun a -> SS.mem a r) names && i < !first then first := i)
+      refs;
+    !first
+  in
+  let last_ref names =
+    let last = ref (-1) in
+    Array.iteri
+      (fun i r -> if SS.exists (fun a -> SS.mem a r) names then last := i)
+      refs;
+    !last
+  in
+  (* the block's surviving allocations, as live-interval members whose
+     interval spans every threaded alias; unreferenced blocks are dead
+     (Cleanup's business, not ours) *)
+  let members = ref [] in
+  Array.iteri
+    (fun i s ->
+      match (s.pat, s.exp) with
+      | [ pe ], EAlloc sz when pe.pt = TMem ->
+          let aliases =
+            match threaded_aliases pe.pv b with
+            | Some al -> al
+            | None -> SS.singleton pe.pv
+          in
+          let first = first_ref aliases in
+          if first < max_int then
+            members :=
+              {
+                m_idx = i;
+                m_name = pe.pv;
+                m_size = sz;
+                m_rsize = Reuse.resolve scalars sz;
+                m_first = first;
+                m_last = last_ref aliases;
+                m_aliases = aliases;
+              }
+              :: !members
+      | _ -> ())
+    stms;
+  let members = List.rev !members in
+  (* eligibility: no escaping alias, no arena re-packing, and any
+     expression-position occurrence accounted for by loop threading
+     ([threaded_aliases] returned a closure beyond the member itself,
+     or the member is not expression-load-bearing at all) *)
+  let candidates, blocked =
+    List.partition
+      (fun m ->
+        let threaded = SS.cardinal m.m_aliases > 1 in
+        ((not (SS.mem m.m_name hard)) || threaded)
+        && (not (SS.exists (fun a -> SS.mem a escape) m.m_aliases))
+        && not (is_arena m.m_name))
+      members
+  in
+  (* distinct members threading through a shared alias would demand
+     two offsets for one binder - keep the first, block the rest *)
+  let _, candidates, aliased_out =
+    List.fold_left
+      (fun (seen, keep, out) m ->
+        if SS.exists (fun a -> SS.mem a seen) m.m_aliases then
+          (seen, keep, m :: out)
+        else (SS.union seen m.m_aliases, m :: keep, out))
+      (SS.empty, [], []) candidates
+  in
+  let candidates = List.rev candidates
+  and blocked = blocked @ List.rev aliased_out in
+  (* the arena allocation goes right after the last member EAlloc and
+     must dominate every member's first reference; hoisting has moved
+     the allocations to the block top, so this holds - when it does
+     not, drop trailing allocations until it does *)
+  let rec prune ms =
+    match ms with
+    | [] | [ _ ] -> ms
+    | _ ->
+        let min_first =
+          List.fold_left (fun a m -> min a m.m_first) max_int ms
+        and max_idx = List.fold_left (fun a m -> max a m.m_idx) (-1) ms in
+        if max_idx < min_first then ms
+        else prune (List.filter (fun m -> m.m_idx <> max_idx) ms)
+  in
+  let pruned = prune candidates in
+  let placements, _loose = place st ctx pruned in
+  let placements, ext = extent_of st ctx placements in
+  match (placements, ext) with
+  | _ :: _ :: _, Some (extent, rextent) ->
+      st.arenas <- st.arenas + 1;
+      st.packed <- st.packed + List.length placements;
+      st.unpacked <-
+        st.unpacked + List.length blocked
+        + (List.length candidates - List.length placements);
+      let arena = Ir.Names.fresh arena_base in
+      (match cert with
+      | None -> ()
+      | Some r ->
+          let rw =
+            Certify.Packing
+              { arena; members = List.map (fun p -> p.p_m.m_name) placements }
+          in
+          List.iter
+            (fun p ->
+              Certify.emit r rw ~ctx
+                (Certify.Fits_in_arena
+                   {
+                     arena;
+                     member = p.p_m.m_name;
+                     off = p.p_roff;
+                     size = p.p_m.m_rsize;
+                     extent = rextent;
+                   }))
+            placements;
+          let rec pairs = function
+            | [] -> ()
+            | p :: rest ->
+                List.iter
+                  (fun q ->
+                    if interferes p.p_m q.p_m then
+                      Certify.emit r rw ~ctx
+                        (Certify.Packed_disjoint
+                           {
+                             arena;
+                             a = p.p_m.m_name;
+                             a_off = p.p_roff;
+                             a_size = p.p_m.m_rsize;
+                             b = q.p_m.m_name;
+                             b_off = q.p_roff;
+                             b_size = q.p_m.m_rsize;
+                           }))
+                  rest;
+                pairs rest
+          in
+          pairs placements);
+      let at =
+        1 + List.fold_left (fun a p -> max a p.p_m.m_idx) (-1) placements
+      in
+      List.iter
+        (fun p ->
+          trace opts "pack: %s at offset %a of %s" p.p_m.m_name P.pp p.p_off
+            arena;
+          for i = at to n - 1 do
+            stms.(i) <-
+              rebase_stm p.p_m.m_aliases p.p_m.m_name arena p.p_off stms.(i)
+          done)
+        placements;
+      let arena_stm = stm [ pat_elem arena TMem ] (EAlloc extent) in
+      {
+        b with
+        stms =
+          Array.to_list (Array.sub stms 0 at)
+          @ arena_stm
+            :: Array.to_list (Array.sub stms at (n - at));
+      }
+  | _ ->
+      st.unpacked <-
+        st.unpacked + List.length blocked + List.length candidates;
+      b
+
+(* ---------------------------------------------------------------- *)
+(* Program walk                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let note_mems mems (pes : pat_elem list) =
+  List.fold_left
+    (fun mems (pe : pat_elem) ->
+      match pe.pmem with
+      | Some mi -> SM.add pe.pv mi.block mems
+      | None -> mems)
+    mems pes
+
+(* Pack this block, then recurse into sequential loops, conditionals
+   and mapnest bodies with the prover context extended by the
+   iteration and thread ranges.  A kernel body is a lexical block of
+   its own, so packing there is per-thread: every thread's arena
+   instance replaces that same thread's member instances, and blocks
+   of different threads are as distinct as they were before packing.
+   What is never done is packing an in-kernel block with an outer
+   one - members always come from a single lexical block. *)
+let rec walk st opts cert ctx scalars mems (b : block) : block =
+  let scalars =
+    List.fold_left
+      (fun sc s ->
+        match Reuse.scalar_def s with
+        | Some (v, p) -> P.SM.add v p sc
+        | None -> sc)
+      scalars b.stms
+  in
+  let mems =
+    List.fold_left
+      (fun mems s ->
+        let mems = note_mems mems s.pat in
+        match s.exp with
+        | ELoop { params; _ } -> note_mems mems (List.map fst params)
+        | _ -> mems)
+      mems b.stms
+  in
+  let b = pack_block st opts cert ctx scalars mems b in
+  let stms =
+    List.map
+      (fun s ->
+        let exp =
+          match s.exp with
+          | ELoop ({ var; bound; body; params } as lp) ->
+              let ctx' =
+                Pr.add_range ctx var ~lo:P.zero
+                  ~hi:(P.sub (Reuse.resolve scalars bound) P.one) ()
+              in
+              let mems' = note_mems mems (List.map fst params) in
+              ELoop { lp with body = walk st opts cert ctx' scalars mems' body }
+          | EIf ({ tb; fb; _ } as i) ->
+              EIf
+                {
+                  i with
+                  tb = walk st opts cert ctx scalars mems tb;
+                  fb = walk st opts cert ctx scalars mems fb;
+                }
+          | EMap { nest; body } ->
+              let ctx' =
+                List.fold_left
+                  (fun c (v, bound) ->
+                    Pr.add_range c v ~lo:P.zero
+                      ~hi:(P.sub (Reuse.resolve scalars bound) P.one) ())
+                  ctx nest
+              in
+              EMap { nest; body = walk st opts cert ctx' scalars mems body }
+          | e -> e
+        in
+        { s with exp })
+      b.stms
+  in
+  { b with stms }
+
+let optimize ?(options = default_options) ?cert (p : prog) : prog * stats =
+  let st = fresh_stats () in
+  if not options.pack then (p, st)
+  else
+    let mems0 =
+      List.fold_left
+        (fun m (pe : pat_elem) ->
+          match pe.pmem with
+          | Some mi -> SM.add pe.pv mi.block m
+          | None -> m)
+        SM.empty p.params
+    in
+    let body = walk st options cert p.ctx P.SM.empty mems0 p.body in
+    ({ p with body }, st)

@@ -1,0 +1,84 @@
+(** Offset-based block packing: the arena planner.
+
+    Runs after reuse + cleanup as the pipeline's fourth variant
+    ({!val:Pipeline.compile} exposes it as [pack]).  Whole-block
+    coalescing ({!module:Reuse}) merges a later allocation into an
+    earlier one only when one block can stand in for the other in its
+    entirety; production memory planners go further and place many
+    blocks at {e byte offsets inside one arena}, so simultaneously-live
+    blocks co-reside in a single device allocation and short-lived
+    blocks reuse address ranges at sub-block granularity.
+
+    Per lexical block, the planner:
+
+    - collects the [EAlloc]-bound blocks that survive reuse and are
+      neither structurally load-bearing (no expression-position
+      occurrence: {!val:Reuse.exp_vars_block}) nor escaping (home of an
+      array among the block's results: {!val:Reuse.res_refs});
+    - derives each block's live interval [\[first_ref, last_ref\]] from
+      the same first-reference machinery as the coalescer (a block is
+      live from the first statement binding an array into it to the
+      last statement referencing it or any such array);
+    - builds the {e interference graph}: two blocks interfere iff their
+      live intervals overlap;
+    - assigns each block an element offset in a fresh arena by
+      {e first-fit}: candidate offsets are 0 and the end offsets of
+      already-placed interfering members, and a candidate is admissible
+      when the placement is provably address-disjoint
+      ({!val:Symalg.Prover.prove_ge} on the resolved offset polynomials)
+      from {e every} placed interfering member.  Non-interfering
+      placements may overlap - that is the sub-block reuse.  Blocks the
+      prover cannot place (or whose arena-extent comparison is
+      undecidable) stay unpacked and are counted;
+    - allocates one arena sized to the provably-largest member end,
+      rebases every member annotation into it (block renamed, index
+      function's memory-side LMAD offset shifted by the placement), and
+      leaves the member [EAlloc]s orphaned for {!module:Cleanup}.
+
+    Each arena emits a {!constructor:Certify.rewrite.Packing} rewrite
+    with a {!constructor:Certify.claim.Fits_in_arena} obligation per
+    placement and a {!constructor:Certify.claim.Packed_disjoint}
+    obligation per interfering pair; {!module:Memlint}'s [reuse] rule
+    independently re-checks the rebased footprints for offset-aware
+    disjointness, and {!module:Memtrace} replays the shifted footprints
+    against the executor's traces.
+
+    The pass mutates its input program (annotations are mutable);
+    {!val:Pipeline.compile} hands it a private clone. *)
+
+type options = {
+  verbose : bool;
+  pack : bool;  (** plan arenas; [false] is the identity pass *)
+}
+
+val default_options : options
+(** Packing enabled, quiet. *)
+
+val disabled : options
+(** Identity pass ([--no-pack]). *)
+
+type stats = {
+  mutable arenas : int;  (** arenas allocated *)
+  mutable packed : int;  (** blocks placed into an arena *)
+  mutable unpacked : int;
+      (** surviving blocks left standalone (load-bearing, escaping,
+          alone in their scope, or prover-undecidable placement) *)
+  mutable offset_proofs : int;  (** prover obligations discharged *)
+}
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val is_arena : string -> bool
+(** Is this block name an arena introduced by this pass?  (The
+    executor's suballocation accounting keys on it.) *)
+
+val optimize :
+  ?options:options ->
+  ?cert:Certify.recorder ->
+  Ir.Ast.prog ->
+  Ir.Ast.prog * stats
+(** Plan arenas over the given (reuse-optimized) program.  Mutates
+    (and returns) the program; re-run {!val:Lastuse.annotate} and
+    {!val:Cleanup.run} afterwards to refresh liveness markers and
+    collect the orphaned member allocations. *)

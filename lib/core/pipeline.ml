@@ -19,20 +19,25 @@ type compiled = {
   unopt : prog; (* memory-introduced + hoisted *)
   opt : prog; (* additionally short-circuited + dead allocs removed *)
   reuse : prog; (* additionally memory-block reused (third variant) *)
+  pack : prog; (* additionally arena-packed (fourth variant) *)
   stats : Shortcircuit.stats;
   reuse_stats : Reuse.stats;
+  pack_stats : Pack.stats;
   dead_allocs : int; (* allocations eliminated by short-circuiting *)
   reuse_dead_allocs : int; (* further allocations eliminated by reuse *)
+  pack_dead_allocs : int; (* member allocations absorbed into arenas *)
   time_base : float; (* seconds: memory intro + hoisting *)
   time_sc : float; (* seconds: short-circuiting pass alone *)
   time_reuse : float; (* seconds: memory-block reuse pass alone *)
+  time_pack : float; (* seconds: the packing pass alone *)
   lint : (string * Memlint.report) list;
       (* one memlint report per pipeline stage, in pass order; empty
          unless compiled with ~lint:true *)
   certs : (string * Certify.report) list;
       (* one checked certificate per pipeline pass (memintro, hoist,
-         shortcircuit, cleanup, reuse, cleanup-reuse), in pass order;
-         empty unless compiled with ~certify:true *)
+         shortcircuit, cleanup, reuse, cleanup-reuse, pack,
+         cleanup-pack), in pass order; empty unless compiled with
+         ~certify:true *)
 }
 
 let timed f =
@@ -48,8 +53,8 @@ let to_memory_ir (p : prog) : prog =
   p
 
 let compile ?(options = Shortcircuit.default_options)
-    ?(reuse = Reuse.default_options) ?(rounds = 2) ?(lint = false)
-    ?(certify = false) (p : prog) : compiled =
+    ?(reuse = Reuse.default_options) ?(pack = Pack.default_options)
+    ?(rounds = 2) ?(lint = false) ?(certify = false) (p : prog) : compiled =
   (* With ~lint:true the memory linter runs after every pass of the
      optimized build; the first stage whose report errors is the pass
      that introduced the violation (earlier stages were clean). *)
@@ -136,18 +141,46 @@ let compile ?(options = Shortcircuit.default_options)
   (match clr_pre with
   | Some pre -> check_cert "cleanup-reuse" clr_cert ~pre ~post:reuse_p
   | None -> ());
+  (* fourth variant: offset-based packing of the blocks surviving
+     reuse, on a private clone, again followed by a liveness refresh
+     and a cleanup round collecting the member allocations the arenas
+     absorbed *)
+  let pk_cert = recorder "pack" in
+  let pk_pre = ref None in
+  let (pack_p, pack_stats), time_pack =
+    timed (fun () ->
+        let q = Ir.Clone.clone_prog reuse_p in
+        if certify then pk_pre := Some (Ir.Clone.clone_prog q);
+        let q, pst = Pack.optimize ~options:pack ?cert:pk_cert q in
+        ignore (Lastuse.annotate q);
+        (q, pst))
+  in
+  (match !pk_pre with
+  | Some pre -> check_cert "pack" pk_cert ~pre ~post:pack_p
+  | None -> ());
+  let clp_cert = recorder "cleanup-pack" in
+  let clp_pre = if certify then Some (Ir.Clone.clone_prog pack_p) else None in
+  let pack_p, pack_dead_allocs = Cleanup.run ?cert:clp_cert pack_p in
+  lint_after "pack" pack_p;
+  (match clp_pre with
+  | Some pre -> check_cert "cleanup-pack" clp_cert ~pre ~post:pack_p
+  | None -> ());
   {
     source = p;
     unopt;
     opt;
     reuse = reuse_p;
+    pack = pack_p;
     stats;
     reuse_stats;
+    pack_stats;
     dead_allocs;
     reuse_dead_allocs;
+    pack_dead_allocs;
     time_base;
     time_sc;
     time_reuse;
+    time_pack;
     lint = List.rev !reports;
     certs = List.rev !certs;
   }

@@ -11,23 +11,32 @@ type compiled = {
       (** additionally memory-block reused ({!Reuse}): dead blocks
           coalesced, per-iteration buffers double-buffered, dead
           existential chains removed *)
+  pack : Ir.Ast.prog;
+      (** additionally arena-packed ({!Pack}): the blocks surviving
+          reuse placed at offsets inside per-scope arenas *)
   stats : Shortcircuit.stats;
   reuse_stats : Reuse.stats;
+  pack_stats : Pack.stats;
   dead_allocs : int;  (** allocations eliminated by short-circuiting *)
   reuse_dead_allocs : int;
       (** further allocations eliminated by the reuse pass *)
+  pack_dead_allocs : int;
+      (** member allocations absorbed into arenas (removed by the
+          packing pass's cleanup round) *)
   time_base : float;  (** seconds: memory introduction + hoisting *)
   time_sc : float;  (** seconds: the short-circuiting pass alone *)
   time_reuse : float;  (** seconds: the memory-block reuse pass alone *)
+  time_pack : float;  (** seconds: the packing pass alone *)
   lint : (string * Memlint.report) list;
       (** one {!Memlint} report per pipeline stage (memintro, hoist,
-          lastuse, shortcircuit, cleanup, reuse), in pass order; empty
-          unless compiled with [~lint:true] *)
+          lastuse, shortcircuit, cleanup, reuse, pack), in pass order;
+          empty unless compiled with [~lint:true] *)
   certs : (string * Certify.report) list;
       (** one checked {!Certify} certificate per pipeline pass
           ([memintro], [hoist], [shortcircuit], [cleanup], [reuse],
-          [cleanup-reuse] - the second cleanup round, after reuse), in
-          pass order; empty unless compiled with [~certify:true] *)
+          [cleanup-reuse], [pack], [cleanup-pack] - the cleanup rounds
+          after reuse and packing), in pass order; empty unless
+          compiled with [~certify:true] *)
 }
 
 val to_memory_ir : Ir.Ast.prog -> Ir.Ast.prog
@@ -37,26 +46,28 @@ val to_memory_ir : Ir.Ast.prog -> Ir.Ast.prog
 val compile :
   ?options:Shortcircuit.options ->
   ?reuse:Reuse.options ->
+  ?pack:Pack.options ->
   ?rounds:int ->
   ?lint:bool ->
   ?certify:bool ->
   Ir.Ast.prog ->
   compiled
-(** Produce all three configurations from a source program (which is
+(** Produce all four configurations from a source program (which is
     cloned, never mutated), timing the passes for the section V-D
     comparison.  [options] configures the short-circuiting pass
     ({!Shortcircuit.default_options} if omitted); [reuse] the
     memory-block reuse pass (pass {!Reuse.disabled} for [--no-reuse],
-    making [reuse] a clone of [opt]).  With [~lint:true] the
-    {!Memlint} verifier runs after every pass of the optimized build
-    and the reports are collected in {!compiled.lint}.  With
-    [~certify:true] every pipeline pass - memory introduction,
-    hoisting, short-circuiting, both cleanup rounds, and reuse - emits
-    per-rewrite proof obligations which {!Certify.check} re-derives
-    against a snapshot of
-    the pass's own input and its (pre-cleanup) output; the checked
-    certificates land in {!compiled.certs}, so a failed obligation
-    names the pass and rewrite that introduced it. *)
+    making [reuse] a clone of [opt]); [pack] the arena packing pass
+    (pass {!Pack.disabled} for [--no-pack], making [pack] a clone of
+    [reuse]).  With [~lint:true] the {!Memlint} verifier runs after
+    every pass of the optimized build and the reports are collected in
+    {!compiled.lint}.  With [~certify:true] every pipeline pass -
+    memory introduction, hoisting, short-circuiting, the cleanup
+    rounds, reuse, and packing - emits per-rewrite proof obligations
+    which {!Certify.check} re-derives against a snapshot of the pass's
+    own input and its (pre-cleanup) output; the checked certificates
+    land in {!compiled.certs}, so a failed obligation names the pass
+    and rewrite that introduced it. *)
 
 val first_lint_error :
   (string * Memlint.report) list -> (string * Memlint.violation) option

@@ -267,6 +267,7 @@ type counters = {
   mutable elided_bytes : float;
   mutable allocs : int;
   mutable alloc_bytes : float;
+  mutable arena_allocs : int; (* packed-arena allocations among [allocs] *)
   mutable scratch_allocs : int; (* per-thread allocations inside kernels *)
   mutable scratch_bytes : float; (* bytes those scratch allocations cover *)
   mutable pool_hits : int; (* allocations served from the pool *)
@@ -288,6 +289,7 @@ let fresh_counters () =
     elided_bytes = 0.;
     allocs = 0;
     alloc_bytes = 0.;
+    arena_allocs = 0;
     scratch_allocs = 0;
     scratch_bytes = 0.;
     pool_hits = 0;
@@ -334,11 +336,12 @@ let pp_counters ppf c =
   Fmt.pf ppf
     "@[<v>kernels: %d (%.3g B read, %.3g B written, %.3g flops)@,\
      copies: %d (%.3g B); elided: %d (%.3g B)@,\
-     allocs: %d (%.3g B) + %d scratch (%.3g B); pool %d hit / %d miss; \
-     %d device frees; peak %.3g B@]"
+     allocs: %d (%.3g B, %d arenas) + %d scratch (%.3g B); \
+     pool %d hit / %d miss; %d device frees; peak %.3g B@]"
     c.kernels c.kernel_reads c.kernel_writes c.flops c.copies c.copy_bytes
-    c.copies_elided c.elided_bytes c.allocs c.alloc_bytes c.scratch_allocs
-    c.scratch_bytes c.pool_hits c.pool_misses c.frees c.peak_bytes
+    c.copies_elided c.elided_bytes c.allocs c.alloc_bytes c.arena_allocs
+    c.scratch_allocs c.scratch_bytes c.pool_hits c.pool_misses c.frees
+    c.peak_bytes
 
 (* Counter snapshots for sampled cost estimation. *)
 let clone (c : counters) : counters =
@@ -353,6 +356,7 @@ let clone (c : counters) : counters =
     elided_bytes = c.elided_bytes;
     allocs = c.allocs;
     alloc_bytes = c.alloc_bytes;
+    arena_allocs = c.arena_allocs;
     scratch_allocs = c.scratch_allocs;
     scratch_bytes = c.scratch_bytes;
     pool_hits = c.pool_hits;
@@ -373,6 +377,7 @@ let assign (dst : counters) (src : counters) : unit =
   dst.elided_bytes <- src.elided_bytes;
   dst.allocs <- src.allocs;
   dst.alloc_bytes <- src.alloc_bytes;
+  dst.arena_allocs <- src.arena_allocs;
   dst.scratch_allocs <- src.scratch_allocs;
   dst.scratch_bytes <- src.scratch_bytes;
   dst.pool_hits <- src.pool_hits;
@@ -406,6 +411,7 @@ let add_simpson (dst : counters)
   dst.elided_bytes <- dst.elided_bytes +. wflt (fun c -> c.elided_bytes);
   dst.allocs <- dst.allocs + wi (fun c -> c.allocs);
   dst.alloc_bytes <- dst.alloc_bytes +. wflt (fun c -> c.alloc_bytes);
+  dst.arena_allocs <- dst.arena_allocs + wi (fun c -> c.arena_allocs);
   dst.scratch_allocs <- dst.scratch_allocs + wi (fun c -> c.scratch_allocs);
   dst.scratch_bytes <- dst.scratch_bytes +. wflt (fun c -> c.scratch_bytes);
   dst.pool_hits <- dst.pool_hits + wi (fun c -> c.pool_hits);

@@ -108,6 +108,10 @@ type counters = {
   mutable elided_bytes : float;
   mutable allocs : int;
   mutable alloc_bytes : float;
+  mutable arena_allocs : int;
+      (** packed-arena allocations among {!allocs}: each arena is one
+          device allocation (one pool miss) suballocated to its members
+          at the offsets chosen by {!Core.Pack} *)
   mutable scratch_allocs : int;
       (** per-thread allocations made inside kernels (CUDA local-memory
           model); never pooled and not charged allocation overhead, but

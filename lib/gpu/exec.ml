@@ -961,6 +961,13 @@ let rec exec_exp st env (s : stm) : aval list =
       in
       if st.kernel_depth = 0 then begin
         st.counters.allocs <- st.counters.allocs + 1;
+        (* arena blocks (introduced by the packing pass) are ordinary
+           device allocations - one pool transaction each - but counted
+           separately so the bench surface can report suballocation *)
+        (match s.pat with
+        | [ pe ] when Core.Pack.is_arena pe.pv ->
+            st.counters.arena_allocs <- st.counters.arena_allocs + 1
+        | _ -> ());
         let bytes = float_of_int n *. elem_bytes in
         st.counters.alloc_bytes <- st.counters.alloc_bytes +. bytes;
         st.counters.live_bytes <- st.counters.live_bytes +. bytes;
@@ -1013,6 +1020,10 @@ and launch_kernel st ~label ~declared f =
     st.counters.kernels <- st.counters.kernels + 1;
     st.kernel_scratch <- 0.;
     Hashtbl.reset st.kernel_reads_tally;
+    (* the read-after-own-write suppression is per thread; without
+       this reset a reduce/argmin launch inherits the previous
+       kernel's final thread and under-counts its first-touch reads *)
+    Hashtbl.reset st.thread_writes;
     match st.tracer with
     | Some tr ->
         let declared_writes, declared_reads, threads = declared () in

@@ -11,7 +11,8 @@ module V = Ir.Value
 let check_validation name (v : R.validation) =
   Alcotest.(check bool) (name ^ ": unopt = interp") true v.R.ok_unopt;
   Alcotest.(check bool) (name ^ ": opt = interp") true v.R.ok_opt;
-  Alcotest.(check bool) (name ^ ": reuse = interp") true v.R.ok_reuse
+  Alcotest.(check bool) (name ^ ": reuse = interp") true v.R.ok_reuse;
+  Alcotest.(check bool) (name ^ ": pack = interp") true v.R.ok_pack
 
 let check_oracle name out expect =
   match out with
@@ -135,15 +136,21 @@ let test_table_shape () =
      st.Core.Shortcircuit.succeeded = st.Core.Shortcircuit.candidates);
   Alcotest.(check bool) "footprint shrinks" true
     (List.for_all
-       (fun (_, u, opt, _) ->
+       (fun (_, u, opt, _, _) ->
          opt.R.f_alloc_bytes < u.R.f_alloc_bytes
          && opt.R.f_peak_bytes < u.R.f_peak_bytes)
        o.R.footprints);
   Alcotest.(check bool) "reuse shrinks further (hotspot rotation)" true
     (List.for_all
-       (fun (_, _, opt, reuse) ->
+       (fun (_, _, opt, reuse, _) ->
          reuse.R.f_allocs < opt.R.f_allocs
          && reuse.R.f_peak_bytes < opt.R.f_peak_bytes)
+       o.R.footprints);
+  Alcotest.(check bool) "packing never grows allocs or peak" true
+    (List.for_all
+       (fun (_, _, _, reuse, pack) ->
+         pack.R.f_allocs <= reuse.R.f_allocs
+         && pack.R.f_peak_bytes <= reuse.R.f_peak_bytes)
        o.R.footprints)
 
 (* ---------------------------------------------------------------- *)

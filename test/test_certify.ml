@@ -58,7 +58,7 @@ let test_benchmarks_certify () =
       let certs = cpl.Core.Pipeline.certs in
       Alcotest.(check int)
         (name ^ ": one certificate per rewriting pass")
-        6 (List.length certs);
+        8 (List.length certs);
       (match Core.Pipeline.first_cert_failure certs with
       | None -> ()
       | Some (pass, ch) ->

@@ -16,4 +16,5 @@ let () =
       ("pool", Test_pool.tests);
       ("bench", Test_bench.tests);
       ("certify", Test_certify.tests);
+      ("pack", Test_pack.tests);
     ]

@@ -196,7 +196,7 @@ let test_benchmarks_clean () =
     (fun (name, prog) ->
       let compiled = Core.Pipeline.compile ~lint:true prog in
       Alcotest.(check int)
-        (name ^ " lints at every stage") 6
+        (name ^ " lints at every stage") 7
         (List.length compiled.Core.Pipeline.lint);
       match Core.Pipeline.first_lint_error compiled.Core.Pipeline.lint with
       | None -> ()
@@ -218,7 +218,7 @@ let test_benchmarks_clean () =
    prover regression cannot silently reintroduce them. *)
 let test_lud_no_warnings () =
   let compiled = Core.Pipeline.compile ~lint:true Benchsuite.Lud.prog in
-  Alcotest.(check int) "lud lints at every stage" 6
+  Alcotest.(check int) "lud lints at every stage" 7
     (List.length compiled.Core.Pipeline.lint);
   List.iter
     (fun (stage, r) ->

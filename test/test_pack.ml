@@ -1,0 +1,343 @@
+(* Tests for the arena-packing pass (Core.Pack).
+
+   Four angles:
+
+   - the pass itself: programs whose blocks survive reuse get packed
+     into one arena at provably disjoint offsets, [--no-pack] is a
+     counter-for-counter identity, and packing is a strict improvement
+     where the benchmarks offer members (OptionPricing's two top-level
+     blocks, LocVolCalib's per-thread tridiagonal pair) and a no-op
+     where they do not (NW retains no blocks after reuse);
+
+   - forged certificates are refuted: a [Packed_disjoint] claim with
+     overlapping offsets and a [Fits_in_arena] claim past the arena's
+     extent must both fall to the independent checker, with a concrete
+     witness, never a shrug;
+
+   - a mutated placement is rejected statically: rebasing two
+     interfering equal-sized members to the same offset is a total
+     clobber, and Memlint's reuse rule errors on it;
+
+   - a qcheck property: random pack-shaped programs (k fills of
+     distinct sizes, all live until a final combine) lint, certify,
+     replay (memtrace) and skeleton-diff clean end to end, with every
+     member packed. *)
+
+open Ir
+open Ast
+module P = Symalg.Poly
+module Pr = Symalg.Prover
+module B = Build
+module C = Core.Certify
+module ML = Core.Memlint
+module MT = Core.Memtrace
+module Lmad = Lmads.Lmad
+module Ixfn = Lmads.Ixfn
+
+let c = P.const
+let n = P.var "n"
+let ctx_n2 = Pr.add_range Pr.empty "n" ~lo:(c 2) ()
+
+let fill b name cnt seed =
+  B.mapnest b name [ (Names.fresh "i", cnt) ] (fun bb ->
+      [ B.fadd bb (Float seed) (Float 0.0) ])
+
+(* [k] fills, all live until a final elementwise combine: pairwise
+   interfering, so packing must place all of them - at distinct
+   offsets - inside one arena.  [grow] staggers the sizes (n, n+1,
+   ...) to exercise first-fit over unequal extents; without it all
+   members share size [n]. *)
+let gen_pack ?(grow = true) k =
+  B.prog "packgen" ~ctx:ctx_n2 ~params:[ pat_elem "n" i64 ]
+    ~ret:[ arr F64 [ n ] ]
+    (fun b ->
+      let fills =
+        List.init k (fun i ->
+            let sz = if grow then P.add n (c i) else n in
+            fill b (Printf.sprintf "x%d" i) sz (float_of_int (i + 1)))
+      in
+      let iv = Names.fresh "i" in
+      let s =
+        B.mapnest b "sum" [ (iv, n) ] (fun bb ->
+            [
+              List.fold_left
+                (fun acc f -> B.fadd bb acc (B.index bb f [ P.var iv ]))
+                (Float 0.0) fills;
+            ])
+      in
+      [ Var s ])
+
+let args nv = [ Value.VInt nv ]
+
+(* ---------------------------------------------------------------- *)
+(* The pass packs, and only when enabled                             *)
+(* ---------------------------------------------------------------- *)
+
+let test_pack_two_fills () =
+  let cpl = Core.Pipeline.compile (gen_pack 2) in
+  let st = cpl.Core.Pipeline.pack_stats in
+  Alcotest.(check int) "one arena" 1 st.Core.Pack.arenas;
+  Alcotest.(check int) "both members placed" 2 st.Core.Pack.packed;
+  (* the only unpacked block is the escaping program result *)
+  Alcotest.(check int) "only the result stays out" 1 st.Core.Pack.unpacked;
+  Alcotest.(check int) "member allocs absorbed" 2
+    cpl.Core.Pipeline.pack_dead_allocs;
+  let run p =
+    (Gpu.Exec.run ~mode:Gpu.Exec.Cost_only p (args 8)).Gpu.Exec.counters
+  in
+  let r = run cpl.Core.Pipeline.reuse and k = run cpl.Core.Pipeline.pack in
+  Alcotest.(check bool) "strictly fewer device allocations" true
+    (k.Gpu.Device.allocs < r.Gpu.Device.allocs);
+  Alcotest.(check int) "the arena is counted" 1 k.Gpu.Device.arena_allocs;
+  Alcotest.(check bool) "peak never grows" true
+    (k.Gpu.Device.peak_bytes <= r.Gpu.Device.peak_bytes);
+  (* both variants compute the same thing *)
+  let full p = (Gpu.Exec.run ~mode:Gpu.Exec.Full p (args 8)).Gpu.Exec.results in
+  Alcotest.(check bool) "results agree" true
+    (full cpl.Core.Pipeline.reuse = full cpl.Core.Pipeline.pack)
+
+let test_no_pack_identity () =
+  let on = Core.Pipeline.compile (gen_pack 2) in
+  let off = Core.Pipeline.compile ~pack:Core.Pack.disabled (gen_pack 2) in
+  let st = off.Core.Pipeline.pack_stats in
+  Alcotest.(check int) "no arenas" 0 st.Core.Pack.arenas;
+  Alcotest.(check int) "no members" 0 st.Core.Pack.packed;
+  Alcotest.(check int) "no absorbed allocs" 0
+    off.Core.Pipeline.pack_dead_allocs;
+  let count p =
+    (Gpu.Exec.run ~mode:Gpu.Exec.Cost_only p (args 8)).Gpu.Exec.counters
+  in
+  let a = count off.Core.Pipeline.pack and b = count off.Core.Pipeline.reuse in
+  (* disabled: the pack variant is the reuse variant, counter for counter *)
+  Alcotest.(check int) "allocs" b.Gpu.Device.allocs a.Gpu.Device.allocs;
+  Alcotest.(check int) "arena allocs" 0 a.Gpu.Device.arena_allocs;
+  Alcotest.(check (float 0.0)) "peak" b.Gpu.Device.peak_bytes
+    a.Gpu.Device.peak_bytes;
+  Alcotest.(check (float 0.0)) "traffic"
+    (b.Gpu.Device.kernel_reads +. b.Gpu.Device.kernel_writes)
+    (a.Gpu.Device.kernel_reads +. a.Gpu.Device.kernel_writes);
+  (* enabled on the same program, the pack variant differs *)
+  let k = count on.Core.Pipeline.pack in
+  Alcotest.(check bool) "enabled run actually packs" true
+    (k.Gpu.Device.allocs < a.Gpu.Device.allocs)
+
+(* ---------------------------------------------------------------- *)
+(* Strict improvements on the benchmarks that offer members          *)
+(* ---------------------------------------------------------------- *)
+
+let test_benchmark_improvements () =
+  let counters prog variant args =
+    let cpl = Core.Pipeline.compile prog in
+    let p =
+      match variant with
+      | `Reuse -> cpl.Core.Pipeline.reuse
+      | `Pack -> cpl.Core.Pipeline.pack
+    in
+    (Gpu.Exec.run ~mode:Gpu.Exec.Cost_only p args).Gpu.Exec.counters
+  in
+  (* OptionPricing: the two surviving top-level blocks pack into one
+     arena - strictly fewer device allocations (2 -> 1) *)
+  let op_args = Benchsuite.Option_pricing.args ~npaths:64 ~nsteps:16 in
+  let r = counters Benchsuite.Option_pricing.prog `Reuse op_args in
+  let k = counters Benchsuite.Option_pricing.prog `Pack op_args in
+  Alcotest.(check int) "optionpricing: reuse leaves two blocks" 2
+    r.Gpu.Device.allocs;
+  Alcotest.(check int) "optionpricing: packed into one arena" 1
+    k.Gpu.Device.allocs;
+  Alcotest.(check int) "optionpricing: the block is an arena" 1
+    k.Gpu.Device.arena_allocs;
+  Alcotest.(check bool) "optionpricing: peak never grows" true
+    (k.Gpu.Device.peak_bytes <= r.Gpu.Device.peak_bytes);
+  (* LocVolCalib: the per-thread tridiagonal pair (cp, dp) packs into
+     a per-thread arena - scratch allocations strictly halve *)
+  let lv_args = Benchsuite.Locvolcalib.args ~numo:4 ~numx:8 ~numt:3 in
+  let r = counters Benchsuite.Locvolcalib.prog `Reuse lv_args in
+  let k = counters Benchsuite.Locvolcalib.prog `Pack lv_args in
+  Alcotest.(check bool) "locvolcalib: strictly fewer scratch allocs" true
+    (k.Gpu.Device.scratch_allocs < r.Gpu.Device.scratch_allocs);
+  Alcotest.(check int) "locvolcalib: scratch allocs halved"
+    (r.Gpu.Device.scratch_allocs / 2)
+    k.Gpu.Device.scratch_allocs;
+  Alcotest.(check (float 0.0)) "locvolcalib: scratch bytes unchanged"
+    r.Gpu.Device.scratch_bytes k.Gpu.Device.scratch_bytes;
+  (* NW: reuse leaves no block behind, so packing must be an exact
+     no-op - it never degrades a program it cannot improve *)
+  let nw_args = Benchsuite.Nw.small_args ~q:2 ~b:4 in
+  let r = counters Benchsuite.Nw.prog `Reuse nw_args in
+  let k = counters Benchsuite.Nw.prog `Pack nw_args in
+  Alcotest.(check int) "nw: allocs unchanged" r.Gpu.Device.allocs
+    k.Gpu.Device.allocs;
+  Alcotest.(check (float 0.0)) "nw: peak unchanged" r.Gpu.Device.peak_bytes
+    k.Gpu.Device.peak_bytes
+
+(* ---------------------------------------------------------------- *)
+(* Forged certificates are refuted with concrete witnesses           *)
+(* ---------------------------------------------------------------- *)
+
+(* The memory IR of [gen_pack 2] allocates x0's block (n elements) and
+   x1's block (n+1): real allocations for the checker to re-derive
+   sizes from, so only the offsets below are forged. *)
+let two_blocks p =
+  let mems =
+    List.filter_map
+      (fun (s : stm) ->
+        match (s.pat, s.exp) with
+        | [ pe ], EAlloc _ when pe.pt = TMem -> Some pe.pv
+        | _ -> None)
+      p.body.stms
+  in
+  match mems with
+  | a :: b :: _ -> (a, b)
+  | _ -> Alcotest.fail "expected two allocated blocks"
+
+let test_forged_offset_refuted () =
+  let p = Core.Pipeline.to_memory_ir (gen_pack 2) in
+  let pre = Ir.Clone.clone_prog p in
+  let ma, mb = two_blocks p in
+  let r = C.recorder ~pass:"pack" in
+  let rw = C.Packing { arena = ma; members = [ ma; mb ] } in
+  (* placements [0, n) and [1, n+2): overlapping for every n >= 2 *)
+  C.emit r rw ~ctx:ctx_n2
+    (C.Packed_disjoint
+       {
+         arena = ma;
+         a = ma;
+         a_off = P.zero;
+         a_size = n;
+         b = mb;
+         b_off = P.one;
+         b_size = P.add n P.one;
+       });
+  let report = C.check ~pass:"pack" ~pre ~post:p (C.obligations r) in
+  Alcotest.(check bool) "forged offset refuted" true (not (C.ok report));
+  match C.failures report with
+  | [ { verdict = C.Failed msg; _ } ] ->
+      Alcotest.(check bool) "refutation carries a concrete witness" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected exactly one Failed obligation"
+
+let test_forged_extent_refuted () =
+  let p = Core.Pipeline.to_memory_ir (gen_pack 2) in
+  let pre = Ir.Clone.clone_prog p in
+  let ma, mb = two_blocks p in
+  let r = C.recorder ~pass:"pack" in
+  let rw = C.Packing { arena = ma; members = [ mb ] } in
+  (* the "arena" (x0's block) holds n elements; placing the (n+1)-deep
+     member at offset 2 ends at n+3 - past the extent at every n *)
+  C.emit r rw ~ctx:ctx_n2
+    (C.Fits_in_arena
+       {
+         arena = ma;
+         member = mb;
+         off = c 2;
+         size = P.add n P.one;
+         extent = n;
+       });
+  let report = C.check ~pass:"pack" ~pre ~post:p (C.obligations r) in
+  Alcotest.(check bool) "forged extent refuted" true (not (C.ok report))
+
+(* ---------------------------------------------------------------- *)
+(* Memlint rejects an overlapping interfering placement              *)
+(* ---------------------------------------------------------------- *)
+
+let zero_pe (pe : pat_elem) =
+  match pe.pmem with
+  | Some mi when Core.Pack.is_arena mi.block -> (
+      match List.rev (Ixfn.chain mi.ixfn) with
+      | last :: before when not (P.is_zero (Lmad.offset last)) ->
+          let last' = Lmad.make P.zero (Lmad.dims last) in
+          pe.pmem <-
+            Some { mi with ixfn = Ixfn.of_chain (List.rev (last' :: before)) }
+      | _ -> ())
+  | _ -> ()
+
+let rec zero_arena_offsets (b : block) =
+  List.iter
+    (fun (s : stm) ->
+      List.iter zero_pe s.pat;
+      match s.exp with
+      | EMap { body; _ } -> zero_arena_offsets body
+      | ELoop { params; body; _ } ->
+          List.iter (fun (pe, _) -> zero_pe pe) params;
+          zero_arena_offsets body
+      | EIf { tb; fb; _ } ->
+          zero_arena_offsets tb;
+          zero_arena_offsets fb
+      | _ -> ())
+    b.stms
+
+let test_memlint_rejects_overlap () =
+  (* equal sizes: after forcing both placements to offset 0 the two
+     interfering members' memory LMADs are equal - a total clobber the
+     reuse rule must Error on, not merely warn *)
+  let cpl = Core.Pipeline.compile (gen_pack ~grow:false 2) in
+  Alcotest.(check int) "the honest program packed" 1
+    cpl.Core.Pipeline.pack_stats.Core.Pack.arenas;
+  let honest = ML.check ~stage:"pack" cpl.Core.Pipeline.pack in
+  Alcotest.(check int) "honest placements lint clean" 0
+    (List.length (ML.errors honest));
+  let mutated = Ir.Clone.clone_prog cpl.Core.Pipeline.pack in
+  zero_arena_offsets mutated.body;
+  let report = ML.check ~stage:"pack" mutated in
+  Alcotest.(check bool) "overlapping placement rejected" true
+    (List.length (ML.errors report) > 0)
+
+(* ---------------------------------------------------------------- *)
+(* qcheck: packed random programs verify end to end                  *)
+(* ---------------------------------------------------------------- *)
+
+let render_skeleton t =
+  List.map
+    (fun e -> Fmt.str "%a" Core.Trace.pp_skeleton_event e)
+    (Core.Trace.skeleton t)
+
+let prop_packed_programs_verify =
+  QCheck.Test.make ~name:"packed programs lint+certify+replay clean" ~count:6
+    (QCheck.make
+       ~print:(fun (k, nv) -> Printf.sprintf "fills=%d n=%d" k nv)
+       QCheck.Gen.(pair (int_range 2 4) (int_range 2 6)))
+    (fun (k, nv) ->
+      let cpl = Core.Pipeline.compile ~lint:true ~certify:true (gen_pack k) in
+      let st = cpl.Core.Pipeline.pack_stats in
+      if st.Core.Pack.arenas <> 1 || st.Core.Pack.packed <> k then
+        QCheck.Test.fail_reportf "expected %d members in one arena, got %d/%d"
+          k st.Core.Pack.arenas st.Core.Pack.packed;
+      (match Core.Pipeline.first_lint_error cpl.Core.Pipeline.lint with
+      | None -> ()
+      | Some (stage, v) ->
+          QCheck.Test.fail_reportf "lint error after %s: %a" stage
+            ML.pp_violation v);
+      (match Core.Pipeline.first_cert_failure cpl.Core.Pipeline.certs with
+      | None -> ()
+      | Some (pass, ch) ->
+          QCheck.Test.fail_reportf "refuted obligation in %s: %a" pass
+            C.pp_checked ch);
+      let traced p =
+        Gpu.Exec.run ~mode:Gpu.Exec.Full ~trace:true ~variant:"qc" p (args nv)
+      in
+      let rr = traced cpl.Core.Pipeline.reuse
+      and rk = traced cpl.Core.Pipeline.pack in
+      let mt = MT.check (Option.get rk.Gpu.Exec.trace) in
+      if mt.MT.violations <> [] then
+        QCheck.Test.fail_reportf "memtrace violation on the packed variant";
+      if rr.Gpu.Exec.results <> rk.Gpu.Exec.results then
+        QCheck.Test.fail_reportf "reuse and pack variants disagree";
+      render_skeleton (Option.get rr.Gpu.Exec.trace)
+      = render_skeleton (Option.get rk.Gpu.Exec.trace))
+
+let tests =
+  [
+    Alcotest.test_case "two interfering fills pack into one arena" `Quick
+      test_pack_two_fills;
+    Alcotest.test_case "--no-pack is a counter identity" `Quick
+      test_no_pack_identity;
+    Alcotest.test_case "benchmark improvements are strict" `Quick
+      test_benchmark_improvements;
+    Alcotest.test_case "mutation: forged offset refuted" `Quick
+      test_forged_offset_refuted;
+    Alcotest.test_case "mutation: forged extent refuted" `Quick
+      test_forged_extent_refuted;
+    Alcotest.test_case "mutation: memlint rejects overlapping placement"
+      `Quick test_memlint_rejects_overlap;
+    QCheck_alcotest.to_alcotest prop_packed_programs_verify;
+  ]
