@@ -108,6 +108,9 @@ let find_bench s =
 (* ---- table ----------------------------------------------------- *)
 
 let pp_footprints ?(verbose = false) (o : Benchsuite.Runner.outcome) =
+  let holes =
+    o.Benchsuite.Runner.compiled.Core.Pipeline.pack_stats.Core.Pack.holes
+  in
   List.iter
     (fun (label, u, p, r, pk_) ->
       let a (f : Benchsuite.Runner.footprint) =
@@ -119,8 +122,11 @@ let pp_footprints ?(verbose = false) (o : Benchsuite.Runner.outcome) =
               f.Benchsuite.Runner.f_scratch
         in
         if f.Benchsuite.Runner.f_arena_allocs = 0 then base
-        else
+        else if holes = 0 then
           Printf.sprintf "%s(%da)" base f.Benchsuite.Runner.f_arena_allocs
+        else
+          Printf.sprintf "%s(%da,%dh)" base
+            f.Benchsuite.Runner.f_arena_allocs holes
       in
       let pk (f : Benchsuite.Runner.footprint) =
         f.Benchsuite.Runner.f_peak_bytes
@@ -205,11 +211,11 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
         | None -> ""
       in
       Printf.sprintf
-        "{\"allocs\":%d,\"arena_allocs\":%d,\"scratch\":%d,\"alloc_bytes\":%g,\"peak_bytes\":%g,\"traffic_bytes\":%g%s}"
+        "{\"allocs\":%d,\"arena_allocs\":%d,\"arena_bytes\":%g,\"scratch\":%d,\"alloc_bytes\":%g,\"peak_bytes\":%g,\"traffic_bytes\":%g%s}"
         f.Benchsuite.Runner.f_allocs f.Benchsuite.Runner.f_arena_allocs
-        f.Benchsuite.Runner.f_scratch f.Benchsuite.Runner.f_alloc_bytes
-        f.Benchsuite.Runner.f_peak_bytes f.Benchsuite.Runner.f_traffic_bytes
-        pool
+        f.Benchsuite.Runner.f_arena_bytes f.Benchsuite.Runner.f_scratch
+        f.Benchsuite.Runner.f_alloc_bytes f.Benchsuite.Runner.f_peak_bytes
+        f.Benchsuite.Runner.f_traffic_bytes pool
     in
     let fps =
       String.concat ","
@@ -236,7 +242,7 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
            c.Core.Pipeline.certs)
     in
     Printf.sprintf
-      "{\"name\":\"%s\",\"table\":%d,\"rows\":[%s],\"footprints\":[%s],\"compile_s\":{\"base\":%g,\"shortcircuit\":%g,\"reuse\":%g,\"pack\":%g},\"dead_allocs\":%d,\"reuse_dead_allocs\":%d,\"pack_dead_allocs\":%d,\"reuse_stats\":{\"candidates\":%d,\"coalesced\":%d,\"size_proofs\":%d,\"chain_links\":%d,\"rotated\":%d,\"hoisted\":%d},\"pack_stats\":{\"arenas\":%d,\"packed\":%d,\"unpacked\":%d,\"offset_proofs\":%d},\"certify\":{%s}}"
+      "{\"name\":\"%s\",\"table\":%d,\"rows\":[%s],\"footprints\":[%s],\"compile_s\":{\"base\":%g,\"shortcircuit\":%g,\"reuse\":%g,\"pack\":%g},\"dead_allocs\":%d,\"reuse_dead_allocs\":%d,\"pack_dead_allocs\":%d,\"reuse_stats\":{\"candidates\":%d,\"coalesced\":%d,\"size_proofs\":%d,\"chain_links\":%d,\"rotated\":%d,\"hoisted\":%d},\"pack_stats\":{\"arenas\":%d,\"packed\":%d,\"unpacked\":%d,\"offset_proofs\":%d,\"holes\":%d,\"promoted\":%d},\"certify\":{%s}}"
       (json_escape b.name) b.table_no rows fps c.Core.Pipeline.time_base
       c.Core.Pipeline.time_sc c.Core.Pipeline.time_reuse
       c.Core.Pipeline.time_pack c.Core.Pipeline.dead_allocs
@@ -245,7 +251,8 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
       rst.Core.Reuse.size_proofs rst.Core.Reuse.chain_links
       rst.Core.Reuse.rotated rst.Core.Reuse.hoisted pst.Core.Pack.arenas
       pst.Core.Pack.packed pst.Core.Pack.unpacked
-      pst.Core.Pack.offset_proofs certify
+      pst.Core.Pack.offset_proofs pst.Core.Pack.holes
+      pst.Core.Pack.promoted certify
   in
   let date =
     let t = Unix.localtime (Unix.time ()) in
@@ -300,9 +307,10 @@ let run_table which options reuse pack pool pool_cap bench_json out =
         rst.Core.Reuse.candidates
         o.Benchsuite.Runner.compiled.Core.Pipeline.reuse_dead_allocs;
       Printf.printf
-        "  packing: %d arenas, %d placed, %d unpacked, %d offset proofs \
-         (%d member allocs absorbed)\n"
-        pst.Core.Pack.arenas pst.Core.Pack.packed pst.Core.Pack.unpacked
+        "  packing: %d arenas, %d placed (%d promoted), %d unpacked, %d \
+         holes, %d offset proofs (%d member allocs absorbed)\n"
+        pst.Core.Pack.arenas pst.Core.Pack.packed pst.Core.Pack.promoted
+        pst.Core.Pack.unpacked pst.Core.Pack.holes
         pst.Core.Pack.offset_proofs
         o.Benchsuite.Runner.compiled.Core.Pipeline.pack_dead_allocs
     end;
@@ -546,7 +554,7 @@ let read_file path =
   with Sys_error e -> Error e
 
 let run_bench options reuse pack pool pool_cap check baseline tolerance out
-    current report =
+    current report order_check =
   let obtain_current () =
     match current with
     | Some path -> read_file path
@@ -578,8 +586,52 @@ let run_bench options reuse pack pool pool_cap check baseline tolerance out
             end);
         Ok json
   in
+  (* the pack-order A/B: the record at hand is the colour run; the
+     [--order-check] file is the first-fit run of the same tree *)
+  let order_gate cur_s =
+    match order_check with
+    | None -> Ok ()
+    | Some ff_path ->
+        Result.bind
+          (Result.map_error
+             (fun e -> Printf.sprintf "firstfit record %s: %s" ff_path e)
+             (read_file ff_path))
+          (fun ff_s ->
+            Result.bind
+              (Result.map_error
+                 (fun e -> "firstfit parse error: " ^ e)
+                 (Benchsuite.Benchjson.parse ff_s))
+              (fun ff ->
+                Result.bind
+                  (Result.map_error
+                     (fun e -> "current parse error: " ^ e)
+                     (Benchsuite.Benchjson.parse cur_s))
+                  (fun cur ->
+                    let g =
+                      Benchsuite.Benchjson.pack_order_gate ~firstfit:ff
+                        ~colour:cur ()
+                    in
+                    let rep =
+                      Benchsuite.Benchjson.report ~label:"pack-order gate" g
+                    in
+                    print_string rep;
+                    (match report with
+                    | Some path ->
+                        let oc = open_out path in
+                        output_string oc rep;
+                        close_out oc;
+                        Printf.printf "wrote %s\n" path
+                    | None -> ());
+                    if Benchsuite.Benchjson.ok g then Ok ()
+                    else
+                      Error
+                        (Printf.sprintf
+                           "pack-order gate failed: %d regression(s)"
+                           (List.length g.Benchsuite.Benchjson.regressions)))))
+  in
   Result.bind (obtain_current ()) (fun cur_s ->
-      if not check then Ok ()
+      if order_check <> None then order_gate cur_s
+      else if not check then Ok ()
       else
         Result.bind
           (Result.map_error
@@ -895,15 +947,30 @@ let pack_term =
             "Disable the offset-based arena packing pass (the fourth \
              pipeline variant becomes a copy of the memory-reused one).")
   in
+  let pack_order =
+    let order =
+      Arg.enum
+        [ ("colour", Core.Pack.Colour); ("firstfit", Core.Pack.Firstfit) ]
+    in
+    Arg.(
+      value
+      & opt order Core.Pack.Colour
+      & info [ "pack-order" ] ~docv:"ORDER"
+          ~doc:
+            "Arena placement order: $(b,colour) (interval-graph colouring \
+             with size-sorted tie-breaking; falls back to first-fit unless \
+             provably no larger) or $(b,firstfit) (emission order).")
+  in
   Term.(
-    const (fun no_pack (options : Core.Shortcircuit.options) ->
+    const (fun no_pack order (options : Core.Shortcircuit.options) ->
         if no_pack then Core.Pack.disabled
         else
           {
             Core.Pack.default_options with
             Core.Pack.verbose = options.Core.Shortcircuit.verbose;
+            Core.Pack.order;
           })
-    $ no_pack $ options_term)
+    $ no_pack $ pack_order $ options_term)
 
 (* [--no-pool] reverts the allocator model to all-miss: every top-level
    allocation is charged [alloc_miss_cost], as before the pool existed
@@ -1088,16 +1155,28 @@ let bench_cmd =
       & info [ "report" ] ~docv:"FILE"
           ~doc:"Also write the gate's diff report to $(docv).")
   in
+  let order_check =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "order-check" ] ~docv:"FILE"
+          ~doc:
+            "Pack-order A/B gate: treat the record at hand (fresh or \
+             $(b,--current)) as the $(b,colour) run and compare it against \
+             the $(b,firstfit) record in $(docv) - colour's executed arena \
+             extent may never exceed first-fit's, and its planner coverage \
+             may not shrink.  Exits nonzero on any breach.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Emit the machine-readable performance record and optionally gate \
           it against a committed baseline")
     Term.(
-      const (fun o r pk p pc c b t out cur rep ->
-          to_exit (run_bench o r pk p pc c b t out cur rep))
+      const (fun o r pk p pc c b t out cur rep oc ->
+          to_exit (run_bench o r pk p pc c b t out cur rep oc))
       $ options_term $ reuse_term $ pack_term $ pool_term $ pool_cap_term
-      $ check $ baseline $ tolerance $ out $ current $ report)
+      $ check $ baseline $ tolerance $ out $ current $ report $ order_check)
 
 let certify_cmd =
   let reports =

@@ -90,11 +90,28 @@ val gate : ?tolerance:float -> baseline:t -> current:t -> unit -> gate
     - a capped pool's high-water mark must not exceed its cap
       (checked on the current record alone);
     - per benchmark, the packing pass's [pack_stats] must hold its
-      ground: [arenas] and [packed] may only grow, [unpacked]
-      (undecidable placements) may only shrink;
+      ground: [arenas], [packed] and [holes] (certified lifetime
+      holes) may only grow, [unpacked] (undecidable placements) may
+      only shrink;
     - a benchmark present in the baseline must stay present.
 
     Improvements beyond tolerance and new benchmarks are notes. *)
+
+(** {1 The pack-order gate} *)
+
+val pack_order_gate : firstfit:t -> colour:t -> unit -> gate
+(** Compare the colour-placement bench record against a first-fit run
+    of the same tree (the [--pack-order] A/B).  The planner commits a
+    colour plan only when its extent is provably no larger than
+    first-fit's, so this re-checks the guarantee on the executed
+    numbers, with no tolerance:
+
+    - per (benchmark, dataset), the pack variant's executed arena
+      extent ([pack.arena_bytes]) may not exceed first-fit's;
+    - per benchmark, colour's [pack_stats] coverage ([arenas],
+      [packed], [holes]) may not be below first-fit's.
+
+    Datasets where colour's extent is strictly smaller are notes. *)
 
 (** {1 The certificate gate} *)
 

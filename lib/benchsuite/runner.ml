@@ -54,6 +54,7 @@ type traffic_cmp = {
 type footprint = {
   f_allocs : int; (* top-level allocations *)
   f_arena_allocs : int; (* packed arenas among [f_allocs] *)
+  f_arena_bytes : float; (* executed arena extents, for the order gate *)
   f_scratch : int; (* in-kernel (thread-private) allocations *)
   f_alloc_bytes : float;
   f_peak_bytes : float;
@@ -73,6 +74,7 @@ let footprint_of (r : Exec.report) : footprint =
   {
     f_allocs = c.Device.allocs;
     f_arena_allocs = c.Device.arena_allocs;
+    f_arena_bytes = c.Device.arena_bytes;
     f_scratch = c.Device.scratch_allocs;
     f_alloc_bytes = c.Device.alloc_bytes +. c.Device.scratch_bytes;
     f_peak_bytes = c.Device.peak_bytes;

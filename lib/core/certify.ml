@@ -77,6 +77,16 @@ type claim =
       size : P.t;
       extent : P.t;
     }
+  | Hole_disjoint of {
+      arena : string;
+      a : string;
+      a_off : P.t;
+      a_size : P.t;
+      b : string;
+      b_off : P.t;
+      b_size : P.t;
+      iter : string option;
+    }
 
 type obligation = {
   o_id : int;
@@ -182,6 +192,19 @@ let pp_claim ppf = function
   | Fits_in_arena { arena; member; off; size; extent } ->
       Fmt.pf ppf "%s at offset %a of size %a fits arena %s of extent %a"
         member P.pp off P.pp size arena P.pp extent
+  | Hole_disjoint { arena; a; a_off; a_size; b; b_off; b_size; iter } -> (
+      match iter with
+      | Some loop ->
+          Fmt.pf ppf
+            "hole: %s at [%a, %a+%a) of arena %s re-occupied across \
+             iterations of %s"
+            a P.pp a_off P.pp a_off P.pp a_size arena loop
+      | None ->
+          Fmt.pf ppf
+            "hole: %s at [%a, %a+%a) and %s at [%a, %a+%a) share arena %s \
+             with disjoint live ranges"
+            a P.pp a_off P.pp a_off P.pp a_size b P.pp b_off P.pp b_off P.pp
+            b_size arena)
 
 let claim_kind = function
   | Nonoverlap _ -> "nonoverlap"
@@ -201,6 +224,7 @@ let claim_kind = function
   | Dies_in_arm _ -> "dies-in-arm"
   | Packed_disjoint _ -> "packed-disjoint"
   | Fits_in_arena _ -> "fits-in-arena"
+  | Hole_disjoint _ -> "hole-disjoint"
 
 (* ---------------------------------------------------------------- *)
 (* Verdicts and reports                                              *)
@@ -325,6 +349,29 @@ let rec find_in_block (b : block) binding : (block * int) option =
             | _ -> None
           in
           match sub with Some r -> Some r | None -> go (i + 1) rest)
+  in
+  go 0 b.stms
+
+(* The chain of (enclosing block, statement index) pairs from the
+   program body down to the statement binding [binding]. *)
+let rec find_path (b : block) binding : (block * int) list option =
+  let rec go i = function
+    | [] -> None
+    | s :: rest -> (
+        if List.exists (fun pe -> pe.pv = binding) s.pat then Some [ (b, i) ]
+        else
+          let sub =
+            match s.exp with
+            | EMap { body; _ } | ELoop { body; _ } -> find_path body binding
+            | EIf { tb; fb; _ } -> (
+                match find_path tb binding with
+                | Some r -> Some r
+                | None -> find_path fb binding)
+            | _ -> None
+          in
+          match sub with
+          | Some r -> Some ((b, i) :: r)
+          | None -> go (i + 1) rest)
   in
   go 0 b.stms
 
@@ -959,6 +1006,240 @@ let check_dies_each_iter pre post block loop_binding =
           (Failed (Fmt.str "%s does not bind a loop" loop_binding),
            "structural"))
 
+(* ---------------------------------------------------------------- *)
+(* Lifetime holes                                                    *)
+(* ---------------------------------------------------------------- *)
+
+(* Names aliasing anything in [seed] through structural plumbing
+   inside [b]: loop-carried parameters whose initializer is an alias,
+   the loop/if binders fed an alias through a result position, and
+   plain copies.  Grown to a fixpoint; over-approximation is safe
+   (a larger closure can only make the escape check stricter). *)
+let carried_closure (b : block) (seed : SS.t) : SS.t =
+  let cl = ref seed and changed = ref true in
+  let add v =
+    if not (SS.mem v !cl) then begin
+      cl := SS.add v !cl;
+      changed := true
+    end
+  in
+  let feed (pat : pat_elem list) (res : atom list) =
+    List.iteri
+      (fun i a ->
+        match a with
+        | Var v when SS.mem v !cl -> (
+            match List.nth_opt pat i with Some pe -> add pe.pv | None -> ())
+        | _ -> ())
+      res
+  in
+  let rec go_stm (s : stm) =
+    match s.exp with
+    | ELoop { params; body; _ } ->
+        List.iter
+          (fun ((pe : pat_elem), init) ->
+            match init with
+            | Var v when SS.mem v !cl -> add pe.pv
+            | _ -> ())
+          params;
+        go_block body;
+        feed s.pat body.res
+    | EIf { tb; fb; _ } ->
+        go_block tb;
+        go_block fb;
+        feed s.pat tb.res;
+        feed s.pat fb.res
+    | EMap { body; _ } -> go_block body
+    | EAtom (Var v) when SS.mem v !cl ->
+        List.iter (fun (pe : pat_elem) -> add pe.pv) s.pat
+    | _ -> ()
+  and go_block (blk : block) = List.iter go_stm blk.stms in
+  while !changed do
+    changed := false;
+    go_block b
+  done;
+  !cl
+
+(* The member's name set for liveness purposes: the block, its carried
+   aliases, and every array annotated into any of them. *)
+let hole_names (p : prog) (blk : block) member =
+  let cl = carried_closure blk (SS.singleton member) in
+  let cl =
+    SS.fold
+      (fun n acc ->
+        List.fold_left
+          (fun acc (arr, _) -> SS.add arr acc)
+          acc (annots_into p n))
+      cl cl
+  in
+  carried_closure blk cl
+
+(* [iter = Some loop]: the member's arena slot is re-occupied by the
+   logically fresh per-iteration instances of the same allocation.
+   Sound when, in the pre program, nothing aliasing the member (nor
+   any array living in it) flows to the next iteration - and the only
+   such channel is the loop body's result.  Post side: the member's
+   annotations are gone (rebased into the arena), and the arena is
+   allocated outside the loop, so the slot really does survive the
+   iteration boundary. *)
+let check_hole_iter pre post ~arena ~member ~loop_binding =
+  match find_stm pre loop_binding with
+  | None ->
+      (Failed (Fmt.str "no loop binds %s in the pre program" loop_binding),
+       "structural")
+  | Some s -> (
+      match s.exp with
+      | ELoop { body; _ } ->
+          if find_in_block body member = None then
+            ( Failed
+                (Fmt.str "%s is not allocated within the body of %s" member
+                   loop_binding),
+              "structural" )
+          else
+            let cl = hole_names pre body member in
+            let escaping =
+              List.filter_map
+                (function Var v when SS.mem v cl -> Some v | _ -> None)
+                body.res
+            in
+            if escaping <> [] then
+              ( Failed
+                  (Fmt.str
+                     "%a escape through the body result of %s: contents of \
+                      %s may survive an iteration"
+                     Fmt.(list ~sep:comma string)
+                     escaping loop_binding member),
+                "structural" )
+            else if annot_mentions post member then
+              ( Failed
+                  (Fmt.str
+                     "%s is still annotated in the post program (not rebased \
+                      into %s)"
+                     member arena),
+                "structural" )
+            else (
+              match find_stm post loop_binding with
+              | Some { exp = ELoop { body = post_body; _ }; _ } ->
+                  if find_in_block post_body arena <> None then
+                    ( Failed
+                        (Fmt.str
+                           "arena %s is allocated inside the loop body (no \
+                            hole across iterations)"
+                           arena),
+                      "structural" )
+                  else if alloc_size post arena = None then
+                    ( Failed
+                        (Fmt.str "arena %s is not allocated in the post \
+                                  program" arena),
+                      "structural" )
+                  else
+                    ( Proved,
+                      "per-iteration freshness re-derived; the slot re-use \
+                       is a lifetime hole" )
+              | _ ->
+                  ( Failed
+                      (Fmt.str "loop %s not found in the post program"
+                         loop_binding),
+                    "structural" ))
+      | _ ->
+          (Failed (Fmt.str "%s does not bind a loop" loop_binding),
+           "structural"))
+
+(* [iter = None]: two distinct members overlap in address space, so
+   their live ranges must be disjoint.  Re-derivation: either the
+   offset ranges are provably address-disjoint after all (sizes from
+   the post program's allocations, as for packed-disjoint), or the
+   live ranges - re-derived in the deepest pre-program block where the
+   two members' paths diverge - are provably execution-disjoint.  A
+   member bound deeper than the divergence block is confined to its
+   enclosing statement (lexical scoping: nothing outside the subtree
+   can name it), so its interval collapses to that statement's
+   index. *)
+let check_hole_pair pre post post_scal ctx ~a ~a_off ~b ~b_off =
+  match (alloc_size post a, alloc_size post b) with
+  | None, _ ->
+      (Failed (Fmt.str "member %s is not allocated in the post program" a),
+       "structural")
+  | _, None ->
+      (Failed (Fmt.str "member %s is not allocated in the post program" b),
+       "structural")
+  | Some a_size, Some b_size -> (
+      let a_size = resolve post_scal a_size
+      and b_size = resolve post_scal b_size in
+      let a_end = P.add a_off a_size and b_end = P.add b_off b_size in
+      if Pr.prove_ge ctx b_off a_end || Pr.prove_ge ctx a_off b_end then
+        (Proved, "offset ranges re-proved address-disjoint (no hole)")
+      else
+        match (find_path pre.body a, find_path pre.body b) with
+        | None, _ ->
+            ( Failed
+                (Fmt.str "member %s is not allocated in the pre program" a),
+              "structural" )
+        | _, None ->
+            ( Failed
+                (Fmt.str "member %s is not allocated in the pre program" b),
+              "structural" )
+        | Some pa, Some pb -> (
+            (* walk to the divergence point *)
+            let rec walk pa pb =
+              match (pa, pb) with
+              | (blk, ia) :: ra, (_, ib) :: rb ->
+                  if ia <> ib || ra = [] || rb = [] then
+                    Some (blk, (ia, ra = []), (ib, rb = []))
+                  else walk ra rb
+              | _ -> None
+            in
+            match walk pa pb with
+            | None ->
+                ( Failed (Fmt.str "%s and %s are the same binding" a b),
+                  "structural" )
+            | Some (blk, (ia, a_here), (ib, b_here)) -> (
+                let n = List.length blk.stms in
+                let interval member idx bound_here =
+                  if not bound_here then (idx, idx)
+                  else
+                    let names = hole_names pre blk member in
+                    let f, l = live_range blk names in
+                    let escapes =
+                      List.exists
+                        (function Var v -> SS.mem v names | _ -> false)
+                        blk.res
+                    in
+                    let last =
+                      if escapes then n else Option.value l ~default:idx
+                    in
+                    (Option.value f ~default:idx, last)
+                in
+                let fa, la = interval a ia a_here
+                and fb, lb = interval b ib b_here in
+                if la < fb || lb < fa then
+                  ( Proved,
+                    Fmt.str
+                      "live ranges re-derived disjoint: %s spans statements \
+                       [%d, %d], %s spans [%d, %d]"
+                      a fa la b fb lb )
+                else
+                  concrete_verdict
+                    (concretely ctx (fun env ->
+                         let ao = P.eval env a_off
+                         and ae = P.eval env a_end in
+                         let bo = P.eval env b_off
+                         and be = P.eval env b_end in
+                         if ae <= ao || be <= bo then `Holds
+                         else if ao < be && bo < ae then
+                           `Violated
+                             (Fmt.str
+                                "offset %d lies in both placements while \
+                                 live ranges overlap (%s spans [%d, %d], %s \
+                                 spans [%d, %d])"
+                                (max ao bo) a fa la b fb lb)
+                         else `Holds)))))
+
+let check_hole_disjoint pre post post_scal ctx ~arena ~a ~a_off ~b ~b_off
+    ~iter =
+  match iter with
+  | Some loop_binding -> check_hole_iter pre post ~arena ~member:a ~loop_binding
+  | None -> check_hole_pair pre post post_scal ctx ~a ~a_off ~b ~b_off
+
 let check_sole_occupant post post_scal block ixfn =
   let offender =
     List.find_opt
@@ -1418,6 +1699,10 @@ let check ~pass ~pre ~post obls =
               check_packed_disjoint post post_scal o.o_ctx ~a ~a_off ~b ~b_off
           | Fits_in_arena { arena; member; off; size = _; extent = _ } ->
               check_fits_in_arena post post_scal o.o_ctx ~arena ~member ~off
+          | Hole_disjoint { arena; a; a_off; a_size = _; b; b_off;
+                            b_size = _; iter } ->
+              check_hole_disjoint pre post post_scal o.o_ctx ~arena ~a ~a_off
+                ~b ~b_off ~iter
         in
         { obl = o; verdict; detail })
       obls

@@ -159,6 +159,29 @@ type claim =
           [0 <= off] and [off + size <= extent].  The checker
           re-derives the member's size and the arena's extent from the
           post program's allocations, never from the claim. *)
+  | Hole_disjoint of {
+      arena : string;
+      a : string;
+      a_off : P.t;
+      a_size : P.t;
+      b : string;
+      b_off : P.t;
+      b_size : P.t;
+      iter : string option;
+    }
+      (** A lifetime hole: storage of arena [arena] is re-used across
+          time rather than across address space.  With [iter = None],
+          two {e non-interfering} members share an offset range, and
+          the checker re-derives either address-disjointness (sizes
+          from the post program's allocations) or live-range
+          disjointness in the deepest pre-program block where the two
+          members' binding paths diverge.  With [iter = Some loop],
+          [a = b]: one member's slot is re-occupied by the logically
+          fresh per-iteration instances of the same allocation across
+          iterations of the loop binding [loop]; the checker re-derives
+          per-iteration freshness (no carried alias of the member, nor
+          any array living in it, escapes through the loop body's
+          result) and that the arena's allocation left the loop. *)
 
 type obligation = {
   o_id : int;  (** emission order within the pass *)

@@ -71,6 +71,12 @@ type report = {
   reuse_proved : int;
       (** same-block live-range overlaps proved footprint-disjoint *)
   reuse_undecided : int;
+  reuse_holes : int;
+      (** same-block pairs accepted through the liveness exemption
+          (the earlier binding dies before the later writes): the
+          lifetime holes the packing pass certifies with
+          [hole-disjoint] claims, counted so hole sharing stays
+          observable to the lint surface *)
   violations : violation list;
 }
 

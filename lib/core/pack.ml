@@ -1,21 +1,45 @@
-(* Offset-based block packing: the arena planner.
+(* Offset-based block packing: the whole-program arena planner.
 
    Whole-block coalescing (Reuse) stops at "one block stands in for
-   another".  This pass packs the blocks that survive it into arenas:
-   per lexical block it derives live intervals from the coalescer's
-   first-reference machinery, builds the interference graph (two
-   blocks interfere iff their intervals overlap), and first-fit
-   assigns each block an element offset such that interfering
-   placements are provably address-disjoint while non-interfering
-   placements may overlap (sub-block reuse).  One EAlloc of the
+   another".  This pass packs the blocks that survive it into arenas
+   at certified byte offsets.  Two mechanisms feed one planner:
+
+   - Local members: a block's own surviving EAllocs, with live
+     intervals from the coalescer's first-reference machinery (as in
+     the original per-lexical-block planner).  At the program's top
+     level, a member escaping into the program result is packable too
+     (its interval is open-ended - the arena outlives the program
+     body), which folds result allocations into the program arena.
+
+   - Promoted members: an allocation in a nested block - inside
+     sequential loops, conditional arms and kernel bodies - whose
+     size is evaluable at the top level and whose alias closure never
+     escapes any crossed block's result.  Crossing a kernel multiplies
+     the slot into a per-thread region (offset advanced by
+     size * linearized thread index, so threads stay isolated exactly
+     as per-thread arenas kept them); crossing a sequential loop keeps
+     one slot that each iteration's logically fresh instance
+     re-occupies - a lifetime hole in time, emitted as a
+     [hole-disjoint] obligation and re-derived by the independent
+     checker from per-iteration freshness.
+
+   Placement orders ([--pack-order]): [Firstfit] assigns offsets in
+   emission order; [Colour] is interval-graph colouring - members
+   sorted by interval start with size-sorted tie-breaking - and falls
+   back to first-fit unless its extent is provably no larger, so the
+   colour-vs-firstfit A/B gate holds by construction.  Interfering
+   placements are provably address-disjoint; non-interfering
+   placements may overlap (a lifetime hole across address space,
+   certified with live-range disjointness).  One EAlloc of the
    provably-largest member end replaces the members' allocations; the
    member annotations are rebased - block renamed to the arena, the
    memory-side LMAD of the index function shifted by the placement
    offset - and the orphaned member EAllocs are left for Cleanup.
 
    Everything the prover cannot decide (a placement with no provable
-   candidate offset, an arena extent it cannot order) stays unpacked
-   and is counted in the stats.  See pack.mli for the contract. *)
+   candidate offset, an arena extent it cannot order, a region size it
+   cannot evaluate at top level) stays unpacked and is counted in the
+   stats.  See pack.mli for the contract. *)
 
 open Ir.Ast
 module P = Symalg.Poly
@@ -29,19 +53,31 @@ module SS = Ir.Ast.SS
 (* Options and statistics                                            *)
 (* ---------------------------------------------------------------- *)
 
-type options = { verbose : bool; pack : bool }
+type order = Firstfit | Colour
 
-let default_options = { verbose = false; pack = true }
-let disabled = { verbose = false; pack = false }
+type options = { verbose : bool; pack : bool; order : order }
+
+let default_options = { verbose = false; pack = true; order = Colour }
+let disabled = { verbose = false; pack = false; order = Colour }
 
 type stats = {
   mutable arenas : int;
   mutable packed : int;
   mutable unpacked : int;
   mutable offset_proofs : int;
+  mutable holes : int;
+  mutable promoted : int;
 }
 
-let fresh_stats () = { arenas = 0; packed = 0; unpacked = 0; offset_proofs = 0 }
+let fresh_stats () =
+  {
+    arenas = 0;
+    packed = 0;
+    unpacked = 0;
+    offset_proofs = 0;
+    holes = 0;
+    promoted = 0;
+  }
 
 let pp_stats ppf (s : stats) =
   Report.section ~title:"block packing" ppf
@@ -50,6 +86,8 @@ let pp_stats ppf (s : stats) =
       ("blocks packed", string_of_int s.packed);
       ("blocks left unpacked", string_of_int s.unpacked);
       ("offset/extent proofs", string_of_int s.offset_proofs);
+      ("lifetime holes", string_of_int s.holes);
+      ("members promoted cross-scope", string_of_int s.promoted);
     ]
 
 let trace opts fmt =
@@ -62,14 +100,24 @@ let is_arena name = Ir.Names.base name = arena_base
 (* Members and placements                                            *)
 (* ---------------------------------------------------------------- *)
 
+(* Cross-scope promotion data for a member whose allocation lives in a
+   nested block but whose storage is planned in the program arena. *)
+type promo = {
+  pr_size : P.t;  (* resolved per-instance size *)
+  pr_delta : P.t;  (* per-instance offset within the region *)
+  pr_nests : (string * P.t) list;  (* crossed kernel binders, counts *)
+  pr_loops : string list;  (* crossed sequential loop bindings *)
+}
+
 type member = {
-  m_idx : int; (* statement index of the EAlloc *)
+  m_idx : int; (* statement index of the EAlloc; -1 for promoted *)
   m_name : string;
   m_size : P.t; (* size as written (in scope at the alloc site) *)
   m_rsize : P.t; (* resolved size, for the prover *)
   m_first : int; (* live interval: first / last referencing statement *)
   m_last : int;
   m_aliases : SS.t; (* names the block threads through loop params *)
+  m_promo : promo option;
 }
 
 type placement = {
@@ -79,6 +127,26 @@ type placement = {
 }
 
 let interferes a b = a.m_first <= b.m_last && b.m_first <= a.m_last
+
+(* The member's offset and size as they appear in claims: per-instance
+   for promoted members (the checker re-derives the instance size from
+   the member's EAlloc), region-level for local ones. *)
+let claim_off p =
+  match p.p_m.m_promo with
+  | Some pr -> P.add p.p_roff pr.pr_delta
+  | None -> p.p_roff
+
+let claim_size p =
+  match p.p_m.m_promo with Some pr -> pr.pr_size | None -> p.p_m.m_rsize
+
+let claim_ctx ctx p =
+  match p.p_m.m_promo with
+  | None -> ctx
+  | Some pr ->
+      List.fold_left
+        (fun c (v, cnt) ->
+          Pr.add_range c v ~lo:P.zero ~hi:(P.sub cnt P.one) ())
+        ctx pr.pr_nests
 
 (* A mem name may occur in expression position as the initializer of a
    sequential loop's carried memory: the loop threads the block
@@ -220,6 +288,10 @@ and rebase_block aliases oldm arena delta (b : block) : block =
     res = List.map (function Var v when v = oldm -> Var arena | a -> a) b.res;
   }
 
+(* ---------------------------------------------------------------- *)
+(* Placement                                                         *)
+(* ---------------------------------------------------------------- *)
+
 (* First-fit offset assignment.  Candidates for a member are offset 0
    and the end offsets of the already-placed members it interferes
    with, tried in placement order; a candidate is admissible when the
@@ -275,16 +347,63 @@ let extent_of st ctx (placements : placement list) =
   in
   (List.rev kept, ext)
 
+(* Interval-graph colouring order: members sorted by interval start,
+   ties broken largest-size-first (a provable size domination), then
+   by emission order for determinism. *)
+let colour_order ctx (members : member list) =
+  List.stable_sort
+    (fun a b ->
+      match compare a.m_first b.m_first with
+      | 0 ->
+          let a_ge = Pr.prove_ge ctx a.m_rsize b.m_rsize
+          and b_ge = Pr.prove_ge ctx b.m_rsize a.m_rsize in
+          if a_ge && not b_ge then -1 else if b_ge && not a_ge then 1 else 0
+      | c -> c)
+    members
+
+(* Place under the requested order.  Colouring must prove its extent
+   no larger than first-fit's - and place no fewer members - or it
+   falls back to the first-fit plan, so the CI A/B gate (colour extent
+   <= first-fit extent, per arena) holds by construction. *)
+let plan st opts ctx (members : member list) =
+  match opts.order with
+  | Firstfit ->
+      let pl, _ = place st ctx members in
+      extent_of st ctx pl
+  | Colour -> (
+      let ff_st = fresh_stats () and c_st = fresh_stats () in
+      let ff_pl, _ = place ff_st ctx members in
+      let ff_pl, ff_ext = extent_of ff_st ctx ff_pl in
+      let c_pl, _ = place c_st ctx (colour_order ctx members) in
+      let c_pl, c_ext = extent_of c_st ctx c_pl in
+      let take from result =
+        st.offset_proofs <- st.offset_proofs + from.offset_proofs;
+        result
+      in
+      match (c_ext, ff_ext) with
+      | _, None -> take c_st (c_pl, c_ext)
+      | Some (_, c_re), Some (_, ff_re)
+        when List.length c_pl >= List.length ff_pl
+             && Pr.prove_ge ctx ff_re c_re ->
+          take c_st (c_pl, c_ext)
+      | _ -> take ff_st (ff_pl, ff_ext))
+
 (* ---------------------------------------------------------------- *)
-(* Per-block packing                                                 *)
+(* Member discovery                                                  *)
 (* ---------------------------------------------------------------- *)
 
-let pack_block st opts cert ctx scalars mems (b : block) : block =
+(* The block's surviving allocations as live-interval members (local
+   view: interval indices are statement indices of [b]), partitioned
+   into packable candidates and blocked members.  With
+   [allow_escape], a member escaping through the block result is kept
+   with an open-ended interval ([m_last = length stms]) - only sound
+   at the program's top level, where the arena outlives the body. *)
+let block_members ?(allow_escape = false) scalars mems (b : block) =
   let stms = Array.of_list b.stms in
-  let n = Array.length stms in
   let refs = Array.map (Reuse.block_refs mems) stms in
   let escape = Reuse.res_refs mems b in
   let hard = Reuse.exp_vars_block b SS.empty in
+  let n = Array.length stms in
   let first_ref names =
     let first = ref max_int in
     Array.iteri
@@ -300,9 +419,6 @@ let pack_block st opts cert ctx scalars mems (b : block) : block =
       refs;
     !last
   in
-  (* the block's surviving allocations, as live-interval members whose
-     interval spans every threaded alias; unreferenced blocks are dead
-     (Cleanup's business, not ours) *)
   let members = ref [] in
   Array.iteri
     (fun i s ->
@@ -315,45 +431,383 @@ let pack_block st opts cert ctx scalars mems (b : block) : block =
           in
           let first = first_ref aliases in
           if first < max_int then
+            let escapes = SS.exists (fun a -> SS.mem a escape) aliases in
             members :=
-              {
-                m_idx = i;
-                m_name = pe.pv;
-                m_size = sz;
-                m_rsize = Reuse.resolve scalars sz;
-                m_first = first;
-                m_last = last_ref aliases;
-                m_aliases = aliases;
-              }
+              ( {
+                  m_idx = i;
+                  m_name = pe.pv;
+                  m_size = sz;
+                  m_rsize = Reuse.resolve scalars sz;
+                  m_first = first;
+                  m_last = (if escapes && allow_escape then n else last_ref aliases);
+                  m_aliases = aliases;
+                  m_promo = None;
+                },
+                escapes )
               :: !members
       | _ -> ())
     stms;
   let members = List.rev !members in
-  (* eligibility: no escaping alias, no arena re-packing, and any
-     expression-position occurrence accounted for by loop threading
-     ([threaded_aliases] returned a closure beyond the member itself,
-     or the member is not expression-load-bearing at all) *)
+  (* eligibility: no escaping alias (unless escape is allowed), no
+     arena re-packing, and any expression-position occurrence
+     accounted for by loop threading *)
   let candidates, blocked =
     List.partition
-      (fun m ->
+      (fun (m, escapes) ->
         let threaded = SS.cardinal m.m_aliases > 1 in
         ((not (SS.mem m.m_name hard)) || threaded)
-        && (not (SS.exists (fun a -> SS.mem a escape) m.m_aliases))
+        && ((not escapes) || allow_escape)
         && not (is_arena m.m_name))
       members
   in
-  (* distinct members threading through a shared alias would demand
-     two offsets for one binder - keep the first, block the rest *)
-  let _, candidates, aliased_out =
+  (List.map fst candidates, List.map fst blocked)
+
+(* Drop members threading through a shared alias: two offsets for one
+   binder are unsatisfiable - keep the first. *)
+let dedup_aliases (members : member list) =
+  let _, keep, out =
     List.fold_left
       (fun (seen, keep, out) m ->
         if SS.exists (fun a -> SS.mem a seen) m.m_aliases then
           (seen, keep, m :: out)
         else (SS.union seen m.m_aliases, m :: keep, out))
-      (SS.empty, [], []) candidates
+      (SS.empty, [], []) members
   in
-  let candidates = List.rev candidates
-  and blocked = blocked @ List.rev aliased_out in
+  (List.rev keep, List.rev out)
+
+(* ---------------------------------------------------------------- *)
+(* Cross-scope promotion candidates                                  *)
+(* ---------------------------------------------------------------- *)
+
+type pcand = {
+  pc_name : string;
+  pc_aliases : SS.t;
+  pc_size : P.t;  (* resolved per-instance size *)
+  pc_region : P.t;  (* resolved whole-region size at the top level *)
+  pc_delta : P.t;  (* per-instance offset within the region *)
+  pc_nests : (string * P.t) list;
+  pc_loops : string list;  (* crossed loops, innermost first *)
+  pc_top : int;  (* the top-level statement the member lives under *)
+}
+
+let note_mems mems (pes : pat_elem list) =
+  List.fold_left
+    (fun mems (pe : pat_elem) ->
+      match pe.pmem with
+      | Some mi -> SM.add pe.pv mi.block mems
+      | None -> mems)
+    mems pes
+
+let accum_scalars scalars (b : block) =
+  List.fold_left
+    (fun sc s ->
+      match Reuse.scalar_def s with Some (v, p) -> P.SM.add v p sc | None -> sc)
+    scalars b.stms
+
+let accum_mems mems (b : block) =
+  List.fold_left
+    (fun mems s ->
+      let mems = note_mems mems s.pat in
+      match s.exp with
+      | ELoop { params; _ } -> note_mems mems (List.map fst params)
+      | _ -> mems)
+    mems b.stms
+
+(* Promotable members of [b]'s subtree, lifted to [b]'s level.  A
+   member survives a crossing only when nothing in its alias closure
+   (nor any array annotated into it - [res_refs] resolves arrays to
+   their blocks) escapes through the result of the block it leaves:
+   with no escape channel the member is confined to its enclosing
+   statement, so a sequential-loop crossing is a lifetime hole (each
+   iteration's instance was fresh) and a kernel crossing multiplies
+   the slot into a per-thread region. *)
+let rec promotable scalars mems (b : block) : pcand list =
+  let scalars = accum_scalars scalars b in
+  let mems = accum_mems mems b in
+  let local, _ = block_members scalars mems b in
+  let local, _ = dedup_aliases local in
+  let locals =
+    List.map
+      (fun m ->
+        {
+          pc_name = m.m_name;
+          pc_aliases = m.m_aliases;
+          pc_size = m.m_rsize;
+          pc_region = m.m_rsize;
+          pc_delta = P.zero;
+          pc_nests = [];
+          pc_loops = [];
+          pc_top = 0;
+        })
+      local
+  in
+  let subs =
+    List.concat_map
+      (fun (s : stm) ->
+        match s.exp with
+        | ELoop { body; _ } -> (
+            match s.pat with
+            | [] -> []
+            | pe :: _ ->
+                List.map
+                  (fun pc -> { pc with pc_loops = pc.pc_loops @ [ pe.pv ] })
+                  (promotable scalars mems body))
+        | EMap { nest; body } ->
+            let counts =
+              List.map
+                (fun (v, bound) -> (v, Reuse.resolve scalars bound))
+                nest
+            in
+            let total = P.prod (List.map snd counts) in
+            let lin =
+              List.fold_left
+                (fun acc (v, c) -> P.add (P.mul acc c) (P.var v))
+                P.zero counts
+            in
+            List.map
+              (fun pc ->
+                {
+                  pc with
+                  pc_delta = P.add pc.pc_delta (P.mul pc.pc_region lin);
+                  pc_region = P.mul pc.pc_region total;
+                  pc_nests = counts @ pc.pc_nests;
+                })
+              (promotable scalars mems body)
+        | EIf { tb; fb; _ } ->
+            promotable scalars mems tb @ promotable scalars mems fb
+        | _ -> [])
+      b.stms
+  in
+  let all = locals @ subs in
+  (* nothing aliasing a candidate may escape through this block's
+     result *)
+  let esc = Reuse.res_refs mems b in
+  let resv =
+    List.fold_left
+      (fun acc -> function Var v -> SS.add v acc | _ -> acc)
+      SS.empty b.res
+  in
+  List.filter
+    (fun pc ->
+      not
+        (SS.exists (fun a -> SS.mem a esc || SS.mem a resv) pc.pc_aliases))
+    all
+
+(* Promotion candidates of the whole program, anchored at top-level
+   statement indices. *)
+let gather_promotable scalars mems (top : block) : pcand list =
+  let scalars = accum_scalars scalars top in
+  let mems = accum_mems mems top in
+  List.concat
+    (List.mapi
+       (fun i (s : stm) ->
+         let subs =
+           match s.exp with
+           | ELoop { body; _ } -> (
+               match s.pat with
+               | [] -> []
+               | pe :: _ ->
+                   List.map
+                     (fun pc ->
+                       { pc with pc_loops = pc.pc_loops @ [ pe.pv ] })
+                     (promotable scalars mems body))
+           | EMap { nest; body } ->
+               let counts =
+                 List.map
+                   (fun (v, bound) -> (v, Reuse.resolve scalars bound))
+                   nest
+               in
+               let total = P.prod (List.map snd counts) in
+               let lin =
+                 List.fold_left
+                   (fun acc (v, c) -> P.add (P.mul acc c) (P.var v))
+                   P.zero counts
+               in
+               List.map
+                 (fun pc ->
+                   {
+                     pc with
+                     pc_delta = P.add pc.pc_delta (P.mul pc.pc_region lin);
+                     pc_region = P.mul pc.pc_region total;
+                     pc_nests = counts @ pc.pc_nests;
+                   })
+                 (promotable scalars mems body)
+           | EIf { tb; fb; _ } ->
+               promotable scalars mems tb @ promotable scalars mems fb
+           | _ -> []
+         in
+         List.map (fun pc -> { pc with pc_top = i }) subs)
+       top.stms)
+
+(* ---------------------------------------------------------------- *)
+(* Certificates and commitment                                       *)
+(* ---------------------------------------------------------------- *)
+
+let emit_certs st cert ctx arena rextent (placements : placement list) =
+  match cert with
+  | None ->
+      (* still count the holes when running uncertified *)
+      let rec pairs = function
+        | [] -> ()
+        | p :: rest ->
+            List.iter
+              (fun q ->
+                if not (interferes p.p_m q.p_m) then
+                  let p_end = P.add p.p_roff p.p_m.m_rsize
+                  and q_end = P.add q.p_roff q.p_m.m_rsize in
+                  if
+                    not
+                      (Pr.prove_ge ctx q.p_roff p_end
+                      || Pr.prove_ge ctx p.p_roff q_end)
+                  then st.holes <- st.holes + 1)
+              rest;
+            pairs rest
+      in
+      pairs placements;
+      List.iter
+        (fun p ->
+          match p.p_m.m_promo with
+          | Some pr -> st.holes <- st.holes + List.length pr.pr_loops
+          | None -> ())
+        placements
+  | Some r ->
+      let rw =
+        Certify.Packing
+          { arena; members = List.map (fun p -> p.p_m.m_name) placements }
+      in
+      List.iter
+        (fun p ->
+          Certify.emit r rw ~ctx:(claim_ctx ctx p)
+            (Certify.Fits_in_arena
+               {
+                 arena;
+                 member = p.p_m.m_name;
+                 off = claim_off p;
+                 size = claim_size p;
+                 extent = rextent;
+               });
+          (* one hole per crossed sequential loop: the slot is
+             re-occupied by each iteration's fresh instance *)
+          match p.p_m.m_promo with
+          | Some pr ->
+              List.iter
+                (fun loop ->
+                  st.holes <- st.holes + 1;
+                  Certify.emit r rw ~ctx:(claim_ctx ctx p)
+                    (Certify.Hole_disjoint
+                       {
+                         arena;
+                         a = p.p_m.m_name;
+                         a_off = claim_off p;
+                         a_size = claim_size p;
+                         b = p.p_m.m_name;
+                         b_off = claim_off p;
+                         b_size = claim_size p;
+                         iter = Some loop;
+                       }))
+                pr.pr_loops
+          | None -> ())
+        placements;
+      let rec pairs = function
+        | [] -> ()
+        | p :: rest ->
+            List.iter
+              (fun q ->
+                let pair_ctx = claim_ctx (claim_ctx ctx p) q in
+                if interferes p.p_m q.p_m then
+                  Certify.emit r rw ~ctx:pair_ctx
+                    (Certify.Packed_disjoint
+                       {
+                         arena;
+                         a = p.p_m.m_name;
+                         a_off = claim_off p;
+                         a_size = claim_size p;
+                         b = q.p_m.m_name;
+                         b_off = claim_off q;
+                         b_size = claim_size q;
+                       })
+                else
+                  (* non-interfering: an overlap in address space is a
+                     lifetime hole, certified by live-range
+                     disjointness *)
+                  let p_end = P.add p.p_roff p.p_m.m_rsize
+                  and q_end = P.add q.p_roff q.p_m.m_rsize in
+                  if
+                    not
+                      (Pr.prove_ge ctx q.p_roff p_end
+                      || Pr.prove_ge ctx p.p_roff q_end)
+                  then begin
+                    st.holes <- st.holes + 1;
+                    Certify.emit r rw ~ctx:pair_ctx
+                      (Certify.Hole_disjoint
+                         {
+                           arena;
+                           a = p.p_m.m_name;
+                           a_off = claim_off p;
+                           a_size = claim_size p;
+                           b = q.p_m.m_name;
+                           b_off = claim_off q;
+                           b_size = claim_size q;
+                           iter = None;
+                         })
+                  end)
+              rest;
+            pairs rest
+      in
+      pairs placements
+
+(* Insert the arena allocation at [at] and rebase every placement over
+   the remainder of the block. *)
+let commit st opts cert ctx (b : block) ~at ~extent ~rextent
+    (placements : placement list) : block =
+  let stms = Array.of_list b.stms in
+  let n = Array.length stms in
+  st.arenas <- st.arenas + 1;
+  st.packed <- st.packed + List.length placements;
+  let arena = Ir.Names.fresh arena_base in
+  emit_certs st cert ctx arena rextent placements;
+  List.iter
+    (fun p ->
+      let delta =
+        match p.p_m.m_promo with
+        | Some pr ->
+            st.promoted <- st.promoted + 1;
+            P.add p.p_roff pr.pr_delta
+        | None -> p.p_off
+      in
+      trace opts "pack: %s at offset %a of %s" p.p_m.m_name P.pp delta arena;
+      for i = at to n - 1 do
+        stms.(i) <- rebase_stm p.p_m.m_aliases p.p_m.m_name arena delta stms.(i)
+      done)
+    placements;
+  let arena_stm = stm [ pat_elem arena TMem ] (EAlloc extent) in
+  let res =
+    List.map
+      (fun a ->
+        match a with
+        | Var v
+          when List.exists
+                 (fun p -> p.p_m.m_name = v)
+                 placements ->
+            Var arena
+        | a -> a)
+      b.res
+  in
+  {
+    stms =
+      Array.to_list (Array.sub stms 0 at)
+      @ arena_stm :: Array.to_list (Array.sub stms at (n - at));
+    res;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Per-block packing (nested blocks)                                 *)
+(* ---------------------------------------------------------------- *)
+
+let pack_block st opts cert ctx scalars mems (b : block) : block =
+  let candidates, blocked = block_members scalars mems b in
+  let candidates, aliased_out = dedup_aliases candidates in
+  let blocked = blocked @ aliased_out in
   (* the arena allocation goes right after the last member EAlloc and
      must dominate every member's first reference; hoisting has moved
      the allocations to the block top, so this holds - when it does
@@ -369,120 +823,166 @@ let pack_block st opts cert ctx scalars mems (b : block) : block =
         else prune (List.filter (fun m -> m.m_idx <> max_idx) ms)
   in
   let pruned = prune candidates in
-  let placements, _loose = place st ctx pruned in
-  let placements, ext = extent_of st ctx placements in
+  let placements, ext = plan st opts ctx pruned in
   match (placements, ext) with
   | _ :: _ :: _, Some (extent, rextent) ->
-      st.arenas <- st.arenas + 1;
-      st.packed <- st.packed + List.length placements;
       st.unpacked <-
         st.unpacked + List.length blocked
         + (List.length candidates - List.length placements);
-      let arena = Ir.Names.fresh arena_base in
-      (match cert with
-      | None -> ()
-      | Some r ->
-          let rw =
-            Certify.Packing
-              { arena; members = List.map (fun p -> p.p_m.m_name) placements }
-          in
-          List.iter
-            (fun p ->
-              Certify.emit r rw ~ctx
-                (Certify.Fits_in_arena
-                   {
-                     arena;
-                     member = p.p_m.m_name;
-                     off = p.p_roff;
-                     size = p.p_m.m_rsize;
-                     extent = rextent;
-                   }))
-            placements;
-          let rec pairs = function
-            | [] -> ()
-            | p :: rest ->
-                List.iter
-                  (fun q ->
-                    if interferes p.p_m q.p_m then
-                      Certify.emit r rw ~ctx
-                        (Certify.Packed_disjoint
-                           {
-                             arena;
-                             a = p.p_m.m_name;
-                             a_off = p.p_roff;
-                             a_size = p.p_m.m_rsize;
-                             b = q.p_m.m_name;
-                             b_off = q.p_roff;
-                             b_size = q.p_m.m_rsize;
-                           }))
-                  rest;
-                pairs rest
-          in
-          pairs placements);
       let at =
         1 + List.fold_left (fun a p -> max a p.p_m.m_idx) (-1) placements
       in
-      List.iter
-        (fun p ->
-          trace opts "pack: %s at offset %a of %s" p.p_m.m_name P.pp p.p_off
-            arena;
-          for i = at to n - 1 do
-            stms.(i) <-
-              rebase_stm p.p_m.m_aliases p.p_m.m_name arena p.p_off stms.(i)
-          done)
-        placements;
-      let arena_stm = stm [ pat_elem arena TMem ] (EAlloc extent) in
-      {
-        b with
-        stms =
-          Array.to_list (Array.sub stms 0 at)
-          @ arena_stm
-            :: Array.to_list (Array.sub stms at (n - at));
-      }
+      commit st opts cert ctx b ~at ~extent ~rextent placements
   | _ ->
       st.unpacked <-
         st.unpacked + List.length blocked + List.length candidates;
       b
 
 (* ---------------------------------------------------------------- *)
+(* Whole-program packing (the top level)                             *)
+(* ---------------------------------------------------------------- *)
+
+(* Pack the program's top block: its own members (result-escaping ones
+   included, with open-ended intervals) together with the promotable
+   members gathered from nested scopes.  A promoted member's interval
+   collapses to its enclosing top-level statement - everything about
+   it happens inside that one statement's subtree. *)
+let pack_top st opts cert ctx scalars mems (p : prog) : block =
+  let b = p.body in
+  let scalars = accum_scalars scalars b in
+  let mems = accum_mems mems b in
+  let candidates, blocked =
+    block_members ~allow_escape:true scalars mems b
+  in
+  let pcands = gather_promotable scalars mems b in
+  (* a region the prover cannot evaluate at the top level (or whose
+     placement would mention non-top names beyond the nest binders)
+     stays local *)
+  let top_names =
+    List.fold_left
+      (fun acc (pe : pat_elem) -> SS.add pe.pv acc)
+      SS.empty p.params
+    |> fun acc ->
+    List.fold_left
+      (fun acc (s : stm) ->
+        List.fold_left (fun acc (pe : pat_elem) -> SS.add pe.pv acc) acc s.pat)
+      acc b.stms
+  in
+  let top_ok poly nests =
+    List.for_all
+      (fun v ->
+        SS.mem v top_names || List.exists (fun (w, _) -> w = v) nests)
+      (P.vars poly)
+  in
+  let pcands =
+    List.filter
+      (fun pc ->
+        top_ok pc.pc_region [] && top_ok pc.pc_delta pc.pc_nests
+        && top_ok pc.pc_size [])
+      pcands
+  in
+  let promoted_members =
+    List.map
+      (fun pc ->
+        {
+          m_idx = -1;
+          m_name = pc.pc_name;
+          m_size = pc.pc_region;
+          m_rsize = pc.pc_region;
+          m_first = pc.pc_top;
+          m_last = pc.pc_top;
+          m_aliases = pc.pc_aliases;
+          m_promo =
+            Some
+              {
+                pr_size = pc.pc_size;
+                pr_delta = pc.pc_delta;
+                pr_nests = pc.pc_nests;
+                pr_loops = pc.pc_loops;
+              };
+        })
+      pcands
+  in
+  let candidates, aliased_out =
+    dedup_aliases (candidates @ promoted_members)
+  in
+  let blocked = blocked @ aliased_out in
+  let rec prune ms =
+    match ms with
+    | [] | [ _ ] -> ms
+    | _ ->
+        let min_first =
+          List.fold_left (fun a m -> min a m.m_first) max_int ms
+        and max_idx = List.fold_left (fun a m -> max a m.m_idx) (-1) ms in
+        if max_idx < min_first then ms
+        else prune (List.filter (fun m -> m.m_idx <> max_idx) ms)
+  in
+  let pruned = prune candidates in
+  (* promoted members that fail to place here fall back to the
+     per-block phase, which does its own accounting - only top-local
+     members are tallied as unpacked by this phase *)
+  let locals ms = List.filter (fun m -> m.m_promo = None) ms in
+  let give_up () =
+    st.unpacked <-
+      st.unpacked + List.length blocked + List.length (locals candidates);
+    b
+  in
+  let placements, ext = plan st opts ctx pruned in
+  match (placements, ext) with
+  | _ :: _ :: _, Some (extent, rextent) ->
+      let at =
+        max
+          (1 + List.fold_left (fun a p -> max a p.p_m.m_idx) (-1) placements)
+          0
+      in
+      let min_first =
+        List.fold_left (fun a p -> min a p.p_m.m_first) max_int placements
+      in
+      (* the extent must be evaluable where the arena is allocated *)
+      let defined =
+        List.fold_left
+          (fun acc (pe : pat_elem) -> SS.add pe.pv acc)
+          SS.empty p.params
+        |> fun acc ->
+        List.fold_left
+          (fun acc (s : stm) ->
+            List.fold_left
+              (fun acc (pe : pat_elem) -> SS.add pe.pv acc)
+              acc s.pat)
+          acc
+          (List.filteri (fun i _ -> i < at) b.stms)
+      in
+      let ready =
+        List.for_all (fun v -> SS.mem v defined) (P.vars rextent)
+      in
+      if at > min_first || not ready then give_up ()
+      else begin
+        st.unpacked <-
+          st.unpacked + List.length blocked
+          + (List.length (locals candidates)
+            - List.length (locals (List.map (fun p -> p.p_m) placements)));
+        commit st opts cert ctx b ~at ~extent ~rextent placements
+      end
+  | _ -> give_up ()
+
+(* ---------------------------------------------------------------- *)
 (* Program walk                                                      *)
 (* ---------------------------------------------------------------- *)
 
-let note_mems mems (pes : pat_elem list) =
-  List.fold_left
-    (fun mems (pe : pat_elem) ->
-      match pe.pmem with
-      | Some mi -> SM.add pe.pv mi.block mems
-      | None -> mems)
-    mems pes
-
-(* Pack this block, then recurse into sequential loops, conditionals
-   and mapnest bodies with the prover context extended by the
-   iteration and thread ranges.  A kernel body is a lexical block of
-   its own, so packing there is per-thread: every thread's arena
-   instance replaces that same thread's member instances, and blocks
-   of different threads are as distinct as they were before packing.
-   What is never done is packing an in-kernel block with an outer
-   one - members always come from a single lexical block. *)
-let rec walk st opts cert ctx scalars mems (b : block) : block =
-  let scalars =
-    List.fold_left
-      (fun sc s ->
-        match Reuse.scalar_def s with
-        | Some (v, p) -> P.SM.add v p sc
-        | None -> sc)
-      scalars b.stms
+(* Pack this block (unless the whole-program planner already did),
+   then recurse into sequential loops, conditionals and mapnest
+   bodies with the prover context extended by the iteration and
+   thread ranges.  Members the whole-program planner promoted have no
+   annotations left, so per-block packing skips them naturally;
+   in-kernel members it could not lift still pack into per-thread
+   arenas here. *)
+let rec walk ?(pack_here = true) st opts cert ctx scalars mems (b : block) :
+    block =
+  let scalars = accum_scalars scalars b in
+  let mems = accum_mems mems b in
+  let b =
+    if pack_here then pack_block st opts cert ctx scalars mems b else b
   in
-  let mems =
-    List.fold_left
-      (fun mems s ->
-        let mems = note_mems mems s.pat in
-        match s.exp with
-        | ELoop { params; _ } -> note_mems mems (List.map fst params)
-        | _ -> mems)
-      mems b.stms
-  in
-  let b = pack_block st opts cert ctx scalars mems b in
   let stms =
     List.map
       (fun s ->
@@ -530,5 +1030,9 @@ let optimize ?(options = default_options) ?cert (p : prog) : prog * stats =
           | None -> m)
         SM.empty p.params
     in
-    let body = walk st options cert p.ctx P.SM.empty mems0 p.body in
+    let body = pack_top st options cert p.ctx P.SM.empty mems0 p in
+    let p = { p with body } in
+    let body =
+      walk ~pack_here:false st options cert p.ctx P.SM.empty mems0 p.body
+    in
     ({ p with body }, st)

@@ -1,4 +1,4 @@
-(** Offset-based block packing: the arena planner.
+(** Offset-based block packing: the whole-program arena planner.
 
     Runs after reuse + cleanup as the pipeline's fourth variant
     ({!val:Pipeline.compile} exposes it as [pack]).  Whole-block
@@ -9,50 +9,88 @@
     blocks co-reside in a single device allocation and short-lived
     blocks reuse address ranges at sub-block granularity.
 
-    Per lexical block, the planner:
+    The planner runs in two phases.  The {e whole-program} phase packs
+    the program's top-level block from a single interference graph
+    spanning scopes:
 
-    - collects the [EAlloc]-bound blocks that survive reuse and are
-      neither structurally load-bearing (no expression-position
-      occurrence: {!val:Reuse.exp_vars_block}) nor escaping (home of an
-      array among the block's results: {!val:Reuse.res_refs});
-    - derives each block's live interval [\[first_ref, last_ref\]] from
-      the same first-reference machinery as the coalescer (a block is
-      live from the first statement binding an array into it to the
-      last statement referencing it or any such array);
-    - builds the {e interference graph}: two blocks interfere iff their
-      live intervals overlap;
-    - assigns each block an element offset in a fresh arena by
-      {e first-fit}: candidate offsets are 0 and the end offsets of
-      already-placed interfering members, and a candidate is admissible
-      when the placement is provably address-disjoint
-      ({!val:Symalg.Prover.prove_ge} on the resolved offset polynomials)
-      from {e every} placed interfering member.  Non-interfering
-      placements may overlap - that is the sub-block reuse.  Blocks the
-      prover cannot place (or whose arena-extent comparison is
-      undecidable) stay unpacked and are counted;
-    - allocates one arena sized to the provably-largest member end,
-      rebases every member annotation into it (block renamed, index
-      function's memory-side LMAD offset shifted by the placement), and
-      leaves the member [EAlloc]s orphaned for {!module:Cleanup}.
+    - the top block's own surviving [EAlloc]s, with live intervals
+      [\[first_ref, last_ref\]] from the coalescer's first-reference
+      machinery ({!val:Reuse.block_refs} over the alias closure) - and,
+      uniquely at the top level, members escaping into the {e program}
+      result are packable too, with an open-ended interval (the arena
+      outlives the body), which folds result allocations into the
+      program arena;
+    - {e promoted} members: allocations in nested scopes whose size is
+      evaluable at the top level and whose alias closure never escapes
+      any crossed block's result.  Crossing a kernel body multiplies
+      the slot into a per-thread region (per-instance offset advanced
+      by [size * linearized thread index], preserving per-thread
+      isolation); crossing a sequential loop keeps one slot that every
+      iteration's logically fresh instance re-occupies - a {e lifetime
+      hole} in time.  A promoted member's interval collapses to its
+      enclosing top-level statement.
+
+    The second phase re-walks nested blocks (sequential loop bodies,
+    conditional arms, kernel bodies) with the original per-block
+    planner; members the first phase promoted have no annotations left
+    and skip naturally, and failed promotions fall back to local
+    packing unchanged.
+
+    Placement runs under a configurable {!type:order}:
+
+    - [Firstfit] assigns offsets in emission order: candidate offsets
+      are 0 and the end offsets of already-placed interfering members,
+      and a candidate is admissible when the placement is provably
+      address-disjoint ({!val:Symalg.Prover.prove_ge} on the resolved
+      offset polynomials) from {e every} placed interfering member;
+    - [Colour] (the default) is interval-graph colouring: members are
+      sorted by interval start with size-sorted tie-breaking before the
+      same admissibility scan.  The colour plan is committed only when
+      its arena extent is {e provably} no larger than first-fit's (and
+      it places no fewer members); otherwise the pass falls back to the
+      first-fit plan, so colour's extent never exceeds first-fit's by
+      construction.
+
+    Non-interfering placements may overlap - that is the sub-block
+    reuse.  Blocks the prover cannot place (or whose arena-extent
+    comparison is undecidable) stay unpacked and are counted.  One
+    arena is allocated per packed block, sized to the provably-largest
+    member end; every member annotation is rebased into it (block
+    renamed, index function's memory-side LMAD offset shifted by the
+    placement), and the member [EAlloc]s are left orphaned for
+    {!module:Cleanup}.
 
     Each arena emits a {!constructor:Certify.rewrite.Packing} rewrite
     with a {!constructor:Certify.claim.Fits_in_arena} obligation per
-    placement and a {!constructor:Certify.claim.Packed_disjoint}
-    obligation per interfering pair; {!module:Memlint}'s [reuse] rule
-    independently re-checks the rebased footprints for offset-aware
-    disjointness, and {!module:Memtrace} replays the shifted footprints
-    against the executor's traces.
+    placement, a {!constructor:Certify.claim.Packed_disjoint}
+    obligation per interfering pair, and a
+    {!constructor:Certify.claim.Hole_disjoint} obligation per lifetime
+    hole - one for every promoted member crossing a sequential loop
+    ([iter = Some loop]) and one for every non-interfering pair whose
+    offset ranges are not provably disjoint ([iter = None]).
+    {!module:Memlint}'s [reuse] rule independently re-checks the
+    rebased footprints for offset-aware disjointness (hole sharing is
+    accepted only through its flow/liveness exemptions), and
+    {!module:Memtrace} replays the shifted footprints against the
+    executor's traces.
 
     The pass mutates its input program (annotations are mutable);
     {!val:Pipeline.compile} hands it a private clone. *)
 
+type order =
+  | Firstfit  (** place in emission order *)
+  | Colour
+      (** interval-graph colouring with size-sorted tie-breaking;
+          falls back to first-fit unless provably no larger *)
+
 type options = {
   verbose : bool;
   pack : bool;  (** plan arenas; [false] is the identity pass *)
+  order : order;  (** placement order ([--pack-order]) *)
 }
 
 val default_options : options
-(** Packing enabled, quiet. *)
+(** Packing enabled, quiet, colour order. *)
 
 val disabled : options
 (** Identity pass ([--no-pack]). *)
@@ -64,6 +102,12 @@ type stats = {
       (** surviving blocks left standalone (load-bearing, escaping,
           alone in their scope, or prover-undecidable placement) *)
   mutable offset_proofs : int;  (** prover obligations discharged *)
+  mutable holes : int;
+      (** lifetime holes: offset ranges re-used across time
+          (iteration holes of promoted members plus overlapping
+          non-interfering pairs) *)
+  mutable promoted : int;
+      (** members lifted from nested scopes into the program arena *)
 }
 
 val fresh_stats : unit -> stats

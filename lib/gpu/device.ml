@@ -268,6 +268,7 @@ type counters = {
   mutable allocs : int;
   mutable alloc_bytes : float;
   mutable arena_allocs : int; (* packed-arena allocations among [allocs] *)
+  mutable arena_bytes : float; (* bytes those arenas cover *)
   mutable scratch_allocs : int; (* per-thread allocations inside kernels *)
   mutable scratch_bytes : float; (* bytes those scratch allocations cover *)
   mutable pool_hits : int; (* allocations served from the pool *)
@@ -290,6 +291,7 @@ let fresh_counters () =
     allocs = 0;
     alloc_bytes = 0.;
     arena_allocs = 0;
+    arena_bytes = 0.;
     scratch_allocs = 0;
     scratch_bytes = 0.;
     pool_hits = 0;
@@ -357,6 +359,7 @@ let clone (c : counters) : counters =
     allocs = c.allocs;
     alloc_bytes = c.alloc_bytes;
     arena_allocs = c.arena_allocs;
+    arena_bytes = c.arena_bytes;
     scratch_allocs = c.scratch_allocs;
     scratch_bytes = c.scratch_bytes;
     pool_hits = c.pool_hits;
@@ -378,6 +381,7 @@ let assign (dst : counters) (src : counters) : unit =
   dst.allocs <- src.allocs;
   dst.alloc_bytes <- src.alloc_bytes;
   dst.arena_allocs <- src.arena_allocs;
+  dst.arena_bytes <- src.arena_bytes;
   dst.scratch_allocs <- src.scratch_allocs;
   dst.scratch_bytes <- src.scratch_bytes;
   dst.pool_hits <- src.pool_hits;
@@ -412,6 +416,7 @@ let add_simpson (dst : counters)
   dst.allocs <- dst.allocs + wi (fun c -> c.allocs);
   dst.alloc_bytes <- dst.alloc_bytes +. wflt (fun c -> c.alloc_bytes);
   dst.arena_allocs <- dst.arena_allocs + wi (fun c -> c.arena_allocs);
+  dst.arena_bytes <- dst.arena_bytes +. wflt (fun c -> c.arena_bytes);
   dst.scratch_allocs <- dst.scratch_allocs + wi (fun c -> c.scratch_allocs);
   dst.scratch_bytes <- dst.scratch_bytes +. wflt (fun c -> c.scratch_bytes);
   dst.pool_hits <- dst.pool_hits + wi (fun c -> c.pool_hits);

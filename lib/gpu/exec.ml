@@ -964,11 +964,12 @@ let rec exec_exp st env (s : stm) : aval list =
         (* arena blocks (introduced by the packing pass) are ordinary
            device allocations - one pool transaction each - but counted
            separately so the bench surface can report suballocation *)
+        let bytes = float_of_int n *. elem_bytes in
         (match s.pat with
         | [ pe ] when Core.Pack.is_arena pe.pv ->
-            st.counters.arena_allocs <- st.counters.arena_allocs + 1
+            st.counters.arena_allocs <- st.counters.arena_allocs + 1;
+            st.counters.arena_bytes <- st.counters.arena_bytes +. bytes
         | _ -> ());
-        let bytes = float_of_int n *. elem_bytes in
         st.counters.alloc_bytes <- st.counters.alloc_bytes +. bytes;
         st.counters.live_bytes <- st.counters.live_bytes +. bytes;
         if st.counters.live_bytes > st.counters.peak_bytes then

@@ -1,0 +1,15 @@
+(* Deep-verify support for the qcheck properties.
+
+   The weekly scheduled CI run multiplies every property's trial count
+   by [QCHECK_COUNT] (an integer factor; unset - or 1 - on the
+   per-push runs, 10 on the weekly deep verify).  Reproducibility
+   comes from [QCHECK_SEED], which qcheck-alcotest reads and prints at
+   startup ("qcheck random seed: %d"); the weekly job pins it so a
+   failure replays locally with the same two variables. *)
+
+let factor =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 1)
+  | None -> 1
+
+let count base = base * factor

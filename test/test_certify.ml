@@ -528,7 +528,7 @@ let certified name prog =
         C.pp_checked ch
 
 let prop_generated_programs_certify =
-  QCheck.Test.make ~name:"generated programs certify (zero failed)" ~count:8
+  QCheck.Test.make ~name:"generated programs certify (zero failed)" ~count:(Qcount.count 8)
     (QCheck.make
        ~print:(fun (k, s, bound) ->
          Printf.sprintf "chain=%d siblings=%d bound=%d" k s bound)
@@ -539,7 +539,7 @@ let prop_generated_programs_certify =
 
 let prop_conditional_programs_certify =
   QCheck.Test.make
-    ~name:"generated conditional programs certify (zero failed)" ~count:9
+    ~name:"generated conditional programs certify (zero failed)" ~count:(Qcount.count 9)
     (QCheck.make
        ~print:(fun (mode, bound) ->
          Printf.sprintf "mode=%d bound=%d" mode bound)

@@ -526,7 +526,7 @@ let test_memintro_if_existential () =
 (* ---------------------------------------------------------------- *)
 
 let prop_nw_random_sizes =
-  QCheck.Test.make ~name:"NW pipeline correct for random (q,b)" ~count:6
+  QCheck.Test.make ~name:"NW pipeline correct for random (q,b)" ~count:(Qcount.count 6)
     (QCheck.make
        ~print:(fun (q, b) -> Printf.sprintf "q=%d b=%d" q b)
        QCheck.Gen.(pair (int_range 2 4) (int_range 2 5)))

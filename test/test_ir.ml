@@ -236,7 +236,7 @@ let test_shape_mismatch () =
 (* ---------------------------------------------------------------- *)
 
 let prop_transpose_interp =
-  QCheck.Test.make ~name:"interp transpose = ixfn permute" ~count:100
+  QCheck.Test.make ~name:"interp transpose = ixfn permute" ~count:(Qcount.count 100)
     (QCheck.make
        ~print:(fun (n, m) -> Printf.sprintf "%dx%d" n m)
        QCheck.Gen.(pair (int_range 1 6) (int_range 1 6)))
@@ -261,7 +261,7 @@ let prop_transpose_interp =
       | _ -> false)
 
 let prop_reverse_involution =
-  QCheck.Test.make ~name:"interp reverse twice = id" ~count:100
+  QCheck.Test.make ~name:"interp reverse twice = id" ~count:(Qcount.count 100)
     (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 20))
     (fun n ->
       let data = Array.init n (fun i -> float_of_int (i * 7 mod 13)) in
@@ -278,7 +278,7 @@ let prop_reverse_involution =
       | _ -> false)
 
 let prop_slice_then_update_roundtrip =
-  QCheck.Test.make ~name:"A with [s] = A[s] is identity" ~count:100
+  QCheck.Test.make ~name:"A with [s] = A[s] is identity" ~count:(Qcount.count 100)
     (QCheck.make
        ~print:(fun (n, (a, (l, k))) -> Printf.sprintf "n=%d a=%d l=%d k=%d" n a l k)
        QCheck.Gen.(

@@ -289,7 +289,7 @@ let arb_lmad_pair =
     QCheck.Gen.(pair gen_small_lmad gen_small_lmad)
 
 let prop_nonoverlap_sound =
-  QCheck.Test.make ~name:"nonoverlap sufficient (never unsound)" ~count:500
+  QCheck.Test.make ~name:"nonoverlap sufficient (never unsound)" ~count:(Qcount.count 500)
     arb_lmad_pair (fun (l1, l2) ->
       let ctx = Pr.empty in
       if Nonoverlap.disjoint ctx l1 l2 then (
@@ -301,7 +301,7 @@ let prop_nonoverlap_sound =
 
 let prop_slice_points =
   (* slicing an LMAD = selecting the corresponding subset of points *)
-  QCheck.Test.make ~name:"triplet slice = point subset" ~count:200
+  QCheck.Test.make ~name:"triplet slice = point subset" ~count:(Qcount.count 200)
     (QCheck.make
        ~print:(fun ((n, m), (a, l)) -> Printf.sprintf "n=%d m=%d a=%d l=%d" n m a l)
        QCheck.Gen.(pair (pair (int_range 1 5) (int_range 1 5))
@@ -326,7 +326,7 @@ let prop_slice_points =
 
 let prop_expand_loop_sound =
   (* aggregation over i<k = union of per-i point sets *)
-  QCheck.Test.make ~name:"loop aggregation = union of iterations" ~count:200
+  QCheck.Test.make ~name:"loop aggregation = union of iterations" ~count:(Qcount.count 200)
     (QCheck.make
        ~print:(fun (k, (s, (n, st))) ->
          Printf.sprintf "k=%d s=%d n=%d st=%d" k s n st)

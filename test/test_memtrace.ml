@@ -228,7 +228,7 @@ let verified_pipeline prog args =
   true
 
 let prop_nw_verified =
-  QCheck.Test.make ~name:"NW statically and dynamically verified" ~count:4
+  QCheck.Test.make ~name:"NW statically and dynamically verified" ~count:(Qcount.count 4)
     (QCheck.make
        ~print:(fun (q, b) -> Printf.sprintf "q=%d b=%d" q b)
        QCheck.Gen.(pair (int_range 2 3) (int_range 2 4)))
@@ -237,7 +237,7 @@ let prop_nw_verified =
 
 let prop_circuit_verified =
   QCheck.Test.make ~name:"update circuit statically and dynamically verified"
-    ~count:6
+    ~count:(Qcount.count 6)
     (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 12))
     (fun nv -> verified_pipeline (circuit_prog ()) (circuit_args nv))
 

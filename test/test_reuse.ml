@@ -395,7 +395,7 @@ let reuse_verified prog args =
 
 let prop_nw_reuse_verified =
   QCheck.Test.make ~name:"NW reuse verified (values/lint/trace/footprint)"
-    ~count:3
+    ~count:(Qcount.count 3)
     (QCheck.make
        ~print:(fun (q, b) -> Printf.sprintf "q=%d b=%d" q b)
        QCheck.Gen.(pair (int_range 2 3) (int_range 2 4)))
@@ -403,13 +403,13 @@ let prop_nw_reuse_verified =
       reuse_verified Benchsuite.Nw.prog (Benchsuite.Nw.small_args ~q ~b))
 
 let prop_chain_reuse_verified =
-  QCheck.Test.make ~name:"chain coalescing verified at random sizes" ~count:6
+  QCheck.Test.make ~name:"chain coalescing verified at random sizes" ~count:(Qcount.count 6)
     (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 12))
     (fun nv -> reuse_verified (chain_prog ()) (chain_args nv))
 
 let prop_hoist_reuse_verified =
   QCheck.Test.make ~name:"cross-scope hoisting verified at random sizes"
-    ~count:6
+    ~count:(Qcount.count 6)
     (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 12))
     (fun nv -> reuse_verified (sibling_prog ()) (chain_args nv))
 

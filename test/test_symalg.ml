@@ -180,7 +180,7 @@ let arb_poly = QCheck.make ~print:P.to_string gen_poly
 let eval_at p = P.eval (function "x" -> 3 | "y" -> -2 | "z" -> 5 | _ -> 0) p
 
 let prop_ring_laws =
-  QCheck.Test.make ~name:"ring laws under evaluation" ~count:300
+  QCheck.Test.make ~name:"ring laws under evaluation" ~count:(Qcount.count 300)
     (QCheck.pair arb_poly arb_poly)
     (fun (p, q) ->
       eval_at (P.add p q) = eval_at p + eval_at q
@@ -190,7 +190,7 @@ let prop_ring_laws =
       && P.equal (P.mul p q) (P.mul q p))
 
 let prop_div_rem =
-  QCheck.Test.make ~name:"div_rem reconstructs" ~count:300
+  QCheck.Test.make ~name:"div_rem reconstructs" ~count:(Qcount.count 300)
     (QCheck.pair arb_poly arb_poly)
     (fun (p, d) ->
       QCheck.assume (not (P.is_zero d));
@@ -198,7 +198,7 @@ let prop_div_rem =
       P.equal p (P.add (P.mul q d) r))
 
 let prop_subst_homomorphism =
-  QCheck.Test.make ~name:"substitution commutes with evaluation" ~count:300
+  QCheck.Test.make ~name:"substitution commutes with evaluation" ~count:(Qcount.count 300)
     (QCheck.pair arb_poly arb_poly)
     (fun (p, by) ->
       let env = function "x" -> 3 | "y" -> -2 | "z" -> 5 | _ -> 0 in
@@ -206,7 +206,7 @@ let prop_subst_homomorphism =
       P.eval env (P.subst "x" by p) = P.eval env' p)
 
 let prop_linear_in_reconstructs =
-  QCheck.Test.make ~name:"linear_in reconstructs" ~count:300 arb_poly
+  QCheck.Test.make ~name:"linear_in reconstructs" ~count:(Qcount.count 300) arb_poly
     (fun p ->
       match P.linear_in "x" p with
       | None -> P.degree_in "x" p > 1
