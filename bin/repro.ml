@@ -16,7 +16,19 @@
                                 with --check, gate it against the
                                 committed bench/baseline.json and exit
                                 nonzero on regression
+     repro chaos <bench|all>    seeded fault-injection campaign: inject
+                                all five fault classes into each
+                                benchmark and check the fail-safe
+                                invariants (--json writes the campaign
+                                record); exits nonzero on any violation
      repro prove-nw             show the Fig. 9 non-overlap proof
+
+   Exit-code contract (see README): 0 = clean; 1 = a gate failed, a
+   benchmark degraded through the fail-safe ladder, or a chaos
+   invariant was violated; 124/125 = cmdliner usage/internal errors.
+   `repro table all` never dies on the first fault: it aggregates
+   per-benchmark faults and names every degraded or failed benchmark
+   in a final summary line.
 *)
 
 open Cmdliner
@@ -30,6 +42,7 @@ type bench = {
     ?pack:Core.Pack.options ->
     ?pool:bool ->
     ?pool_cap:int ->
+    ?fail_safe:bool ->
     unit ->
     Benchsuite.Runner.outcome;
   prog : Ir.Ast.prog;
@@ -166,6 +179,25 @@ let json_escape s =
          | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
+(* The prover's memoization effectiveness and budget pressure, shared
+   by BENCH.json and the combined certificate document.  A nonzero
+   [budget_exhausted] means some nonnegativity queries were truncated
+   by the step/memo budget or deadline - sound (the affected rewrites
+   were skipped) but a signal the budget is too tight for the suite. *)
+let prover_json (p : Symalg.Prover.stats) =
+  let rate h m =
+    if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+  in
+  Printf.sprintf
+    "\"prover\":{\"sat_hits\":%d,\"sat_misses\":%d,\"sat_resets\":%d,\"sat_hit_rate\":%.4f,\"nonneg_hits\":%d,\"nonneg_misses\":%d,\"nonneg_resets\":%d,\"nonneg_hit_rate\":%.4f,\"budget_exhausted\":%d}"
+    p.Symalg.Prover.sat_hits p.Symalg.Prover.sat_misses
+    p.Symalg.Prover.sat_resets
+    (rate p.Symalg.Prover.sat_hits p.Symalg.Prover.sat_misses)
+    p.Symalg.Prover.nonneg_hits p.Symalg.Prover.nonneg_misses
+    p.Symalg.Prover.nonneg_resets
+    (rate p.Symalg.Prover.nonneg_hits p.Symalg.Prover.nonneg_misses)
+    p.Symalg.Prover.budget_exhausted
+
 (* One machine-readable performance record for the whole suite:
    per-benchmark modeled times and impacts per (device, dataset),
    memory footprints of the three variants, compile times, reuse-pass
@@ -259,21 +291,11 @@ let bench_json_of (outcomes : (bench * Benchsuite.Runner.outcome) list)
     Printf.sprintf "%04d-%02d-%02d" (t.Unix.tm_year + 1900)
       (t.Unix.tm_mon + 1) t.Unix.tm_mday
   in
-  let rate h m = if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m) in
   Buffer.add_string buf
     (Printf.sprintf "{\"date\":\"%s\",\"benchmarks\":[%s],"
        date
        (String.concat "," (List.map bench_obj outcomes)));
-  Buffer.add_string buf
-    (Printf.sprintf
-       "\"prover\":{\"sat_hits\":%d,\"sat_misses\":%d,\"sat_resets\":%d,\"sat_hit_rate\":%.4f,\"nonneg_hits\":%d,\"nonneg_misses\":%d,\"nonneg_resets\":%d,\"nonneg_hit_rate\":%.4f}}"
-       pstats.Symalg.Prover.sat_hits pstats.Symalg.Prover.sat_misses
-       pstats.Symalg.Prover.sat_resets
-       (rate pstats.Symalg.Prover.sat_hits pstats.Symalg.Prover.sat_misses)
-       pstats.Symalg.Prover.nonneg_hits pstats.Symalg.Prover.nonneg_misses
-       pstats.Symalg.Prover.nonneg_resets
-       (rate pstats.Symalg.Prover.nonneg_hits
-          pstats.Symalg.Prover.nonneg_misses));
+  Buffer.add_string buf (prover_json pstats ^ "}");
   Buffer.contents buf
 
 let default_bench_json_name () =
@@ -281,10 +303,12 @@ let default_bench_json_name () =
   Printf.sprintf "BENCH_%04d-%02d-%02d.json" (t.Unix.tm_year + 1900)
     (t.Unix.tm_mon + 1) t.Unix.tm_mday
 
-let run_table which options reuse pack pool pool_cap bench_json out =
+let run_table which options reuse pack pool pool_cap fail_safe budget
+    bench_json out =
+  Symalg.Prover.set_budget budget;
   Symalg.Prover.reset_stats ();
   let run b =
-    let o = b.table ~options ~reuse ~pack ~pool ?pool_cap () in
+    let o = b.table ~options ~reuse ~pack ~pool ?pool_cap ~fail_safe () in
     print_string (Benchsuite.Table.to_string o.Benchsuite.Runner.table);
     let st = o.Benchsuite.Runner.compiled.Core.Pipeline.stats in
     let rst = o.Benchsuite.Runner.compiled.Core.Pipeline.reuse_stats in
@@ -315,6 +339,13 @@ let run_table which options reuse pack pool pool_cap bench_json out =
         o.Benchsuite.Runner.compiled.Core.Pipeline.pack_dead_allocs
     end;
     pp_footprints ~verbose:options.Core.Shortcircuit.verbose o;
+    List.iter
+      (fun (r : Core.Pipeline.recovery) ->
+        Printf.printf "  RECOVERED fault in %s: %s -> fell back to %s\n"
+          r.Core.Pipeline.r_pass
+          (Core.Fault.to_string r.Core.Pipeline.r_fault)
+          r.Core.Pipeline.r_fallback)
+      o.Benchsuite.Runner.compiled.Core.Pipeline.recovery;
     (match o.Benchsuite.Runner.traffic with
     | None -> ()
     | Some t ->
@@ -344,11 +375,51 @@ let run_table which options reuse pack pool pool_cap bench_json out =
       Printf.printf "wrote %s\n" path
     end
   in
+  let degraded b (o : Benchsuite.Runner.outcome) =
+    match o.Benchsuite.Runner.compiled.Core.Pipeline.recovery with
+    | [] -> None
+    | r :: _ ->
+        Some
+          (Printf.sprintf "%s degraded (%s)" b.name
+             (Core.Fault.layer r.Core.Pipeline.r_fault))
+  in
   match which with
   | "all" ->
-      finish (List.map (fun b -> (b, run b)) benches);
-      Ok ()
-  | s -> Result.map (fun b -> finish [ (b, run b) ]) (find_bench s)
+      (* Aggregate faults across the suite instead of dying on the
+         first one: every benchmark runs, every fault is named, and
+         any degradation or failure makes the exit nonzero. *)
+      let results =
+        List.map
+          (fun b ->
+            match run b with
+            | o -> (b, Ok o)
+            | exception e ->
+                Printf.printf "bench %-14s FAILED: %s\n\n" b.name
+                  (Printexc.to_string e);
+                (b, Error (Printexc.to_string e)))
+          benches
+      in
+      let outcomes =
+        List.filter_map
+          (function b, Ok o -> Some (b, o) | _, Error _ -> None)
+          results
+      in
+      finish outcomes;
+      let faulted =
+        List.filter_map
+          (fun (b, r) ->
+            match r with
+            | Error e -> Some (Printf.sprintf "%s failed (%s)" b.name e)
+            | Ok o -> degraded b o)
+          results
+      in
+      if faulted = [] then Ok ()
+      else Error ("degraded/failed benchmarks: " ^ String.concat "; " faulted)
+  | s ->
+      Result.bind (find_bench s) (fun b ->
+          let o = run b in
+          finish [ (b, o) ];
+          match degraded b o with None -> Ok () | Some msg -> Error msg)
 
 (* ---- validate --------------------------------------------------- *)
 
@@ -553,8 +624,9 @@ let read_file path =
     Ok s
   with Sys_error e -> Error e
 
-let run_bench options reuse pack pool pool_cap check baseline tolerance out
-    current report order_check =
+let run_bench options reuse pack pool pool_cap fail_safe budget check
+    baseline tolerance out current report order_check =
+  Symalg.Prover.set_budget budget;
   let obtain_current () =
     match current with
     | Some path -> read_file path
@@ -564,7 +636,7 @@ let run_bench options reuse pack pool pool_cap check baseline tolerance out
           List.map
             (fun b ->
               Printf.printf "bench %-14s running...\n%!" b.name;
-              (b, b.table ~options ~reuse ~pack ~pool ?pool_cap ()))
+              (b, b.table ~options ~reuse ~pack ~pool ?pool_cap ~fail_safe ()))
             benches
         in
         let json = bench_json_of outcomes (Symalg.Prover.stats ()) in
@@ -686,20 +758,8 @@ let cert_json_of name (certs : (string * Core.Certify.report) list) =
    memoized satisfiability/nonnegativity queries, so a cache collapse
    shows up here first. *)
 let cert_doc_of (docs : string list) =
-  let pstats = Symalg.Prover.stats () in
-  let rate h m =
-    if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
-  in
-  Printf.sprintf
-    "{\"benchmarks\":[%s],\"prover\":{\"sat_hits\":%d,\"sat_misses\":%d,\"sat_resets\":%d,\"sat_hit_rate\":%.4f,\"nonneg_hits\":%d,\"nonneg_misses\":%d,\"nonneg_resets\":%d,\"nonneg_hit_rate\":%.4f}}"
-    (String.concat "," docs)
-    pstats.Symalg.Prover.sat_hits pstats.Symalg.Prover.sat_misses
-    pstats.Symalg.Prover.sat_resets
-    (rate pstats.Symalg.Prover.sat_hits pstats.Symalg.Prover.sat_misses)
-    pstats.Symalg.Prover.nonneg_hits pstats.Symalg.Prover.nonneg_misses
-    pstats.Symalg.Prover.nonneg_resets
-    (rate pstats.Symalg.Prover.nonneg_hits
-       pstats.Symalg.Prover.nonneg_misses)
+  Printf.sprintf "{\"benchmarks\":[%s],%s}" (String.concat "," docs)
+    (prover_json (Symalg.Prover.stats ()))
 
 let run_certify which options reuse pack verbose_reports json out check
     baseline current report_path =
@@ -830,6 +890,45 @@ let run_certify which options reuse pack verbose_reports json out check
                        Printf.eprintf "%-14s wrote %s\n" b.name path)
                      bs docs);
             Ok ()))
+
+(* ---- chaos ------------------------------------------------------- *)
+
+(* The seeded fault-injection campaign (Benchsuite.Chaosdrive): inject
+   every fault class of the taxonomy into each selected benchmark and
+   check the three fail-safe invariants - no crash, bit-equal results,
+   every degraded run blames its fault and names its fallback.  Any
+   violation exits nonzero; --json writes the campaign record CI
+   archives. *)
+
+let run_chaos which seed rounds json out =
+  let selected =
+    match which with
+    | "all" -> Ok benches
+    | s -> Result.map (fun b -> [ b ]) (find_bench s)
+  in
+  Result.bind selected (fun bs ->
+      let targets =
+        List.map (fun b -> (b.name, b.prog, Lazy.force b.small_args)) bs
+      in
+      let c = Benchsuite.Chaosdrive.run ~seed ~rounds targets in
+      (* keep stdout pure JSON when the record goes there *)
+      let human = if json && out = None then prerr_string else print_string in
+      human (Benchsuite.Chaosdrive.report c);
+      (if json then
+         match out with
+         | None -> print_string (Benchsuite.Chaosdrive.json c)
+         | Some dir ->
+             if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+             let path = Filename.concat dir "campaign.json" in
+             let oc = open_out path in
+             output_string oc (Benchsuite.Chaosdrive.json c);
+             close_out oc;
+             Printf.printf "wrote %s\n" path);
+      if Benchsuite.Chaosdrive.ok c then Ok ()
+      else
+        Error
+          (Printf.sprintf "chaos campaign: %d invariant violation(s)"
+             (List.length (Benchsuite.Chaosdrive.violations c))))
 
 (* ---- prove-nw ---------------------------------------------------- *)
 
@@ -1001,6 +1100,63 @@ let pool_cap_term =
            cache evictions forced by the cap are priced as \
            synchronizing device frees.  Live memory is never refused.")
 
+(* The degradation ladder is on by default for table/bench runs: a
+   crashing pass, lint error, or refuted certificate degrades the
+   affected variant (recorded in the recovery report, nonzero exit)
+   instead of aborting the whole run.  [--no-fail-safe] restores
+   fail-fast aborts for debugging a fault at its source. *)
+let fail_safe_term =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "fail-safe" ]
+              ~doc:
+                "Contain pass crashes, lint errors, and refuted \
+                 certificates by degrading to the last good pipeline \
+                 variant (the default)." );
+          ( false,
+            info [ "no-fail-safe" ]
+              ~doc:
+                "Abort on the first pipeline fault instead of degrading \
+                 (fail-fast debugging)." );
+        ])
+
+(* [--prover-budget N] bounds the symbolic prover's work per public
+   query; exhausted queries return Undecided, so the affected rewrite
+   is skipped - never an abort.  Exhaustion counts land in the stats
+   and in BENCH.json's prover object. *)
+let prover_budget_term =
+  let steps =
+    Arg.(
+      value
+      & opt int (-1)
+      & info [ "prover-budget" ] ~docv:"STEPS"
+          ~doc:
+            "Bound the prover's nonnegativity eliminations per query at \
+             $(docv) (-1 = unlimited, 0 = every obligation Undecided).  \
+             Exhaustion soundly skips the rewrite and is counted in the \
+             prover stats.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "prover-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock deadline per prover query (0 = none); expiring \
+             counts as budget exhaustion.")
+  in
+  Term.(
+    const (fun s d ->
+        {
+          Symalg.Prover.unlimited with
+          Symalg.Prover.b_steps = s;
+          Symalg.Prover.b_deadline = d;
+        })
+    $ steps $ deadline)
+
 let table_cmd =
   let bench_json =
     Arg.(
@@ -1022,10 +1178,11 @@ let table_cmd =
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table (1-7 or name or all)")
     Term.(
-      const (fun w o r pk p pc bj out ->
-          to_exit (run_table w o r pk p pc bj out))
+      const (fun w o r pk p pc fs pb bj out ->
+          to_exit (run_table w o r pk p pc fs pb bj out))
       $ bench_arg $ options_term $ reuse_term $ pack_term $ pool_term
-      $ pool_cap_term $ bench_json $ out)
+      $ pool_cap_term $ fail_safe_term $ prover_budget_term $ bench_json
+      $ out)
 
 let validate_cmd =
   Cmd.v
@@ -1173,10 +1330,11 @@ let bench_cmd =
          "Emit the machine-readable performance record and optionally gate \
           it against a committed baseline")
     Term.(
-      const (fun o r pk p pc c b t out cur rep oc ->
-          to_exit (run_bench o r pk p pc c b t out cur rep oc))
+      const (fun o r pk p pc fs pb c b t out cur rep oc ->
+          to_exit (run_bench o r pk p pc fs pb c b t out cur rep oc))
       $ options_term $ reuse_term $ pack_term $ pool_term $ pool_cap_term
-      $ check $ baseline $ tolerance $ out $ current $ report $ order_check)
+      $ fail_safe_term $ prover_budget_term $ check $ baseline $ tolerance
+      $ out $ current $ report $ order_check)
 
 let certify_cmd =
   let reports =
@@ -1245,6 +1403,49 @@ let certify_cmd =
       $ bench_arg $ options_term $ reuse_term $ pack_term $ reports $ json
       $ out $ check $ baseline $ current $ report)
 
+let chaos_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "PRNG seed for the injection sites; the campaign is \
+             reproducible from its seed.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:
+            "Repeat the per-benchmark injection draws $(docv) times for \
+             wider site coverage.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the campaign record as JSON (the CI artifact).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--json): write campaign.json into $(docv) instead \
+             of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded fault-injection campaign: inject prover exhaustion, pass \
+          crashes, forged certificates, device OOM, and pool-cap pressure \
+          into each benchmark; exit nonzero unless every run stays \
+          crash-free, bit-equal to the reference, and blames its fault")
+    Term.(
+      const (fun w s r j o -> to_exit (run_chaos w s r j o))
+      $ bench_arg $ seed $ rounds $ json $ out)
+
 let prove_cmd =
   Cmd.v (Cmd.info "prove-nw" ~doc:"Discharge the Fig. 9 proof obligation")
     Term.(const (fun () -> to_exit (run_prove_nw ())) $ const ())
@@ -1256,5 +1457,5 @@ let () =
        (Cmd.group (Cmd.info "repro" ~doc)
           [
             table_cmd; validate_cmd; lint_cmd; trace_cmd; dump_cmd; bench_cmd;
-            certify_cmd; prove_cmd;
+            certify_cmd; chaos_cmd; prove_cmd;
           ]))

@@ -210,8 +210,8 @@ let datasets () =
       })
     [ ("short", 10); ("long", 300) ]
 
-let table ?options ?reuse ?pack ?pool ?pool_cap () : Runner.outcome =
-  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap ~trace_args:(args ~n:8 ~steps:3 ~shell:false)
+let table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe () : Runner.outcome =
+  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe ~trace_args:(args ~n:8 ~steps:3 ~shell:false)
     ~title:"Table IV: LBM performance" ~runs:100 ~prog
     ~datasets:(datasets ()) ~paper ()
 

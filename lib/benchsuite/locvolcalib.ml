@@ -218,8 +218,8 @@ let datasets () =
       ("large", 65536, 256, 64);
     ]
 
-let table ?options ?reuse ?pack ?pool ?pool_cap () : Runner.outcome =
-  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap ~trace_args:(args ~numo:6 ~numx:12 ~numt:4)
+let table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe () : Runner.outcome =
+  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe ~trace_args:(args ~numo:6 ~numx:12 ~numt:4)
     ~title:"Table VI: LocVolCalib performance" ~runs:10 ~prog
     ~datasets:(datasets ()) ~paper ()
 

@@ -419,8 +419,8 @@ let datasets () =
       })
     [ 8192; 16384; 32768 ]
 
-let table ?options ?reuse ?pack ?pool ?pool_cap () : Runner.outcome =
-  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap ~trace_args:(args ~q:3 ~b:4 ~shell:false)
+let table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe () : Runner.outcome =
+  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe ~trace_args:(args ~q:3 ~b:4 ~shell:false)
     ~title:"Table II: LUD performance" ~runs:10 ~prog
     ~datasets:(datasets ()) ~paper ()
 

@@ -163,8 +163,8 @@ let datasets () =
       })
     [ 855280; 8552800; 85528000 ]
 
-let table ?options ?reuse ?pack ?pool ?pool_cap () : Runner.outcome =
-  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap
+let table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe () : Runner.outcome =
+  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe
     ~trace_args:(args ~nrec:100 ~nbatch:4 ~bsz:8 ~shell:false)
     ~title:"Table VII: NN performance" ~runs:100 ~prog
     ~datasets:(datasets ()) ~paper ()

@@ -291,8 +291,8 @@ let datasets () =
       })
     [ 8192; 16384; 32768 ]
 
-let table ?options ?reuse ?pack ?pool ?pool_cap () : Runner.outcome =
-  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap
+let table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe () : Runner.outcome =
+  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe
     ~trace_args:(args ~q:3 ~b:4 ~penalty:10.0 ~shell:false)
     ~title:"Table I: NW performance" ~runs:1000 ~prog
     ~datasets:(datasets ()) ~paper ()

@@ -173,8 +173,8 @@ let datasets () =
       })
     [ ("medium", 65536, 252); ("large", 1048576, 252) ]
 
-let table ?options ?reuse ?pack ?pool ?pool_cap () : Runner.outcome =
-  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap ~trace_args:(args ~npaths:64 ~nsteps:16)
+let table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe () : Runner.outcome =
+  Runner.run_table ?options ?reuse ?pack ?pool ?pool_cap ?fail_safe ~trace_args:(args ~npaths:64 ~nsteps:16)
     ~title:"Table V: OptionPricing performance" ~runs:1000
     ~prog ~datasets:(datasets ()) ~paper ()
 

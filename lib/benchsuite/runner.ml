@@ -116,14 +116,18 @@ let traffic_comparison (compiled : Core.Pipeline.compiled)
     check = Core.Memtrace.check t;
   }
 
-let run_table ?options ?reuse ?pack ?(pool = true) ?pool_cap ?trace_args
-    ~title ~runs ~(prog : Ir.Ast.prog) ~(datasets : dataset list)
+let run_table ?options ?reuse ?pack ?(pool = true) ?pool_cap
+    ?(fail_safe = true) ?trace_args ~title ~runs ~(prog : Ir.Ast.prog)
+    ~(datasets : dataset list)
     ~(paper : (string * string * (float * float * float * float)) list) () :
     outcome =
   (* Every table run certifies: the checked per-pass certificates ride
-     along in [compiled.certs] for the bench JSON record. *)
+     along in [compiled.certs] for the bench JSON record.  Table runs
+     compile fail-safe by default: a crashing or refuted pass degrades
+     the affected variant instead of aborting the table, with the
+     contained faults reported in [compiled.recovery]. *)
   let compiled =
-    Core.Pipeline.compile ?options ?reuse ?pack ~certify:true prog
+    Core.Pipeline.compile ?options ?reuse ?pack ~certify:true ~fail_safe prog
   in
   let paper = paper_tbl paper in
   (* counters are device-independent: execute once per dataset *)

@@ -308,7 +308,10 @@ let resolve scal p = try P.subst_fixpoint scal p with Failure _ -> p
 let resolve_lmad scal l = try Lmad.subst_fixpoint scal l with Failure _ -> l
 
 let memory_lmad ixfn =
-  match List.rev (Ixfn.chain ixfn) with l :: _ -> l | [] -> assert false
+  match List.rev (Ixfn.chain ixfn) with
+  | l :: _ -> l
+  | [] ->
+      Fault.internal ~where:"Certify.memory_lmad" "empty index-function chain"
 
 (* Every pattern element of the program, including loop-carried
    parameters (which the short-circuiting pass rebases too). *)

@@ -1,0 +1,51 @@
+(* Compile-side fault injection: armed global state consulted by the
+   per-statement probes in Shortcircuit/Reuse/Pack and by the pipeline
+   when it checks certificates.  See the interface for the protocol. *)
+
+exception Injected of string
+
+type armed =
+  | Idle
+  | Count
+  | Crash of { pass : string; at : int; mutable hits : int }
+  | Forge of string
+
+let state = ref Idle
+let counts : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let arm_crash ~pass ~at = state := Crash { pass; at; hits = 0 }
+
+let arm_count () =
+  Hashtbl.reset counts;
+  state := Count
+
+let arm_forge ~pass = state := Forge pass
+
+let disarm () =
+  Hashtbl.reset counts;
+  state := Idle
+
+let probe pass =
+  match !state with
+  | Idle | Forge _ -> ()
+  | Count ->
+      Hashtbl.replace counts pass
+        (1 + Option.value (Hashtbl.find_opt counts pass) ~default:0)
+  | Crash c ->
+      if c.pass = pass then begin
+        c.hits <- c.hits + 1;
+        if c.hits = c.at then raise (Injected pass)
+      end
+
+let counted pass = Option.value (Hashtbl.find_opt counts pass) ~default:0
+let forging pass = match !state with Forge p -> p = pass | _ -> false
+
+(* The forged obligation claims 1 >= 2 for a fictitious coalescing;
+   [Certify.check_size_ge] cannot prove it, and its concretization
+   evaluates both constants and refutes the claim with a witness at
+   the first admissible seed - a Failed verdict, never a shrug. *)
+let forge r =
+  Certify.emit r
+    (Certify.Coalesce { earlier = "chaos!earlier"; later = "chaos!later" })
+    (Certify.Size_ge
+       { larger = Symalg.Poly.const 1; smaller = Symalg.Poly.const 2 })

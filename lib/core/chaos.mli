@@ -1,0 +1,52 @@
+(** Fault-injection primitives for the chaos harness.
+
+    The fail-safe pipeline ({!Pipeline.compile}[ ~fail_safe:true])
+    claims that a crashing pass, a refuted certificate, or an
+    exhausted prover degrades the compile to the last good variant
+    instead of aborting it.  This module provides the compile-side
+    injections that prove the claim: the optimization passes call
+    {!probe} once per statement they visit, and an {e armed} injection
+    turns the k-th probe of a chosen pass into a raised
+    {!exception-Injected} - a plain exception, deliberately {e not} a
+    {!Fault.Fault}, because it simulates an unexpected pass bug.
+    {!arm_forge} instead corrupts a pass's certificate with an
+    unjustifiable obligation, which the independent checker must
+    refute.  Executor-side injections (device OOM at allocation k,
+    strict pool caps) live in {!Gpu.Exec} itself; the seeded campaign
+    driving all five fault classes over the benchmark suite is
+    {!Benchsuite.Chaosdrive}, surfaced as [repro chaos].
+
+    The armed state is global (mirroring the prover's memo tables);
+    arm, run one compile, then {!disarm}. *)
+
+exception Injected of string
+(** The simulated pass bug; the payload is the pass name. *)
+
+val arm_crash : pass:string -> at:int -> unit
+(** Raise {!exception-Injected} at the [at]-th (1-based) {!probe} of
+    [pass]. *)
+
+val arm_count : unit -> unit
+(** Count probes per pass instead of firing; read with {!counted}. *)
+
+val arm_forge : pass:string -> unit
+(** Make the pipeline append a deliberately false obligation to
+    [pass]'s certificate before checking it (a forged certificate). *)
+
+val disarm : unit -> unit
+(** Return to the idle state and clear the probe counts. *)
+
+val probe : string -> unit
+(** Called by the optimization passes once per statement visited,
+    with their pass name.  No-op unless an injection is armed. *)
+
+val counted : string -> int
+(** Probes observed for a pass since {!arm_count}. *)
+
+val forging : string -> bool
+(** Is a forge armed for this pass?  (Consulted by the pipeline.) *)
+
+val forge : Certify.recorder -> unit
+(** Append an unjustifiable obligation (a [Size_ge] claiming
+    [1 >= 2]) to the recorder; the checker refutes it with a concrete
+    witness. *)

@@ -198,7 +198,10 @@ let sliced_ixfn ctx (slc : slice) (ixfn : Ixfn.t) : Ixfn.t option =
 (* The LMAD adjacent to memory: for a chain, the footprint is a subset
    of the last link's point set, so bounding it is sound. *)
 let memory_lmad ixfn =
-  match List.rev (Ixfn.chain ixfn) with l :: _ -> l | [] -> assert false
+  match List.rev (Ixfn.chain ixfn) with
+  | l :: _ -> l
+  | [] ->
+      Fault.internal ~where:"Memlint.memory_lmad" "empty index-function chain"
 
 (* ---------------------------------------------------------------- *)
 (* Per-annotation checks                                             *)

@@ -986,6 +986,7 @@ let rec walk ?(pack_here = true) st opts cert ctx scalars mems (b : block) :
   let stms =
     List.map
       (fun s ->
+        Chaos.probe "pack";
         let exp =
           match s.exp with
           | ELoop ({ var; bound; body; params } as lp) ->

@@ -14,6 +14,10 @@
 
 open Ir.Ast
 
+(* One contained fault: what failed, who is blamed, and the variant
+   the compile fell back to (see docs/ROBUSTNESS.md). *)
+type recovery = { r_fault : Fault.t; r_pass : string; r_fallback : string }
+
 type compiled = {
   source : prog; (* pristine, memory-agnostic *)
   unopt : prog; (* memory-introduced + hoisted *)
@@ -38,6 +42,11 @@ type compiled = {
          shortcircuit, cleanup, reuse, cleanup-reuse, pack,
          cleanup-pack), in pass order; empty unless compiled with
          ~certify:true *)
+  recovery : recovery list;
+      (* contained faults, in containment order; empty unless compiled
+         with ~fail_safe:true (or nothing failed) *)
+  prover_exhausted : int;
+      (* prover queries truncated by the budget during this compile *)
 }
 
 let timed f =
@@ -54,7 +63,8 @@ let to_memory_ir (p : prog) : prog =
 
 let compile ?(options = Shortcircuit.default_options)
     ?(reuse = Reuse.default_options) ?(pack = Pack.default_options)
-    ?(rounds = 2) ?(lint = false) ?(certify = false) (p : prog) : compiled =
+    ?(rounds = 2) ?(lint = false) ?(certify = false) ?(fail_safe = false)
+    (p : prog) : compiled =
   (* With ~lint:true the memory linter runs after every pass of the
      optimized build; the first stage whose report errors is the pass
      that introduced the violation (earlier stages were clean). *)
@@ -70,101 +80,212 @@ let compile ?(options = Shortcircuit.default_options)
   let recorder pass = if certify then Some (Certify.recorder ~pass) else None in
   let check_cert pass cert ~pre ~post =
     match cert with
-    | None -> ()
+    | None -> None
     | Some r ->
-        let report =
-          Certify.check ~pass ~pre ~post (Certify.obligations r)
-        in
-        certs := (pass, report) :: !certs
+        if Chaos.forging pass then Chaos.forge r;
+        let report = Certify.check ~pass ~pre ~post (Certify.obligations r) in
+        certs := (pass, report) :: !certs;
+        Some report
+  in
+  (* The degradation ladder (~fail_safe:true).  Each variant beyond
+     [unopt] is built as one containment unit running on a private
+     clone of the previous rung: a crashing pass, an erroring lint
+     report, or a refuted certificate discards the unit's output,
+     records the fault and the rung fallen back to, and the compile
+     continues - pack -> reuse -> opt -> unopt, so every variant in
+     [compiled] is populated even when its pass failed. *)
+  let recov = ref [] in
+  let prover0 = (Symalg.Prover.stats ()).budget_exhausted in
+  let crash_guard pass f =
+    if not fail_safe then f ()
+    else
+      try f () with
+      | Fault.Fault _ as e -> raise e
+      | e -> Fault.fail (Fault.Pass_crash { pass; exn = Printexc.to_string e })
+  in
+  let contain ~fb_name ~fallback f =
+    if not fail_safe then f ()
+    else
+      try f ()
+      with Fault.Fault fl ->
+        recov :=
+          { r_fault = fl; r_pass = Fault.blame fl; r_fallback = fb_name }
+          :: !recov;
+        fallback ()
+  in
+  let lint_guard pass =
+    if fail_safe && lint then
+      match !reports with
+      | (stage, r) :: _ when stage = pass -> (
+          match Memlint.errors r with
+          | v :: _ ->
+              Fault.fail
+                (Fault.Lint_reject
+                   { pass; violation = Fmt.str "%a" Memlint.pp_violation v })
+          | [] -> ())
+      | _ -> ()
+  in
+  let cert_guard pass = function
+    | Some report when fail_safe -> (
+        match Certify.failures report with
+        | c :: _ ->
+            Fault.fail
+              (Fault.Cert_refuted
+                 { pass; obligation = Fmt.str "%a" Certify.pp_checked c })
+        | [] -> ())
+    | _ -> ()
   in
   let unopt, time_base = timed (fun () -> to_memory_ir p) in
   let opt_base =
-    let q0 = Ir.Clone.clone_prog p in
-    let mi_cert = recorder "memintro" in
-    let mi_pre = if certify then Some (Ir.Clone.clone_prog q0) else None in
-    let q = Memintro.introduce ?cert:mi_cert q0 in
-    lint_after "memintro" q;
-    (match mi_pre with
-    | Some pre -> check_cert "memintro" mi_cert ~pre ~post:q
-    | None -> ());
-    let h_cert = recorder "hoist" in
-    let h_pre = if certify then Some (Ir.Clone.clone_prog q) else None in
-    let q = Hoist.hoist ?cert:h_cert q in
-    lint_after "hoist" q;
-    (match h_pre with
-    | Some pre -> check_cert "hoist" h_cert ~pre ~post:q
-    | None -> ());
-    ignore (Lastuse.annotate q);
-    lint_after "lastuse" q;
-    q
+    contain ~fb_name:"unopt"
+      ~fallback:(fun () -> Ir.Clone.clone_prog unopt)
+      (fun () ->
+        let q0 = Ir.Clone.clone_prog p in
+        let mi_cert = recorder "memintro" in
+        let mi_pre = if certify then Some (Ir.Clone.clone_prog q0) else None in
+        let q =
+          crash_guard "memintro" (fun () -> Memintro.introduce ?cert:mi_cert q0)
+        in
+        lint_after "memintro" q;
+        lint_guard "memintro";
+        (match mi_pre with
+        | Some pre ->
+            cert_guard "memintro" (check_cert "memintro" mi_cert ~pre ~post:q)
+        | None -> ());
+        let h_cert = recorder "hoist" in
+        let h_pre = if certify then Some (Ir.Clone.clone_prog q) else None in
+        let q = crash_guard "hoist" (fun () -> Hoist.hoist ?cert:h_cert q) in
+        lint_after "hoist" q;
+        lint_guard "hoist";
+        (match h_pre with
+        | Some pre -> cert_guard "hoist" (check_cert "hoist" h_cert ~pre ~post:q)
+        | None -> ());
+        ignore (Lastuse.annotate q);
+        lint_after "lastuse" q;
+        lint_guard "lastuse";
+        q)
   in
-  let sc_cert = recorder "shortcircuit" in
-  let sc_pre =
-    if certify then Some (Ir.Clone.clone_prog opt_base) else None
+  let time_sc = ref 0. and time_reuse = ref 0. and time_pack = ref 0. in
+  (* second variant: short-circuiting plus a cleanup round removing the
+     allocations it orphaned *)
+  let opt, stats, dead_allocs =
+    contain ~fb_name:"unopt"
+      ~fallback:(fun () ->
+        (Ir.Clone.clone_prog opt_base, Shortcircuit.fresh_stats (), 0))
+      (fun () ->
+        let q = if fail_safe then Ir.Clone.clone_prog opt_base else opt_base in
+        let sc_cert = recorder "shortcircuit" in
+        let sc_pre = if certify then Some (Ir.Clone.clone_prog q) else None in
+        let (q, st), dt =
+          timed (fun () ->
+              crash_guard "shortcircuit" (fun () ->
+                  Shortcircuit.optimize ~options ~rounds ?cert:sc_cert q))
+        in
+        time_sc := dt;
+        lint_after "shortcircuit" q;
+        lint_guard "shortcircuit";
+        (match sc_pre with
+        | Some pre ->
+            cert_guard "shortcircuit"
+              (check_cert "shortcircuit" sc_cert ~pre ~post:q)
+        | None -> ());
+        let cl_cert = recorder "cleanup" in
+        let cl_pre = if certify then Some (Ir.Clone.clone_prog q) else None in
+        let q, n =
+          crash_guard "cleanup" (fun () -> Cleanup.run ?cert:cl_cert q)
+        in
+        lint_after "cleanup" q;
+        lint_guard "cleanup";
+        (match cl_pre with
+        | Some pre ->
+            cert_guard "cleanup" (check_cert "cleanup" cl_cert ~pre ~post:q)
+        | None -> ());
+        (q, st, n))
   in
-  let (opt, stats), time_sc =
-    timed (fun () -> Shortcircuit.optimize ~options ~rounds ?cert:sc_cert opt_base)
-  in
-  lint_after "shortcircuit" opt;
-  (match sc_pre with
-  | Some pre -> check_cert "shortcircuit" sc_cert ~pre ~post:opt
-  | None -> ());
-  let cl_cert = recorder "cleanup" in
-  let cl_pre = if certify then Some (Ir.Clone.clone_prog opt) else None in
-  let opt, dead_allocs = Cleanup.run ?cert:cl_cert opt in
-  lint_after "cleanup" opt;
-  (match cl_pre with
-  | Some pre -> check_cert "cleanup" cl_cert ~pre ~post:opt
-  | None -> ());
   (* third variant: memory-block reuse on a private clone of the
      short-circuited program, followed by a liveness refresh and a
-     cleanup round to collect the allocations the pass orphaned *)
-  let re_cert = recorder "reuse" in
-  let re_pre = ref None in
-  let (reuse_p, reuse_stats), time_reuse =
-    timed (fun () ->
-        let q = Ir.Clone.clone_prog opt in
-        if certify then re_pre := Some (Ir.Clone.clone_prog q);
-        let q, rst = Reuse.optimize ~options:reuse ?cert:re_cert q in
-        ignore (Lastuse.annotate q);
-        (q, rst))
-  in
-  (match !re_pre with
-  | Some pre -> check_cert "reuse" re_cert ~pre ~post:reuse_p
-  | None -> ());
-  (* the second cleanup round gets its own pass name so the two rounds
+     cleanup round to collect the allocations the pass orphaned; the
+     second cleanup round gets its own pass name so the two rounds
      stay distinguishable in reports and the certificate baseline *)
-  let clr_cert = recorder "cleanup-reuse" in
-  let clr_pre = if certify then Some (Ir.Clone.clone_prog reuse_p) else None in
-  let reuse_p, reuse_dead_allocs = Cleanup.run ?cert:clr_cert reuse_p in
-  lint_after "reuse" reuse_p;
-  (match clr_pre with
-  | Some pre -> check_cert "cleanup-reuse" clr_cert ~pre ~post:reuse_p
-  | None -> ());
+  let reuse_p, reuse_stats, reuse_dead_allocs =
+    contain ~fb_name:"opt"
+      ~fallback:(fun () -> (Ir.Clone.clone_prog opt, Reuse.fresh_stats (), 0))
+      (fun () ->
+        let q = Ir.Clone.clone_prog opt in
+        let re_cert = recorder "reuse" in
+        let re_pre = if certify then Some (Ir.Clone.clone_prog q) else None in
+        let (q, rst), dt =
+          timed (fun () ->
+              crash_guard "reuse" (fun () ->
+                  let q, rst = Reuse.optimize ~options:reuse ?cert:re_cert q in
+                  ignore (Lastuse.annotate q);
+                  (q, rst)))
+        in
+        time_reuse := dt;
+        (match re_pre with
+        | Some pre -> cert_guard "reuse" (check_cert "reuse" re_cert ~pre ~post:q)
+        | None -> ());
+        let clr_cert = recorder "cleanup-reuse" in
+        let clr_pre = if certify then Some (Ir.Clone.clone_prog q) else None in
+        let q, n =
+          crash_guard "cleanup-reuse" (fun () -> Cleanup.run ?cert:clr_cert q)
+        in
+        lint_after "reuse" q;
+        lint_guard "reuse";
+        (match clr_pre with
+        | Some pre ->
+            cert_guard "cleanup-reuse"
+              (check_cert "cleanup-reuse" clr_cert ~pre ~post:q)
+        | None -> ());
+        (q, rst, n))
+  in
   (* fourth variant: offset-based packing of the blocks surviving
      reuse, on a private clone, again followed by a liveness refresh
      and a cleanup round collecting the member allocations the arenas
      absorbed *)
-  let pk_cert = recorder "pack" in
-  let pk_pre = ref None in
-  let (pack_p, pack_stats), time_pack =
-    timed (fun () ->
+  let pack_p, pack_stats, pack_dead_allocs =
+    contain ~fb_name:"reuse"
+      ~fallback:(fun () -> (Ir.Clone.clone_prog reuse_p, Pack.fresh_stats (), 0))
+      (fun () ->
         let q = Ir.Clone.clone_prog reuse_p in
-        if certify then pk_pre := Some (Ir.Clone.clone_prog q);
-        let q, pst = Pack.optimize ~options:pack ?cert:pk_cert q in
-        ignore (Lastuse.annotate q);
-        (q, pst))
+        let pk_cert = recorder "pack" in
+        let pk_pre = if certify then Some (Ir.Clone.clone_prog q) else None in
+        let (q, pst), dt =
+          timed (fun () ->
+              crash_guard "pack" (fun () ->
+                  let q, pst = Pack.optimize ~options:pack ?cert:pk_cert q in
+                  ignore (Lastuse.annotate q);
+                  (q, pst)))
+        in
+        time_pack := dt;
+        (match pk_pre with
+        | Some pre -> cert_guard "pack" (check_cert "pack" pk_cert ~pre ~post:q)
+        | None -> ());
+        let clp_cert = recorder "cleanup-pack" in
+        let clp_pre = if certify then Some (Ir.Clone.clone_prog q) else None in
+        let q, n =
+          crash_guard "cleanup-pack" (fun () -> Cleanup.run ?cert:clp_cert q)
+        in
+        lint_after "pack" q;
+        lint_guard "pack";
+        (match clp_pre with
+        | Some pre ->
+            cert_guard "cleanup-pack"
+              (check_cert "cleanup-pack" clp_cert ~pre ~post:q)
+        | None -> ());
+        (q, pst, n))
   in
-  (match !pk_pre with
-  | Some pre -> check_cert "pack" pk_cert ~pre ~post:pack_p
-  | None -> ());
-  let clp_cert = recorder "cleanup-pack" in
-  let clp_pre = if certify then Some (Ir.Clone.clone_prog pack_p) else None in
-  let pack_p, pack_dead_allocs = Cleanup.run ?cert:clp_cert pack_p in
-  lint_after "pack" pack_p;
-  (match clp_pre with
-  | Some pre -> check_cert "cleanup-pack" clp_cert ~pre ~post:pack_p
-  | None -> ());
+  let prover_exhausted =
+    (Symalg.Prover.stats ()).budget_exhausted - prover0
+  in
+  if fail_safe && prover_exhausted > 0 then
+    recov :=
+      {
+        r_fault = Fault.Prover_budget { exhausted = prover_exhausted };
+        r_pass = "prover";
+        r_fallback = "skipped rewrites";
+      }
+      :: !recov;
   {
     source = p;
     unopt;
@@ -178,11 +299,13 @@ let compile ?(options = Shortcircuit.default_options)
     reuse_dead_allocs;
     pack_dead_allocs;
     time_base;
-    time_sc;
-    time_reuse;
-    time_pack;
+    time_sc = !time_sc;
+    time_reuse = !time_reuse;
+    time_pack = !time_pack;
     lint = List.rev !reports;
     certs = List.rev !certs;
+    recovery = List.rev !recov;
+    prover_exhausted;
   }
 
 (* The first stage whose lint report errors: the pass that introduced

@@ -2,6 +2,17 @@
     allocation hoisting, last-use analysis, array short-circuiting
     (section V), and dead-allocation cleanup. *)
 
+type recovery = {
+  r_fault : Fault.t;  (** the contained fault *)
+  r_pass : string;  (** the blamed pass or layer ({!Fault.blame}) *)
+  r_fallback : string;
+      (** the ladder rung fallen back to:
+          ["unopt" | "opt" | "reuse" | "skipped rewrites"] *)
+}
+(** One contained fault from a fail-safe compile: a crashing pass, an
+    erroring lint report, a refuted certificate, or an exhausted prover
+    budget, together with the variant the compile degraded to. *)
+
 type compiled = {
   source : Ir.Ast.prog;  (** pristine, memory-agnostic *)
   unopt : Ir.Ast.prog;  (** memory-introduced + hoisted *)
@@ -37,6 +48,13 @@ type compiled = {
           [cleanup-reuse], [pack], [cleanup-pack] - the cleanup rounds
           after reuse and packing), in pass order; empty unless
           compiled with [~certify:true] *)
+  recovery : recovery list;
+      (** contained faults in containment order; only ever non-empty
+          when compiled with [~fail_safe:true] *)
+  prover_exhausted : int;
+      (** prover queries truncated by the {!Symalg.Prover.budget}
+          during this compile (exhaustion is sound: the affected
+          rewrites were skipped) *)
 }
 
 val to_memory_ir : Ir.Ast.prog -> Ir.Ast.prog
@@ -50,6 +68,7 @@ val compile :
   ?rounds:int ->
   ?lint:bool ->
   ?certify:bool ->
+  ?fail_safe:bool ->
   Ir.Ast.prog ->
   compiled
 (** Produce all four configurations from a source program (which is
@@ -67,7 +86,17 @@ val compile :
     which {!Certify.check} re-derives against a snapshot of the pass's
     own input and its (pre-cleanup) output; the checked certificates
     land in {!compiled.certs}, so a failed obligation names the pass
-    and rewrite that introduced it. *)
+    and rewrite that introduced it.
+
+    With [~fail_safe:true] the compile runs the {e degradation ladder}:
+    each variant beyond [unopt] is built on a private clone of the
+    previous rung, and a crashing pass, an erroring lint report (when
+    linting), or a refuted certificate (when certifying) discards that
+    unit's output and falls back - pack -> reuse -> opt -> unopt -
+    recording the fault and fallback in {!compiled.recovery} instead
+    of aborting the compile.  Prover-budget exhaustion (a skipped
+    rewrite, never an abort) is likewise summarized as a
+    {!Fault.Prover_budget} recovery entry. *)
 
 val first_lint_error :
   (string * Memlint.report) list -> (string * Memlint.violation) option

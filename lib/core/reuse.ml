@@ -130,7 +130,9 @@ let resolve_lmad scalars l =
 (* The LMAD adjacent to memory: a chain's footprint is a subset of the
    last link's point set (same convention as Memlint). *)
 let memory_lmad ixfn =
-  match List.rev (Ixfn.chain ixfn) with l :: _ -> l | [] -> assert false
+  match List.rev (Ixfn.chain ixfn) with
+  | l :: _ -> l
+  | [] -> Fault.internal ~where:"Reuse.memory_lmad" "empty index-function chain"
 
 let atom_poly = function
   | Int c -> Some (P.const c)
@@ -745,7 +747,9 @@ let try_rotate (st : stats) opts cert ctx scalars ~alloc_sizes ~tail_refs
               let elt, shape =
                 match pa.pt with
                 | TArr (elt, shape) -> (elt, shape)
-                | _ -> assert false
+                | _ ->
+                    Fault.internal ~where:"Reuse.try_rotate"
+                      "rotation candidate %s is not an array" pa.pv
               in
               let alloc_stm = stm [ pat_elem smem TMem ] (EAlloc sz) in
               let scratch_stm =
@@ -1422,6 +1426,7 @@ let rec walk st opts cert ctx scalars allocs mems (b : block) : block =
   let stms =
     List.map
       (fun s ->
+        Chaos.probe "reuse";
         let exp =
           match s.exp with
           | EMap { nest; body } ->

@@ -1042,6 +1042,7 @@ let rec optimize_block st ctx ~outer_defined ~outer_allocd (b : block) : unit
   let info = block_info ~outer_defined ~outer_allocd b in
   let n = Array.length info.arr in
   for k = n - 1 downto 0 do
+    Chaos.probe "shortcircuit";
     let s = info.arr.(k) in
     (* recurse into sub-blocks first: innermost circuit points (e.g.
        NW's update inside the wavefront loop) are found there *)

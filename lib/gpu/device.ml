@@ -166,12 +166,42 @@ module Pool = struct
       | Some (s, l) ->
           (match take (fun x -> x = s) !l with
           | Some (_, rest) -> l := rest
-          | None -> assert false);
+          | None ->
+              Core.Fault.internal ~where:"Device.Pool.evict_for"
+                "free-list entry of %g bytes vanished during eviction" s);
           t.device_bytes <- t.device_bytes -. s;
           incr evicted
     done;
     t.evictions <- t.evictions + !evicted;
     !evicted
+
+  (* Strict-cap refusal test: would [bytes] of *live* memory push
+     [in_use] past the cap?  The default cap semantics never refuse
+     live memory (the cap only bounds cache growth on top of it); the
+     fail-safe executor asks this before allocating under --strict-cap
+     and degrades to unpooled execution on [Some cap]. *)
+  let refuses t bytes =
+    match t.cap with
+    | Some cap when t.in_use +. bytes > cap -> Some cap
+    | _ -> None
+
+  (* Release every cached free block - a pool teardown in place.  The
+     count returned is the number of synchronizing device frees the
+     caller must price.  Used when the executor degrades to unpooled
+     execution after a device fault. *)
+  let flush t =
+    let n = ref 0 in
+    Hashtbl.iter
+      (fun _ l ->
+        List.iter
+          (fun s ->
+            t.device_bytes <- t.device_bytes -. s;
+            incr n)
+          !l;
+        l := [])
+      t.classes;
+    t.evictions <- t.evictions + !n;
+    !n
 
   (* Serve [bytes]: [`Hit served] pops a free block ([served] is its
      device size, >= bytes); [`Miss ev] obtains fresh device memory of

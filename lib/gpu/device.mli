@@ -89,6 +89,19 @@ module Pool : sig
       its capacity is still on the free list it is reclaimed; if
       already re-served, fresh device memory stands in. *)
 
+  val refuses : t -> float -> float option
+  (** [refuses t bytes] is [Some cap] when serving [bytes] of {e live}
+      memory would push the handed-out total past the cap.  The
+      default cap semantics never refuse live memory - this is the
+      strict reading the fail-safe executor opts into with
+      [--strict-cap], degrading to unpooled execution on refusal. *)
+
+  val flush : t -> int
+  (** Release every cached free block (a pool teardown in place),
+      returning how many were released; each is a synchronizing device
+      free the caller must price.  Used when the executor degrades to
+      unpooled execution after a device fault. *)
+
   val snapshot : t -> snapshot
   val restore : t -> snapshot -> unit
 

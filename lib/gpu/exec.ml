@@ -83,9 +83,26 @@ type env = aval SM.t
 type state = {
   mode : mode;
   counters : Device.counters;
-  pool : Device.Pool.t option;
+  mutable pool : Device.Pool.t option;
       (* pooled allocator serving top-level [EAlloc]s; None = every
-         allocation is a fresh device allocation (the --no-pool model) *)
+         allocation is a fresh device allocation (the --no-pool model).
+         Mutable: a contained device fault degrades the run to
+         unpooled execution by flushing and dropping the pool. *)
+  fail_safe : bool;
+      (* contain device faults (OOM, strict-cap refusal) by degrading
+         to unpooled execution instead of raising *)
+  strict_cap : bool;
+      (* refuse live memory past the pool cap (default cap semantics
+         only bound cache growth) *)
+  oom_at : int;
+      (* fault injection: refuse allocation number [oom_at] (1-based
+         over top-level and scratch allocations); 0 = never *)
+  mutable alloc_seq : int; (* allocations seen so far, for [oom_at] *)
+  mutable exec_faults : Core.Fault.t list; (* contained, newest first *)
+  mutable unfreed : int;
+      (* device-owned blocks allocated but not yet freed: the
+         teardown's synchronizing-free top-up counts exactly these,
+         staying consistent even when the pool degraded mid-run *)
   mutable tracer : Trace.t option;
       (* when set, every memory-relevant action appends a trace event *)
   mutation : mutation option; (* fault injection (tests only) *)
@@ -127,6 +144,7 @@ let elem_bytes = 8.0
 let pool_free st (b : blockv) =
   if b.devbytes > 0. && not b.freed then begin
     b.freed <- true;
+    st.unfreed <- st.unfreed - 1;
     match st.pool with
     | Some p -> Device.Pool.free p b.devbytes
     | None -> st.counters.frees <- st.counters.frees + 1
@@ -135,9 +153,27 @@ let pool_free st (b : blockv) =
 let pool_revive st (b : blockv) =
   if b.freed then begin
     b.freed <- false;
+    st.unfreed <- st.unfreed + 1;
     match st.pool with
     | Some p -> Device.Pool.revive p b.devbytes
     | None -> ()
+  end
+
+(* Contain (fail-safe) or raise a device-layer fault.  Containment is
+   the executor's rung of the degradation ladder: the pool's cached
+   blocks are all released - priced as synchronizing device frees, the
+   penalty of degrading - and the run continues unpooled, every
+   further allocation a fresh device allocation. *)
+let device_fault st (f : Core.Fault.t) =
+  if not st.fail_safe then raise (Core.Fault.Fault f)
+  else begin
+    st.exec_faults <- f :: st.exec_faults;
+    (match st.pool with
+    | Some p ->
+        let released = Device.Pool.flush p in
+        st.counters.frees <- st.counters.frees + released
+    | None -> ());
+    st.pool <- None
   end
 
 (* ---------------------------------------------------------------- *)
@@ -681,7 +717,7 @@ let rec exec_exp st env (s : stm) : aval list =
                   st.counters.kernel_writes <-
                     st.counters.kernel_writes +. (float_of_int n *. elem_bytes));
               [ out ]
-          | _ -> assert false)
+          | _ -> Core.Fault.internal ~where:"Exec.iota" "scalar destination")
   | EReplicate (_, a) ->
       let pe = List.hd s.pat in
       let out = arr_of_pat st env pe in
@@ -704,7 +740,8 @@ let rec exec_exp st env (s : stm) : aval list =
                   st.counters.kernel_writes <-
                     st.counters.kernel_writes +. (float_of_int n *. elem_bytes));
               [ out ]
-          | _ -> assert false)
+          | _ ->
+              Core.Fault.internal ~where:"Exec.replicate" "scalar destination")
   | EScratch _ ->
       (* no writes: just bind the destination *)
       [ arr_of_pat st env (List.hd s.pat) ]
@@ -735,7 +772,8 @@ let rec exec_exp st env (s : stm) : aval list =
               copy_logical st a.elt a.shape a.block a.ix o.block dix;
               row := !row + d0)
             vs
-      | _ -> assert false);
+      | _ ->
+          Core.Fault.internal ~where:"Exec.concat" "scalar destination");
       [ out ]
   | EUpdate { dst; slc; src } -> (
       let d = lookup_arr env dst in
@@ -842,11 +880,13 @@ let rec exec_exp st env (s : stm) : aval list =
         let tbase = tally_list () in
         let sample i =
           let before = Device.clone st.counters in
+          let u_before = st.unfreed in
           let tbefore = tally_list () in
           let vals = run_iter init i in
           let after = Device.clone st.counters in
           let tdelta = tally_delta tbefore in
           Device.assign st.counters before;
+          st.unfreed <- u_before;
           tally_restore tbefore;
           (vals, before, after, tdelta)
         in
@@ -858,18 +898,24 @@ let rec exec_exp st env (s : stm) : aval list =
            the mid/last samples then see (their allocations hit).  The
            Simpson weights turn that into ~n/6 misses + ~5n/6 hits,
            against n misses with the pool disabled. *)
-        (if st.kernel_depth = 0 && st.pool <> None then
+        (if st.kernel_depth = 0 && st.pool <> None then begin
            let init_bids =
              List.filter_map
                (function AArr a -> Some a.block.bid | _ -> None)
                init
            in
+           let u = st.unfreed in
            List.iter
              (function
                | AArr a when not (List.mem a.block.bid init_bids) ->
                    pool_free st a.block
                | _ -> ())
-             vals0);
+             vals0;
+           (* the sampled blocks' lifetimes were already reverted with
+              the counters; only the pool's free-list state is meant
+              to advance here *)
+           st.unfreed <- u
+         end);
         let psteady = Option.map Device.Pool.snapshot st.pool in
         let _, bm, am, tm = sample (n / 2) in
         (match (st.pool, psteady) with
@@ -961,6 +1007,7 @@ let rec exec_exp st env (s : stm) : aval list =
       in
       if st.kernel_depth = 0 then begin
         st.counters.allocs <- st.counters.allocs + 1;
+        st.alloc_seq <- st.alloc_seq + 1;
         (* arena blocks (introduced by the packing pass) are ordinary
            device allocations - one pool transaction each - but counted
            separately so the bench surface can report suballocation *)
@@ -979,6 +1026,17 @@ let rec exec_exp st env (s : stm) : aval list =
            free when the pool is off); a pool hit overrides it with the
            possibly larger served capacity. *)
         b.devbytes <- bytes;
+        st.unfreed <- st.unfreed + 1;
+        if st.oom_at > 0 && st.alloc_seq = st.oom_at then
+          device_fault st
+            (Core.Fault.Device_oom { bytes; at_alloc = st.alloc_seq });
+        (match st.pool with
+        | Some p -> (
+            match Device.Pool.refuses p bytes with
+            | Some cap when st.strict_cap ->
+                device_fault st (Core.Fault.Pool_cap { bytes; cap })
+            | _ -> ())
+        | None -> ());
         match st.pool with
         | Some p -> (
             match Device.Pool.alloc p bytes with
@@ -997,13 +1055,17 @@ let rec exec_exp st env (s : stm) : aval list =
            but while the kernel is in flight every thread's copy exists
            at once, so it counts toward the peak *)
         st.counters.scratch_allocs <- st.counters.scratch_allocs + 1;
+        st.alloc_seq <- st.alloc_seq + 1;
         let bytes = float_of_int n *. elem_bytes in
         st.counters.scratch_bytes <- st.counters.scratch_bytes +. bytes;
         st.kernel_scratch <- st.kernel_scratch +. bytes;
         if st.counters.live_bytes +. st.kernel_scratch > st.counters.peak_bytes
         then
           st.counters.peak_bytes <-
-            st.counters.live_bytes +. st.kernel_scratch
+            st.counters.live_bytes +. st.kernel_scratch;
+        if st.oom_at > 0 && st.alloc_seq = st.oom_at then
+          device_fault st
+            (Core.Fault.Device_oom { bytes; at_alloc = st.alloc_seq })
       end;
       (match st.tracer with
       | Some tr ->
@@ -1032,8 +1094,15 @@ and launch_kernel st ~label ~declared f =
     | None -> ()
   end;
   st.kernel_depth <- st.kernel_depth + 1;
-  let r = f () in
-  st.kernel_depth <- st.kernel_depth - 1;
+  (* depth must be restored even when the body raises (an injected
+     device fault in non-fail-safe mode, a checker exception): a stuck
+     nonzero depth would misclassify every later top-level allocation
+     as kernel scratch and corrupt the free accounting *)
+  let r =
+    Fun.protect
+      ~finally:(fun () -> st.kernel_depth <- st.kernel_depth - 1)
+      f
+  in
   if top then begin
     (* perfect-L2: a kernel reads each block location from DRAM once *)
     Hashtbl.iter
@@ -1289,7 +1358,9 @@ let bind_param st env pe (v : Value.t) : env =
                             let ss = strides rest in
                             (match (rest, ss) with
                             | n :: _, s :: _ -> n * s
-                            | _ -> assert false)
+                            | _ ->
+                                Core.Fault.internal ~where:"Exec.strides"
+                                  "stride list out of step with shape")
                             :: ss
                       in
                       List.combine a.Value.shape (strides a.Value.shape));
@@ -1318,7 +1389,9 @@ let materialize st (v : aval) : Value.t =
                 | AFloat f -> Value.VFloat f
                 | AInt x -> Value.VInt x
                 | ABool b -> Value.VBool b
-                | _ -> assert false
+                | _ ->
+                    Core.Fault.internal ~where:"Exec.materialize"
+                      "array cell read back as an array"
               in
               Value.set_flat out i cell)
             (indices a.shape);
@@ -1329,10 +1402,12 @@ type report = {
   counters : Device.counters;
   trace : Trace.t option;
   pool : Device.Pool.stats option;
+  faults : Core.Fault.t list;
 }
 
 let run ?(mode = Full) ?(trace = false) ?(pool = true) ?pool_cap
-    ?(variant = "program") ?mutation (p : prog) (args : Value.t list) :
+    ?(variant = "program") ?mutation ?(fail_safe = true)
+    ?(strict_cap = false) ?(oom_at = 0) (p : prog) (args : Value.t list) :
     report =
   let tracer =
     if trace then
@@ -1349,6 +1424,12 @@ let run ?(mode = Full) ?(trace = false) ?(pool = true) ?pool_cap
       pool =
         (if pool then Some (Device.Pool.create ?cap:pool_cap ())
          else None);
+      fail_safe;
+      strict_cap;
+      oom_at;
+      alloc_seq = 0;
+      exec_faults = [];
+      unfreed = 0;
       kernel_depth = 0;
       kernel_scratch = 0.;
       thread_writes = Hashtbl.create 256;
@@ -1361,15 +1442,38 @@ let run ?(mode = Full) ?(trace = false) ?(pool = true) ?pool_cap
     List.fold_left2 (fun env pe v -> bind_param st env pe v) SM.empty p.params
       args
   in
-  let res = exec_block st env p.body in
   (* Teardown: without a pool, every device allocation is eventually
      matched by a synchronizing [cudaFree] - blocks that died mid-run
-     were already counted by [pool_free]; top up with the frees of
-     whatever is still live when the program hands back its results.
-     A pooled run tears the whole arena down in one context
-     destruction instead, which is why [frees] stays 0 there. *)
-  if st.pool = None && st.counters.allocs > st.counters.frees then
-    st.counters.frees <- st.counters.allocs;
+     were already counted by [pool_free]; top up with the frees of the
+     [unfreed] blocks still live when the program hands back its
+     results (an outstanding-block count, not [allocs - frees]: after
+     a mid-run pool degradation the flush evictions already sit in
+     [frees], and an absolute top-up would double-count them).  A
+     pooled run tears the whole arena down in one context destruction
+     instead, which is why [frees] stays 0 there.  Guarded so it runs
+     exactly once, and [Fun.protect] runs it even when the executor
+     raises mid-kernel - counters stay consistent under injected
+     faults. *)
+  let torn_down = ref false in
+  let teardown () =
+    if not !torn_down then begin
+      torn_down := true;
+      if st.pool = None then
+        match st.mode with
+        | Full ->
+            st.counters.frees <- st.counters.frees + st.unfreed;
+            st.unfreed <- 0
+        | Cost_only ->
+            (* sampled counters are Simpson extrapolations, so the
+               outstanding-block count cannot be matched against them;
+               keep the legacy absolute top-up *)
+            if st.counters.allocs > st.counters.frees then
+              st.counters.frees <- st.counters.allocs
+    end
+  in
+  let res =
+    Fun.protect ~finally:teardown (fun () -> exec_block st env p.body)
+  in
   (* reading back results is not part of the measured cost (or trace) *)
   let saved = st.counters.kernel_reads in
   Option.iter Trace.mute st.tracer;
@@ -1380,6 +1484,7 @@ let run ?(mode = Full) ?(trace = false) ?(pool = true) ?pool_cap
     counters = st.counters;
     trace = tracer;
     pool = Option.map Device.Pool.stats st.pool;
+    faults = List.rev st.exec_faults;
   }
 
 (* Simulated time on a device for a completed run. *)

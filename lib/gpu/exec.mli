@@ -38,7 +38,12 @@ type report = {
   counters : Device.counters;
   trace : Core.Trace.t option;  (** present iff run with [~trace:true] *)
   pool : Device.Pool.stats option;
-      (** pool footprint summary; present iff run with [~pool:true] *)
+      (** pool footprint summary; present iff run with [~pool:true]
+          {e and} the pool survived the run (a contained device fault
+          degrades to unpooled execution and drops the pool) *)
+  faults : Core.Fault.t list;
+      (** device faults contained by the fail-safe degradation, in
+          occurrence order; empty on a clean run *)
 }
 
 val run :
@@ -48,6 +53,9 @@ val run :
   ?pool_cap:int ->
   ?variant:string ->
   ?mutation:mutation ->
+  ?fail_safe:bool ->
+  ?strict_cap:bool ->
+  ?oom_at:int ->
   Ir.Ast.prog ->
   Ir.Value.t list ->
   report
@@ -61,6 +69,19 @@ val run :
     synchronizing device frees; [?variant] labels the trace's
     provenance (which pipeline stage produced the program, e.g.
     ["opt"]).
+
+    [?fail_safe] (default [true]) contains device-layer faults by
+    degrading to unpooled execution: the pool's cached blocks are
+    flushed (priced as synchronizing frees - the degradation penalty)
+    and the run continues, recording the fault in {!report.faults};
+    with [~fail_safe:false] the fault is raised as {!Core.Fault.Fault}
+    instead.  [?strict_cap] (default [false]) makes a [?pool_cap]
+    refuse {e live} memory past the cap (a {!Core.Fault.Pool_cap}
+    fault), not just bound cache growth.  [?oom_at] (default [0] =
+    never) injects a simulated device OOM refusing allocation number
+    [oom_at] (1-based, counting top-level and in-kernel scratch
+    allocations) - the chaos harness's executor-side fault.
+
     Offset-exact footprints require [Full] mode; a cost-only trace
     keeps the event structure with sampled traffic numbers.
     @raise Exec_error on missing annotations or out-of-bounds accesses

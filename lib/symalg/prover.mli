@@ -119,6 +119,23 @@ val default_limits : limits
 val set_limits : limits -> unit
 val get_limits : unit -> limits
 
+(** {1 Resource budgets}
+
+    A process-wide, per-query prover budget (CLI [--prover-budget]):
+    [b_steps] caps the elimination searches (memo misses) any one
+    [prove_*] query may spend ([-1] = unlimited; [0] refuses every
+    query outright, so {e every} obligation comes back unproved);
+    [b_memo] overrides the nonneg memo cap when nonnegative; a
+    positive [b_deadline] installs a per-query CPU deadline via
+    {!with_deadline}.  Exhaustion is sound - the query answers "not
+    proved", the caller skips the rewrite - and is counted once per
+    affected query in [stats ()].[budget_exhausted]. *)
+type budget = { b_steps : int; b_memo : int; b_deadline : float }
+
+val unlimited : budget
+val set_budget : budget -> unit
+val get_budget : unit -> budget
+
 (** Cache effectiveness counters (process-wide, monotone until
     {!reset_stats}): a miss is a full saturation / elimination search,
     a reset discards the accumulated table. *)
@@ -129,6 +146,8 @@ type stats = {
   mutable nonneg_hits : int;
   mutable nonneg_misses : int;
   mutable nonneg_resets : int;
+  mutable budget_exhausted : int;
+      (** Queries truncated by the step or deadline budget. *)
 }
 
 val stats : unit -> stats

@@ -17,4 +17,5 @@ let () =
       ("bench", Test_bench.tests);
       ("certify", Test_certify.tests);
       ("pack", Test_pack.tests);
+      ("chaos", Test_chaos.tests);
     ]
